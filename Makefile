@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+GO ?= go
+
+.PHONY: all build vet test race bench examples experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerates every table/figure as testing.B measurements.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/shellmpi
+	$(GO) run ./examples/multiuser
+	$(GO) run ./examples/proxystore
+	$(GO) run ./examples/realtime
+
+# Prints every paper experiment as a report (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/gc-bench -exp all
+
+fuzz:
+	$(GO) test -fuzz FuzzFrameReader -fuzztime 30s ./internal/protocol/
+	$(GO) test -fuzz FuzzRender -fuzztime 30s ./internal/template/
+	$(GO) test -fuzz FuzzParseRules -fuzztime 30s ./internal/idmap/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,147 @@
+// Command gc-endpoint runs a single-user endpoint agent against a running
+// gc-webservice: it registers the endpoint, connects to the broker, and
+// executes python-kind (builtin registry), shell, and optionally MPI tasks
+// on a local worker pool or a simulated batch cluster.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"globuscompute/internal/broker"
+	"globuscompute/internal/endpoint"
+	"globuscompute/internal/engine"
+	"globuscompute/internal/mpiengine"
+	"globuscompute/internal/objectstore"
+	"globuscompute/internal/provider"
+	"globuscompute/internal/registry"
+	"globuscompute/internal/scheduler"
+	"globuscompute/internal/sdk"
+	"globuscompute/internal/shellfn"
+	"globuscompute/internal/statestore"
+	"globuscompute/internal/webservice"
+)
+
+func main() {
+	var (
+		service   = flag.String("service", "127.0.0.1:8080", "web service address")
+		token     = flag.String("token", "", "bearer token (from gc-webservice output)")
+		name      = flag.String("name", "go-endpoint", "endpoint display name")
+		workers   = flag.Int("workers", 4, "worker pool size")
+		withMPI   = flag.Bool("mpi", false, "attach a GlobusMPIEngine over a simulated cluster")
+		mpiNodes  = flag.Int("mpi-nodes", 4, "simulated cluster nodes for the MPI engine")
+		sandbox   = flag.String("sandbox-root", os.TempDir(), "ShellFunction sandbox root")
+		transport = flag.String("transport", "channel", "engine interchange transport: channel or tcp")
+		brokerCA  = flag.String("broker-ca", "", "CA PEM for a TLS broker (from gc-webservice -broker-tls)")
+	)
+	flag.Parse()
+	if *token == "" {
+		log.Fatal("gc-endpoint: -token required")
+	}
+
+	client := sdk.NewClient(*service, *token)
+	reg, err := client.RegisterEndpoint(webservice.RegisterEndpointRequest{Name: *name})
+	if err != nil {
+		log.Fatalf("gc-endpoint: register: %v", err)
+	}
+	fmt.Printf("gc-endpoint registered: %s\n", reg.EndpointID)
+	fmt.Printf("  task queue:   %s\n", reg.TaskQueue)
+	fmt.Printf("  result queue: %s\n", reg.ResultQueue)
+
+	bc, err := dialBroker(reg.BrokerAddr, *brokerCA)
+	if err != nil {
+		log.Fatalf("gc-endpoint: broker: %v", err)
+	}
+	defer bc.Close()
+	objects := objectstore.NewClient(reg.ObjectsAddr)
+
+	runner := endpoint.NewRunner(registry.Builtins(), shellfn.Options{SandboxRoot: *sandbox}, objects)
+	eng, err := engine.New(engine.Config{
+		Provider: provider.NewLocal(*workers), Run: runner,
+		InitBlocks: 1, MinBlocks: 1, MaxBlocks: 1,
+		Transport: *transport,
+	})
+	if err != nil {
+		log.Fatalf("gc-endpoint: engine: %v", err)
+	}
+	var agentRef *endpoint.Agent
+	cfg := endpoint.Config{
+		EndpointID: reg.EndpointID,
+		Conn:       bc.AsConn(),
+		Engine:     eng,
+		Objects:    objects,
+		Heartbeat: func(online bool) {
+			var err error
+			if agentRef != nil {
+				l := agentRef.SnapshotLoad()
+				err = client.HeartbeatWithLoad(reg.EndpointID, online, statestore.EndpointLoad{
+					PendingTasks: l.PendingTasks, TotalWorkers: l.TotalWorkers,
+					FreeWorkers: l.FreeWorkers, TasksReceived: l.TasksReceived,
+					ResultsPublished: l.ResultsPublished,
+				})
+			} else {
+				err = client.Heartbeat(reg.EndpointID, online)
+			}
+			if err != nil {
+				log.Printf("gc-endpoint: heartbeat: %v", err)
+			}
+		},
+		HeartbeatInterval: 5 * time.Second,
+	}
+	var sched *scheduler.Scheduler
+	if *withMPI {
+		sched = scheduler.SimpleCluster(*mpiNodes)
+		prov, err := provider.NewBatch(provider.BatchConfig{
+			Scheduler: sched, Partition: "default", NodesPerBlock: *mpiNodes,
+		})
+		if err != nil {
+			log.Fatalf("gc-endpoint: mpi provider: %v", err)
+		}
+		mpi, err := mpiengine.New(mpiengine.Config{Provider: prov})
+		if err != nil {
+			log.Fatalf("gc-endpoint: mpi engine: %v", err)
+		}
+		cfg.MPI = mpi
+		fmt.Printf("  MPI engine:   %d simulated nodes\n", *mpiNodes)
+	}
+
+	agent, err := endpoint.New(cfg)
+	if err != nil {
+		log.Fatalf("gc-endpoint: %v", err)
+	}
+	agentRef = agent
+	if err := agent.Start(); err != nil {
+		log.Fatalf("gc-endpoint: start: %v", err)
+	}
+	fmt.Println("gc-endpoint online; waiting for tasks")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("gc-endpoint: shutting down")
+	agent.Stop()
+	if sched != nil {
+		sched.Close()
+	}
+}
+
+// dialBroker connects plain or over TLS when a CA file is supplied.
+func dialBroker(addr, caPath string) (*broker.Client, error) {
+	if caPath == "" {
+		return broker.Dial(addr)
+	}
+	pemData, err := os.ReadFile(caPath)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := broker.PoolFromPEM(pemData)
+	if err != nil {
+		return nil, err
+	}
+	return broker.DialTLS(addr, pool)
+}

@@ -1,0 +1,110 @@
+// Command gc-webservice runs the cloud side of the stack in one process:
+// auth service, state store, message broker, object store, and the REST web
+// service, plus a simulated batch cluster for endpoints started in-process.
+// It prints connection details and a bootstrap bearer token for the demo
+// identity, then serves until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"globuscompute/internal/auth"
+	"globuscompute/internal/broker"
+	"globuscompute/internal/objectstore"
+	"globuscompute/internal/statestore"
+	"globuscompute/internal/webservice"
+)
+
+func main() {
+	var (
+		httpAddr    = flag.String("http", "127.0.0.1:8080", "REST API listen address")
+		brokerAddr  = flag.String("broker", "127.0.0.1:8081", "broker listen address")
+		objectsAddr = flag.String("objects", "127.0.0.1:8082", "object store listen address")
+		user        = flag.String("bootstrap-user", "demo@example.edu", "identity to mint a bootstrap token for")
+		tokenTTL    = flag.Duration("token-ttl", 24*time.Hour, "bootstrap token lifetime")
+		brokerTLS   = flag.Bool("broker-tls", false, "serve the broker over TLS (AMQPS equivalent)")
+		caOut       = flag.String("broker-ca-out", "broker-ca.pem", "where to write the broker CA certificate with -broker-tls")
+	)
+	flag.Parse()
+
+	authSvc := auth.NewService()
+	store := statestore.New()
+	brk := broker.New()
+	objects := objectstore.New()
+
+	svc, err := webservice.New(webservice.Config{
+		Store: store, Broker: brk, Objects: objects, Auth: authSvc,
+	})
+	if err != nil {
+		log.Fatalf("gc-webservice: %v", err)
+	}
+	var brokerSrv *broker.Server
+	if *brokerTLS {
+		cert, _, err := broker.GenerateIdentity()
+		if err != nil {
+			log.Fatalf("gc-webservice: broker identity: %v", err)
+		}
+		pemData, err := broker.CertPEM(cert)
+		if err != nil {
+			log.Fatalf("gc-webservice: broker ca: %v", err)
+		}
+		if err := os.WriteFile(*caOut, pemData, 0o644); err != nil {
+			log.Fatalf("gc-webservice: write ca: %v", err)
+		}
+		brokerSrv, err = broker.ServeTLS(brk, *brokerAddr, cert)
+		if err != nil {
+			log.Fatalf("gc-webservice: broker: %v", err)
+		}
+		fmt.Printf("  broker CA written to %s (pass to agents via -broker-ca)\n", *caOut)
+	} else {
+		var err error
+		brokerSrv, err = broker.Serve(brk, *brokerAddr)
+		if err != nil {
+			log.Fatalf("gc-webservice: broker: %v", err)
+		}
+	}
+	objectsSrv, err := objectstore.ServeHTTP(objects, *objectsAddr)
+	if err != nil {
+		log.Fatalf("gc-webservice: objects: %v", err)
+	}
+	httpSrv, err := webservice.ServeHTTP(svc, *httpAddr, brokerSrv.Addr(), objectsSrv.Addr())
+	if err != nil {
+		log.Fatalf("gc-webservice: http: %v", err)
+	}
+	// Production housekeeping: two-week result retention and offline
+	// detection for silent endpoints.
+	stopSweeper := svc.StartRetentionSweeper(webservice.ResultRetention, time.Hour)
+	defer stopSweeper()
+	stopWatchdog := svc.MonitorHeartbeats(30*time.Second, 10*time.Second)
+	defer stopWatchdog()
+
+	tok, err := authSvc.Issue(
+		auth.Identity{Username: *user, Provider: "bootstrap"},
+		[]string{auth.ScopeCompute, auth.ScopeManage}, *tokenTTL, time.Time{})
+	if err != nil {
+		log.Fatalf("gc-webservice: token: %v", err)
+	}
+
+	fmt.Printf("gc-webservice up\n")
+	fmt.Printf("  REST API:     http://%s\n", httpSrv.Addr())
+	fmt.Printf("  broker:       %s\n", brokerSrv.Addr())
+	fmt.Printf("  object store: %s\n", objectsSrv.Addr())
+	fmt.Printf("  bootstrap token (%s): %s\n", *user, tok.Value)
+	fmt.Printf("  dashboard:    http://%s/dashboard?token=%s\n", httpSrv.Addr(), tok.Value)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("gc-webservice: shutting down")
+	httpSrv.Close()
+	svc.Close()
+	brokerSrv.Close()
+	objectsSrv.Close()
+	brk.Close()
+}

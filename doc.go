@@ -1,0 +1,14 @@
+// Package globuscompute is a Go reimplementation of the Globus Compute
+// federated function-as-a-service platform as described in "Establishing a
+// High-Performance and Productive Ecosystem for Distributed Execution of
+// Python Functions Using Globus Compute" (SC 2024), including every
+// substrate it depends on: message broker, object store, state store, auth
+// service, batch scheduler simulator, pilot-job engine, MPI engine,
+// multi-user endpoints, SDK executor, ProxyStore, and a Globus Transfer
+// simulator.
+//
+// See DESIGN.md for the system inventory and per-experiment index,
+// EXPERIMENTS.md for paper-vs-measured results, and examples/ for runnable
+// walkthroughs. The benchmarks in bench_test.go regenerate every table and
+// figure; `go run ./cmd/gc-bench -exp all` prints them as reports.
+package globuscompute

@@ -1,0 +1,3 @@
+module globuscompute
+
+go 1.22

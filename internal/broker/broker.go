@@ -1,0 +1,413 @@
+// Package broker implements the message-queue substrate that stands in for
+// the cloud-hosted RabbitMQ deployment: named FIFO queues with
+// publish/consume, per-consumer prefetch, explicit ack/nack, and requeue of
+// unacknowledged messages when a consumer disconnects (at-least-once
+// delivery).
+//
+// The web service declares a task queue and a result queue per endpoint;
+// endpoint agents consume tasks and publish results; the result processor
+// and streaming SDK executors consume results. All of those paths go through
+// this package, either in-process (Broker methods) or over framed TCP
+// (Server/Dial in server.go and client.go).
+package broker
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"globuscompute/internal/metrics"
+)
+
+// Common errors.
+var (
+	ErrQueueNotFound  = errors.New("broker: queue not found")
+	ErrQueueExists    = errors.New("broker: queue already declared")
+	ErrClosed         = errors.New("broker: closed")
+	ErrUnknownTag     = errors.New("broker: unknown delivery tag")
+	ErrConsumerClosed = errors.New("broker: consumer closed")
+)
+
+// Message is a delivered queue entry. Tag identifies it for Ack/Nack on the
+// consumer that received it.
+type Message struct {
+	Tag         uint64
+	Body        []byte
+	Redelivered bool
+}
+
+// Broker is an in-process message broker. The zero value is not usable; use
+// New.
+type Broker struct {
+	mu      sync.Mutex
+	queues  map[string]*queue
+	closed  bool
+	Metrics *metrics.Registry
+}
+
+// New returns an empty broker.
+func New() *Broker {
+	return &Broker{queues: make(map[string]*queue), Metrics: metrics.NewRegistry()}
+}
+
+// Declare creates the named queue. Declaring an existing queue is an
+// idempotent no-op, matching AMQP passive declaration of identical queues.
+func (b *Broker) Declare(name string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if _, ok := b.queues[name]; ok {
+		return nil
+	}
+	b.queues[name] = newQueue(name, b.Metrics)
+	return nil
+}
+
+// Delete removes a queue, closing its consumers. Pending messages are
+// dropped (used when an endpoint is deregistered).
+func (b *Broker) Delete(name string) error {
+	b.mu.Lock()
+	q, ok := b.queues[name]
+	if ok {
+		delete(b.queues, name)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return ErrQueueNotFound
+	}
+	q.close()
+	return nil
+}
+
+// Publish appends body to the named queue.
+func (b *Broker) Publish(name string, body []byte) error {
+	q, err := b.lookup(name)
+	if err != nil {
+		return err
+	}
+	return q.publish(body)
+}
+
+// Depth returns the number of messages waiting (not yet delivered) in the
+// queue.
+func (b *Broker) Depth(name string) (int, error) {
+	q, err := b.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return q.depth(), nil
+}
+
+// Unacked returns the number of delivered-but-unacknowledged messages.
+func (b *Broker) Unacked(name string) (int, error) {
+	q, err := b.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return q.unackedCount(), nil
+}
+
+// Queues lists declared queue names.
+func (b *Broker) Queues() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.queues))
+	for n := range b.queues {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Consume attaches a consumer to the named queue with the given prefetch
+// window (<=0 selects 1). Deliveries arrive on the returned Consumer's
+// channel until the consumer or broker closes.
+func (b *Broker) Consume(name string, prefetch int) (*Consumer, error) {
+	q, err := b.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	c := q.addConsumer(prefetch)
+	c.b = b
+	return c, nil
+}
+
+// Close shuts down the broker and all queues and consumers.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	qs := make([]*queue, 0, len(b.queues))
+	for _, q := range b.queues {
+		qs = append(qs, q)
+	}
+	b.mu.Unlock()
+	for _, q := range qs {
+		q.close()
+	}
+}
+
+func (b *Broker) lookup(name string) (*queue, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	q, ok := b.queues[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrQueueNotFound, name)
+	}
+	return q, nil
+}
+
+// queue holds messages and dispatches them to consumers round-robin,
+// honoring each consumer's prefetch credit.
+type queue struct {
+	mu           sync.Mutex
+	name         string
+	ready        *list.List // of *entry
+	consumers    []*Consumer
+	nextRR       int // round-robin cursor
+	nextTag      uint64
+	closed       bool
+	published    *metrics.Counter
+	delivered    *metrics.Counter
+	acked        *metrics.Counter
+	requeued     *metrics.Counter
+	deadlettered *metrics.Counter
+}
+
+type entry struct {
+	body        []byte
+	redelivered bool
+}
+
+func newQueue(name string, reg *metrics.Registry) *queue {
+	return &queue{
+		name:         name,
+		ready:        list.New(),
+		published:    reg.Counter("published." + name),
+		delivered:    reg.Counter("delivered." + name),
+		acked:        reg.Counter("acked." + name),
+		requeued:     reg.Counter("requeued." + name),
+		deadlettered: reg.Counter("deadlettered." + name),
+	}
+}
+
+func (q *queue) publish(body []byte) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	// Copy so callers may reuse their buffer.
+	e := &entry{body: append([]byte(nil), body...)}
+	q.ready.PushBack(e)
+	q.published.Inc()
+	q.dispatchLocked()
+	return nil
+}
+
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.ready.Len()
+}
+
+func (q *queue) unackedCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, c := range q.consumers {
+		n += len(c.unacked)
+	}
+	return n
+}
+
+func (q *queue) addConsumer(prefetch int) *Consumer {
+	if prefetch <= 0 {
+		prefetch = 1
+	}
+	c := &Consumer{
+		q:        q,
+		ch:       make(chan Message, prefetch),
+		prefetch: prefetch,
+		unacked:  make(map[uint64]*entry),
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		close(c.ch)
+		c.closed = true
+		return c
+	}
+	q.consumers = append(q.consumers, c)
+	q.dispatchLocked()
+	return c
+}
+
+// dispatchLocked hands ready messages to consumers with available credit,
+// round-robin across consumers. Caller holds q.mu.
+func (q *queue) dispatchLocked() {
+	if len(q.consumers) == 0 {
+		return
+	}
+	for q.ready.Len() > 0 {
+		c := q.pickConsumerLocked()
+		if c == nil {
+			return // everyone is at their prefetch window
+		}
+		front := q.ready.Front()
+		e := front.Value.(*entry)
+		q.ready.Remove(front)
+		q.nextTag++
+		tag := q.nextTag
+		c.unacked[tag] = e
+		q.delivered.Inc()
+		// The channel has capacity == prefetch and credit was checked,
+		// so this send cannot block.
+		c.ch <- Message{Tag: tag, Body: e.body, Redelivered: e.redelivered}
+	}
+}
+
+func (q *queue) pickConsumerLocked() *Consumer {
+	n := len(q.consumers)
+	for i := 0; i < n; i++ {
+		c := q.consumers[(q.nextRR+i)%n]
+		if !c.closed && len(c.unacked) < c.prefetch {
+			q.nextRR = (q.nextRR + i + 1) % n
+			return c
+		}
+	}
+	return nil
+}
+
+func (q *queue) ack(c *Consumer, tag uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := c.unacked[tag]; !ok {
+		return ErrUnknownTag
+	}
+	delete(c.unacked, tag)
+	q.acked.Inc()
+	q.dispatchLocked()
+	return nil
+}
+
+// DeadLetterSuffix names the queue that receives rejected messages.
+const DeadLetterSuffix = ".dlq"
+
+// reject dead-letters a message: it moves to "<queue>.dlq" instead of
+// being redelivered, the standard poison-message escape hatch.
+func (q *queue) reject(b *Broker, c *Consumer, tag uint64) error {
+	q.mu.Lock()
+	e, ok := c.unacked[tag]
+	if !ok {
+		q.mu.Unlock()
+		return ErrUnknownTag
+	}
+	delete(c.unacked, tag)
+	q.deadlettered.Inc()
+	q.dispatchLocked()
+	q.mu.Unlock()
+	dlq := q.name + DeadLetterSuffix
+	if err := b.Declare(dlq); err != nil {
+		return err
+	}
+	return b.Publish(dlq, e.body)
+}
+
+// nack returns a message to the front of the queue for redelivery.
+func (q *queue) nack(c *Consumer, tag uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := c.unacked[tag]
+	if !ok {
+		return ErrUnknownTag
+	}
+	delete(c.unacked, tag)
+	e.redelivered = true
+	q.ready.PushFront(e)
+	q.requeued.Inc()
+	q.dispatchLocked()
+	return nil
+}
+
+// removeConsumer detaches c, requeueing everything it had not acked.
+func (q *queue) removeConsumer(c *Consumer) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for i, cc := range q.consumers {
+		if cc == c {
+			q.consumers = append(q.consumers[:i], q.consumers[i+1:]...)
+			break
+		}
+	}
+	for tag, e := range c.unacked {
+		delete(c.unacked, tag)
+		e.redelivered = true
+		q.ready.PushFront(e)
+		q.requeued.Inc()
+	}
+	close(c.ch)
+	q.dispatchLocked()
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	for _, c := range q.consumers {
+		c.closed = true
+		close(c.ch)
+	}
+	q.consumers = nil
+	q.mu.Unlock()
+}
+
+// Consumer receives deliveries from one queue. Messages must be Acked,
+// Nacked, or Rejected; Close requeues anything outstanding.
+type Consumer struct {
+	q        *queue
+	b        *Broker
+	ch       chan Message
+	prefetch int
+	// guarded by q.mu
+	unacked map[uint64]*entry
+	closed  bool
+}
+
+// Messages returns the delivery channel. It is closed when the consumer or
+// queue closes.
+func (c *Consumer) Messages() <-chan Message { return c.ch }
+
+// Ack acknowledges a delivered message by tag.
+func (c *Consumer) Ack(tag uint64) error { return c.q.ack(c, tag) }
+
+// Nack rejects a delivered message; it is requeued at the front and will be
+// flagged Redelivered.
+func (c *Consumer) Nack(tag uint64) error { return c.q.nack(c, tag) }
+
+// Reject dead-letters a delivered message to "<queue>.dlq" instead of
+// redelivering it (for poison messages the consumer cannot process).
+func (c *Consumer) Reject(tag uint64) error {
+	if c.b == nil {
+		return ErrClosed
+	}
+	return c.q.reject(c.b, c, tag)
+}
+
+// Close detaches the consumer and requeues unacknowledged messages.
+func (c *Consumer) Close() { c.q.removeConsumer(c) }

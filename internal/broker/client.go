@@ -1,0 +1,232 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"globuscompute/internal/protocol"
+)
+
+// Client is a TCP connection to a broker Server. It multiplexes
+// request/reply exchanges and consumer delivery streams over one socket,
+// the way the Globus Compute agent holds a single AMQPS connection.
+type Client struct {
+	conn net.Conn
+	w    *protocol.FrameWriter
+	ids  requestID
+
+	mu       sync.Mutex
+	pending  map[string]chan error
+	streams  map[string]*RemoteConsumer
+	closed   bool
+	closeErr error
+}
+
+// newClient wraps an established connection (plain or TLS).
+func newClient(conn net.Conn) *Client {
+	return &Client{
+		conn:    conn,
+		w:       protocol.NewFrameWriter(conn),
+		pending: make(map[string]chan error),
+		streams: make(map[string]*RemoteConsumer),
+	}
+}
+
+// Dial connects to a broker server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("broker: dial %s: %w", addr, err)
+	}
+	c := newClient(conn)
+	go c.readLoop()
+	return c, nil
+}
+
+// Close disconnects. Server-side, unacked deliveries are requeued.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) readLoop() {
+	r := protocol.NewFrameReader(c.conn)
+	var err error
+	for {
+		var env protocol.Envelope
+		env, err = r.Read()
+		if err != nil {
+			break
+		}
+		switch env.Type {
+		case protocol.EnvOK:
+			c.complete(env.ID, nil)
+		case protocol.EnvError:
+			var body errorBody
+			msg := "unknown broker error"
+			if derr := env.Decode(&body); derr == nil {
+				msg = body.Message
+			}
+			c.complete(env.ID, errors.New(msg))
+		case protocol.EnvDelivery:
+			var body deliveryBody
+			if derr := env.Decode(&body); derr != nil {
+				continue
+			}
+			// The send happens under the lock so Cancel's close of the
+			// channel cannot race it; the buffer (prefetch+1) exceeds the
+			// server's delivery window, so the send never blocks.
+			c.mu.Lock()
+			if rc := c.streams[body.Queue]; rc != nil {
+				rc.ch <- Message{Tag: body.Tag, Body: body.Body, Redelivered: body.Redelivered}
+			}
+			c.mu.Unlock()
+		}
+	}
+	c.mu.Lock()
+	c.closed = true
+	c.closeErr = err
+	for id, ch := range c.pending {
+		ch <- fmt.Errorf("broker: connection lost: %w", err)
+		delete(c.pending, id)
+	}
+	for q, rc := range c.streams {
+		close(rc.ch)
+		delete(c.streams, q)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) complete(id string, err error) {
+	c.mu.Lock()
+	ch, ok := c.pending[id]
+	if ok {
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	if ok {
+		ch <- err
+	}
+}
+
+// call sends a request and waits for its ok/error reply.
+func (c *Client) call(typ string, body any) error {
+	id := c.ids.next()
+	ch := make(chan error, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	env, err := protocol.NewEnvelope(typ, id, body)
+	if err != nil {
+		c.complete(id, nil)
+		return err
+	}
+	if err := c.w.Write(env); err != nil {
+		c.complete(id, nil)
+		return fmt.Errorf("broker: send %s: %w", typ, err)
+	}
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("broker: %s timed out", typ)
+	}
+}
+
+// Declare creates a queue on the remote broker.
+func (c *Client) Declare(queue string) error {
+	return c.call(protocol.EnvDeclare, declareBody{Queue: queue})
+}
+
+// Publish appends body to the remote queue.
+func (c *Client) Publish(queue string, body []byte) error {
+	return c.call(protocol.EnvPublish, publishBody{Queue: queue, Body: body})
+}
+
+// Ping round-trips a heartbeat.
+func (c *Client) Ping() error {
+	return c.call(protocol.EnvHeartbeat, nil)
+}
+
+// DeleteQueue removes a queue on the remote broker, dropping its messages
+// and closing its consumers.
+func (c *Client) DeleteQueue(queue string) error {
+	return c.call(protocol.EnvShutdown, declareBody{Queue: queue})
+}
+
+// RemoteConsumer mirrors Consumer for a TCP client: a delivery channel plus
+// Ack/Nack that round-trip to the server.
+type RemoteConsumer struct {
+	c     *Client
+	queue string
+	ch    chan Message
+}
+
+// Consume begins consuming the remote queue. Only one consumer per queue per
+// client connection is permitted (the server enforces this).
+func (c *Client) Consume(queue string, prefetch int) (*RemoteConsumer, error) {
+	if prefetch <= 0 {
+		prefetch = 1
+	}
+	rc := &RemoteConsumer{c: c, queue: queue, ch: make(chan Message, prefetch+1)}
+	c.mu.Lock()
+	if _, dup := c.streams[queue]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("broker: already consuming %q", queue)
+	}
+	c.streams[queue] = rc
+	c.mu.Unlock()
+	if err := c.call(protocol.EnvConsume, consumeBody{Queue: queue, Prefetch: prefetch}); err != nil {
+		c.mu.Lock()
+		delete(c.streams, queue)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return rc, nil
+}
+
+// Messages returns the delivery channel; it closes when the connection
+// drops.
+func (rc *RemoteConsumer) Messages() <-chan Message { return rc.ch }
+
+// Ack acknowledges a delivery by tag.
+func (rc *RemoteConsumer) Ack(tag uint64) error {
+	return rc.c.call(protocol.EnvAck, ackBody{Queue: rc.queue, Tag: tag})
+}
+
+// Nack rejects a delivery; the server requeues it.
+func (rc *RemoteConsumer) Nack(tag uint64) error {
+	return rc.c.call(protocol.EnvNack, ackBody{Queue: rc.queue, Tag: tag})
+}
+
+// Reject dead-letters a delivery to "<queue>.dlq" on the server.
+func (rc *RemoteConsumer) Reject(tag uint64) error {
+	return rc.c.call(protocol.EnvNack, ackBody{Queue: rc.queue, Tag: tag, DeadLetter: true})
+}
+
+// Cancel stops consuming: the server detaches the consumer (requeueing
+// anything unacknowledged) and the local delivery channel closes.
+func (rc *RemoteConsumer) Cancel() error {
+	err := rc.c.call(protocol.EnvDrain, declareBody{Queue: rc.queue})
+	rc.c.mu.Lock()
+	if _, ok := rc.c.streams[rc.queue]; ok {
+		delete(rc.c.streams, rc.queue)
+		close(rc.ch)
+	}
+	rc.c.mu.Unlock()
+	return err
+}

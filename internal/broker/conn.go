@@ -1,0 +1,79 @@
+package broker
+
+import "fmt"
+
+// Conn abstracts a broker connection so components (endpoint agents, the
+// MEP, the SDK result stream) work identically against an in-process Broker
+// or a TCP Client.
+type Conn interface {
+	Declare(queue string) error
+	Publish(queue string, body []byte) error
+	Subscribe(queue string, prefetch int) (Subscription, error)
+	// Delete removes a queue, dropping pending messages (used to clean up
+	// per-executor group queues and deregistered endpoints).
+	Delete(queue string) error
+}
+
+// Subscription is a cancellable consumer.
+type Subscription interface {
+	Messages() <-chan Message
+	Ack(tag uint64) error
+	Nack(tag uint64) error
+	// Reject dead-letters a poison message to "<queue>.dlq".
+	Reject(tag uint64) error
+	// Cancel detaches the consumer; unacknowledged messages requeue.
+	Cancel() error
+}
+
+// localConn adapts *Broker to Conn.
+type localConn struct{ b *Broker }
+
+// LocalConn wraps an in-process broker as a Conn.
+func LocalConn(b *Broker) Conn { return localConn{b} }
+
+func (l localConn) Declare(queue string) error              { return l.b.Declare(queue) }
+func (l localConn) Publish(queue string, body []byte) error { return l.b.Publish(queue, body) }
+func (l localConn) Delete(queue string) error               { return l.b.Delete(queue) }
+
+func (l localConn) Subscribe(queue string, prefetch int) (Subscription, error) {
+	c, err := l.b.Consume(queue, prefetch)
+	if err != nil {
+		return nil, err
+	}
+	return localSub{c}, nil
+}
+
+type localSub struct{ c *Consumer }
+
+func (s localSub) Messages() <-chan Message { return s.c.Messages() }
+func (s localSub) Ack(tag uint64) error     { return s.c.Ack(tag) }
+func (s localSub) Nack(tag uint64) error    { return s.c.Nack(tag) }
+func (s localSub) Reject(tag uint64) error  { return s.c.Reject(tag) }
+func (s localSub) Cancel() error            { s.c.Close(); return nil }
+
+// remoteSub adapts *RemoteConsumer to Subscription.
+type remoteSub struct{ rc *RemoteConsumer }
+
+func (s remoteSub) Messages() <-chan Message { return s.rc.Messages() }
+func (s remoteSub) Ack(tag uint64) error     { return s.rc.Ack(tag) }
+func (s remoteSub) Nack(tag uint64) error    { return s.rc.Nack(tag) }
+func (s remoteSub) Reject(tag uint64) error  { return s.rc.Reject(tag) }
+func (s remoteSub) Cancel() error            { return s.rc.Cancel() }
+
+// clientConn adapts *Client to Conn.
+type clientConn struct{ c *Client }
+
+// AsConn wraps a TCP client as a Conn.
+func (c *Client) AsConn() Conn { return clientConn{c} }
+
+func (cc clientConn) Declare(queue string) error              { return cc.c.Declare(queue) }
+func (cc clientConn) Publish(queue string, body []byte) error { return cc.c.Publish(queue, body) }
+func (cc clientConn) Delete(queue string) error               { return cc.c.DeleteQueue(queue) }
+
+func (cc clientConn) Subscribe(queue string, prefetch int) (Subscription, error) {
+	rc, err := cc.c.Consume(queue, prefetch)
+	if err != nil {
+		return nil, fmt.Errorf("broker: subscribe %q: %w", queue, err)
+	}
+	return remoteSub{rc}, nil
+}

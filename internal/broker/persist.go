@@ -1,0 +1,86 @@
+package broker
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Durability: the hosted RabbitMQ deployment persists queue contents so
+// buffered tasks and results survive service restarts ("ensuring they are
+// not lost"). Snapshot/Restore provide the same guarantee for this broker:
+// a snapshot captures every queue's ready messages plus
+// delivered-but-unacknowledged messages (which a restart must redeliver).
+
+// queueImage is one queue's persisted form.
+type queueImage struct {
+	Name string `json:"name"`
+	// Messages are ready bodies in order; unacked deliveries are folded in
+	// at the front (they redeliver first, flagged Redelivered).
+	Messages    [][]byte `json:"messages"`
+	RedeliverTo int      `json:"redeliver_to"` // messages[:RedeliverTo] redeliver
+}
+
+type brokerImage struct {
+	Queues []queueImage `json:"queues"`
+}
+
+// Snapshot serializes all queues: ready messages plus unacknowledged
+// deliveries (folded to the front, as a broker restart would requeue them).
+func (b *Broker) Snapshot() ([]byte, error) {
+	b.mu.Lock()
+	queues := make([]*queue, 0, len(b.queues))
+	for _, q := range b.queues {
+		queues = append(queues, q)
+	}
+	b.mu.Unlock()
+
+	var img brokerImage
+	for _, q := range queues {
+		q.mu.Lock()
+		qi := queueImage{Name: q.name}
+		for _, c := range q.consumers {
+			for _, e := range c.unacked {
+				qi.Messages = append(qi.Messages, append([]byte(nil), e.body...))
+			}
+		}
+		qi.RedeliverTo = len(qi.Messages)
+		for el := q.ready.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			qi.Messages = append(qi.Messages, append([]byte(nil), e.body...))
+			if e.redelivered && qi.RedeliverTo < len(qi.Messages) {
+				// preserve redelivery flags for already-requeued entries
+				qi.RedeliverTo = len(qi.Messages)
+			}
+		}
+		q.mu.Unlock()
+		img.Queues = append(img.Queues, qi)
+	}
+	return json.Marshal(img)
+}
+
+// Restore recreates queues and their buffered messages from a Snapshot
+// image. Existing queues with the same names receive the messages appended;
+// typically Restore is called on a fresh broker.
+func (b *Broker) Restore(data []byte) error {
+	var img brokerImage
+	if err := json.Unmarshal(data, &img); err != nil {
+		return fmt.Errorf("broker: restore: %w", err)
+	}
+	for _, qi := range img.Queues {
+		if err := b.Declare(qi.Name); err != nil {
+			return err
+		}
+		q, err := b.lookup(qi.Name)
+		if err != nil {
+			return err
+		}
+		q.mu.Lock()
+		for i, body := range qi.Messages {
+			e := &entry{body: append([]byte(nil), body...), redelivered: i < qi.RedeliverTo}
+			q.ready.PushBack(e)
+		}
+		q.dispatchLocked()
+		q.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,263 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+
+	"globuscompute/internal/protocol"
+)
+
+// Wire bodies for the framed-TCP broker protocol. Byte slices marshal as
+// base64 under encoding/json.
+
+type declareBody struct {
+	Queue string `json:"queue"`
+}
+
+type publishBody struct {
+	Queue string `json:"queue"`
+	Body  []byte `json:"body"`
+}
+
+type consumeBody struct {
+	Queue    string `json:"queue"`
+	Prefetch int    `json:"prefetch"`
+}
+
+type ackBody struct {
+	Queue string `json:"queue"`
+	Tag   uint64 `json:"tag"`
+	// DeadLetter turns a nack into a reject (dead-letter) request.
+	DeadLetter bool `json:"dead_letter,omitempty"`
+}
+
+type deliveryBody struct {
+	Queue       string `json:"queue"`
+	Tag         uint64 `json:"tag"`
+	Body        []byte `json:"body"`
+	Redelivered bool   `json:"redelivered,omitempty"`
+}
+
+type errorBody struct {
+	Message string `json:"message"`
+}
+
+// Server exposes a Broker over framed TCP so that endpoint agents and SDK
+// result streams in other processes can reach it.
+type Server struct {
+	B  *Broker
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  bool
+}
+
+// Serve starts listening on addr (e.g. "127.0.0.1:0") and serves until
+// Close. It returns the server with the bound address available via Addr.
+func Serve(b *Broker, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("broker: listen: %w", err)
+	}
+	s := &Server{B: b, ln: ln, conns: make(map[net.Conn]struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and disconnects all clients.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// handle serves one client connection. A connection may hold at most one
+// consumer per queue; closing the connection requeues unacked deliveries.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := protocol.NewFrameReader(conn)
+	w := protocol.NewFrameWriter(conn)
+	consumers := make(map[string]*Consumer)
+	var wg sync.WaitGroup
+	defer func() {
+		for _, c := range consumers {
+			c.Close()
+		}
+		wg.Wait()
+	}()
+
+	reply := func(id string, err error) {
+		if err != nil {
+			_ = w.Write(protocol.MustEnvelope(protocol.EnvError, id, errorBody{Message: err.Error()}))
+			return
+		}
+		_ = w.Write(protocol.MustEnvelope(protocol.EnvOK, id, nil))
+	}
+
+	for {
+		env, err := r.Read()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				log.Printf("broker: connection read: %v", err)
+			}
+			return
+		}
+		switch env.Type {
+		case protocol.EnvDeclare:
+			var body declareBody
+			if err := env.Decode(&body); err != nil {
+				reply(env.ID, err)
+				continue
+			}
+			reply(env.ID, s.B.Declare(body.Queue))
+
+		case protocol.EnvPublish:
+			var body publishBody
+			if err := env.Decode(&body); err != nil {
+				reply(env.ID, err)
+				continue
+			}
+			reply(env.ID, s.B.Publish(body.Queue, body.Body))
+
+		case protocol.EnvConsume:
+			var body consumeBody
+			if err := env.Decode(&body); err != nil {
+				reply(env.ID, err)
+				continue
+			}
+			if _, dup := consumers[body.Queue]; dup {
+				reply(env.ID, fmt.Errorf("broker: already consuming %q on this connection", body.Queue))
+				continue
+			}
+			c, err := s.B.Consume(body.Queue, body.Prefetch)
+			if err != nil {
+				reply(env.ID, err)
+				continue
+			}
+			consumers[body.Queue] = c
+			reply(env.ID, nil)
+			wg.Add(1)
+			go func(queue string, c *Consumer) {
+				defer wg.Done()
+				for m := range c.Messages() {
+					e := protocol.MustEnvelope(protocol.EnvDelivery, "", deliveryBody{
+						Queue: queue, Tag: m.Tag, Body: m.Body, Redelivered: m.Redelivered,
+					})
+					if err := w.Write(e); err != nil {
+						c.Close()
+						return
+					}
+				}
+			}(body.Queue, c)
+
+		case protocol.EnvAck, protocol.EnvNack:
+			var body ackBody
+			if err := env.Decode(&body); err != nil {
+				reply(env.ID, err)
+				continue
+			}
+			c, ok := consumers[body.Queue]
+			if !ok {
+				reply(env.ID, fmt.Errorf("broker: not consuming %q", body.Queue))
+				continue
+			}
+			switch {
+			case env.Type == protocol.EnvAck:
+				reply(env.ID, c.Ack(body.Tag))
+			case body.DeadLetter:
+				reply(env.ID, c.Reject(body.Tag))
+			default:
+				reply(env.ID, c.Nack(body.Tag))
+			}
+
+		case protocol.EnvDrain:
+			// Cancel an active consume on this connection.
+			var body declareBody
+			if err := env.Decode(&body); err != nil {
+				reply(env.ID, err)
+				continue
+			}
+			c, ok := consumers[body.Queue]
+			if !ok {
+				reply(env.ID, fmt.Errorf("broker: not consuming %q", body.Queue))
+				continue
+			}
+			c.Close()
+			delete(consumers, body.Queue)
+			reply(env.ID, nil)
+
+		case protocol.EnvShutdown:
+			// Delete a queue broker-wide.
+			var body declareBody
+			if err := env.Decode(&body); err != nil {
+				reply(env.ID, err)
+				continue
+			}
+			delete(consumers, body.Queue) // local consumer (if any) is closed by the broker
+			reply(env.ID, s.B.Delete(body.Queue))
+
+		case protocol.EnvHeartbeat:
+			reply(env.ID, nil)
+
+		default:
+			reply(env.ID, fmt.Errorf("broker: unknown request %q", env.Type))
+		}
+	}
+}
+
+// requestID generates connection-local correlation IDs for the client.
+type requestID struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (r *requestID) next() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.n++
+	return strconv.FormatUint(r.n, 10)
+}

@@ -1,0 +1,115 @@
+package container
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestValidImage(t *testing.T) {
+	good := []string{"python:3.11", "registry.example/sim:latest", "app"}
+	for _, img := range good {
+		if !ValidImage(img) {
+			t.Errorf("ValidImage(%q) = false", img)
+		}
+	}
+	bad := []string{"", "has space", "a:b:c", "quote\"inject", "back\\slash"}
+	for _, img := range bad {
+		if ValidImage(img) {
+			t.Errorf("ValidImage(%q) = true", img)
+		}
+	}
+}
+
+func TestColdThenWarm(t *testing.T) {
+	r := NewRuntime(50*time.Millisecond, 0)
+	ctx := context.Background()
+	if r.Warm("python:3.11") {
+		t.Fatal("image warm before pull")
+	}
+	start := time.Now()
+	if err := r.EnsureImage(ctx, "python:3.11"); err != nil {
+		t.Fatal(err)
+	}
+	if cold := time.Since(start); cold < 50*time.Millisecond {
+		t.Errorf("cold pull took %s, want >= 50ms", cold)
+	}
+	if !r.Warm("python:3.11") {
+		t.Fatal("image not cached")
+	}
+	start = time.Now()
+	if err := r.EnsureImage(ctx, "python:3.11"); err != nil {
+		t.Fatal(err)
+	}
+	if warm := time.Since(start); warm > 20*time.Millisecond {
+		t.Errorf("warm hit took %s", warm)
+	}
+	if r.Metrics.Counter("cold_pulls").Value() != 1 || r.Metrics.Counter("warm_hits").Value() != 1 {
+		t.Errorf("cold=%d warm=%d", r.Metrics.Counter("cold_pulls").Value(), r.Metrics.Counter("warm_hits").Value())
+	}
+}
+
+func TestEnsureImageBadRef(t *testing.T) {
+	r := NewRuntime(0, 0)
+	if err := r.EnsureImage(context.Background(), "bad image"); !errors.Is(err, ErrBadImage) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEnsureImageContextCancel(t *testing.T) {
+	r := NewRuntime(10*time.Second, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := r.EnsureImage(ctx, "slow:img"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v", err)
+	}
+	if r.Warm("slow:img") {
+		t.Error("cancelled pull cached the image")
+	}
+}
+
+func TestInvokeEnv(t *testing.T) {
+	r := NewRuntime(0, 0)
+	env, err := r.Invoke(context.Background(), "sim:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["GC_CONTAINER"] != "sim:1" {
+		t.Errorf("env = %v", env)
+	}
+	if r.Metrics.Counter("invocations").Value() != 1 {
+		t.Error("invocation not counted")
+	}
+}
+
+func TestInvokeStartDelay(t *testing.T) {
+	r := NewRuntime(0, 30*time.Millisecond)
+	r.EnsureImage(context.Background(), "sim:1")
+	start := time.Now()
+	if _, err := r.Invoke(context.Background(), "sim:1"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Errorf("start delay not applied: %s", d)
+	}
+}
+
+func TestConcurrentEnsure(t *testing.T) {
+	r := NewRuntime(10*time.Millisecond, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := r.EnsureImage(context.Background(), "shared:img"); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if !r.Warm("shared:img") {
+		t.Error("image not cached after concurrent pulls")
+	}
+}

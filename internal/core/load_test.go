@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"globuscompute/internal/core"
+	"globuscompute/internal/sdk"
+)
+
+// TestHeartbeatCarriesLoad verifies the agent's utilization report reaches
+// the service's endpoint record.
+func TestHeartbeatCarriesLoad(t *testing.T) {
+	s := newStack(t)
+	epID, err := s.tb.StartEndpoint(core.EndpointOptions{Name: "load-ep", Owner: "alice@uchicago.edu", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := s.executor(t, epID)
+	fn := &sdk.PythonFunction{Entrypoint: "identity"}
+	for i := 0; i < 5; i++ {
+		fut, err := ex.Submit(fn, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fut.ResultWithin(20 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The agent heartbeats every second on the testbed; wait for a load
+	// report that reflects the completed tasks.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec, err := s.tb.Service.GetEndpoint(epID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Load != nil && rec.Load.TasksReceived >= 5 {
+			if rec.Load.TotalWorkers != 2 {
+				t.Errorf("total workers = %d", rec.Load.TotalWorkers)
+			}
+			if rec.Load.ResultsPublished < 5 {
+				t.Errorf("results published = %d", rec.Load.ResultsPublished)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("load never reported: %+v", rec.Load)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

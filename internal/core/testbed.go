@@ -1,0 +1,350 @@
+// Package core wires the full Globus Compute stack together in one process:
+// auth, state store, broker, object store, web service (with REST front
+// end), a simulated batch cluster, and endpoint agents. It is the
+// deployment harness used by the examples, the integration tests, and the
+// benchmark harness that regenerates the paper's figures.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"globuscompute/internal/auth"
+	"globuscompute/internal/broker"
+	"globuscompute/internal/container"
+	"globuscompute/internal/endpoint"
+	"globuscompute/internal/engine"
+	"globuscompute/internal/mep"
+	"globuscompute/internal/mpiengine"
+	"globuscompute/internal/objectstore"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/provider"
+	"globuscompute/internal/proxystore"
+	"globuscompute/internal/registry"
+	"globuscompute/internal/scheduler"
+	"globuscompute/internal/shellfn"
+	"globuscompute/internal/statestore"
+	"globuscompute/internal/webservice"
+)
+
+// Options configures a testbed.
+type Options struct {
+	// TCP serves the broker and object store over TCP and the web service
+	// over HTTP even for in-process use (default: on, matching the real
+	// deployment; turn off for microbenchmarks).
+	DisableHTTP bool
+	// ClusterNodes sizes the simulated batch cluster (default 8).
+	ClusterNodes int
+	// InlineThreshold overrides the service spill threshold.
+	InlineThreshold int
+}
+
+// Testbed is a running deployment.
+type Testbed struct {
+	Auth    *auth.Service
+	Store   *statestore.Store
+	Broker  *broker.Broker
+	Objects *objectstore.Store
+	Service *webservice.Service
+	Sched   *scheduler.Scheduler
+
+	// HTTP front ends (nil when DisableHTTP).
+	HTTP       *webservice.Server
+	BrokerSrv  *broker.Server
+	ObjectsSrv *objectstore.Server
+
+	agents []*endpoint.Agent
+	meps   []*mep.Manager
+	closed bool
+}
+
+// NewTestbed boots a deployment.
+func NewTestbed(opts Options) (*Testbed, error) {
+	if opts.ClusterNodes <= 0 {
+		opts.ClusterNodes = 8
+	}
+	tb := &Testbed{
+		Auth:    auth.NewService(),
+		Store:   statestore.New(),
+		Broker:  broker.New(),
+		Objects: objectstore.New(),
+		Sched:   scheduler.SimpleCluster(opts.ClusterNodes),
+	}
+	svc, err := webservice.New(webservice.Config{
+		Store: tb.Store, Broker: tb.Broker, Objects: tb.Objects, Auth: tb.Auth,
+		InlineThreshold: opts.InlineThreshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.Service = svc
+	if !opts.DisableHTTP {
+		tb.BrokerSrv, err = broker.Serve(tb.Broker, "127.0.0.1:0")
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		tb.ObjectsSrv, err = objectstore.ServeHTTP(tb.Objects, "127.0.0.1:0")
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+		tb.HTTP, err = webservice.ServeHTTP(svc, "127.0.0.1:0", tb.BrokerSrv.Addr(), tb.ObjectsSrv.Addr())
+		if err != nil {
+			tb.Close()
+			return nil, err
+		}
+	}
+	return tb, nil
+}
+
+// IssueToken mints a bearer token for a user identity with compute+manage
+// scopes.
+func (tb *Testbed) IssueToken(username, provider string) (auth.Token, error) {
+	return tb.Auth.Issue(
+		auth.Identity{Username: username, Provider: provider},
+		[]string{auth.ScopeCompute, auth.ScopeManage},
+		time.Hour, time.Time{},
+	)
+}
+
+// EndpointOptions configures a testbed endpoint.
+type EndpointOptions struct {
+	Name  string
+	Owner string
+	// Workers sizes the local worker pool (default 4).
+	Workers int
+	// MaxBlocks caps engine elasticity (default 4; 1 pins capacity).
+	MaxBlocks int
+	// Transport selects the engine's interchange transport: "channel"
+	// (default) or "tcp".
+	Transport string
+	// Containers attaches a container runtime so ShellFunctions may run
+	// inside images (nil = containers unsupported).
+	Containers *container.Runtime
+	// ProxyStore enables worker-side ProxyStore integration: proxied
+	// python arguments resolve transparently, and results above
+	// ProxyPolicy.MinSize are proxied back.
+	ProxyStore  *proxystore.Store
+	ProxyPolicy proxystore.Policy
+	// UseBatch provisions workers through the batch scheduler simulator
+	// instead of local goroutines.
+	UseBatch bool
+	// NodesPerBlock applies with UseBatch (default 1).
+	NodesPerBlock int
+	// WithMPI attaches a GlobusMPIEngine sharing the batch cluster.
+	WithMPI bool
+	// MPIBlockNodes sizes the MPI engine's block (default 2).
+	MPIBlockNodes int
+	// Registry overrides the worker callable registry (default Builtins).
+	Registry *registry.Registry
+	// SandboxRoot hosts ShellFunction sandboxes (default system temp).
+	SandboxRoot string
+	// AllowedFunctions restricts executable functions.
+	AllowedFunctions []protocol.UUID
+	// AuthPolicy names an auth policy enforced at submit.
+	AuthPolicy string
+}
+
+// StartEndpoint registers and starts a single-user endpoint agent wired to
+// the testbed broker, and marks it online. It returns the endpoint ID.
+func (tb *Testbed) StartEndpoint(opts EndpointOptions) (protocol.UUID, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.Registry == nil {
+		opts.Registry = registry.Builtins()
+	}
+	epID, err := tb.Service.RegisterEndpoint(webservice.RegisterEndpointRequest{
+		Name: opts.Name, Owner: opts.Owner,
+		AllowedFunctions: opts.AllowedFunctions, AuthPolicy: opts.AuthPolicy,
+	})
+	if err != nil {
+		return "", err
+	}
+	agent, err := tb.buildAgent(epID, opts)
+	if err != nil {
+		return "", err
+	}
+	if err := agent.Start(); err != nil {
+		return "", err
+	}
+	tb.agents = append(tb.agents, agent)
+	return epID, nil
+}
+
+// StartRestartableEndpoint is StartEndpoint but also returns the agent so
+// tests can stop and restart it (simulating endpoint churn).
+func (tb *Testbed) StartRestartableEndpoint(opts EndpointOptions) (protocol.UUID, *endpoint.Agent, error) {
+	epID, err := tb.StartEndpoint(opts)
+	if err != nil {
+		return "", nil, err
+	}
+	return epID, tb.agents[len(tb.agents)-1], nil
+}
+
+// RestartEndpointAgent builds and starts a fresh agent for an existing
+// endpoint ID (after the previous agent was stopped).
+func (tb *Testbed) RestartEndpointAgent(epID protocol.UUID, opts EndpointOptions) (*endpoint.Agent, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.Registry == nil {
+		opts.Registry = registry.Builtins()
+	}
+	agent, err := tb.buildAgent(epID, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := agent.Start(); err != nil {
+		return nil, err
+	}
+	tb.agents = append(tb.agents, agent)
+	return agent, nil
+}
+
+// buildAgent assembles an agent for an already registered endpoint ID.
+func (tb *Testbed) buildAgent(epID protocol.UUID, opts EndpointOptions) (*endpoint.Agent, error) {
+	var prov provider.Provider
+	if opts.UseBatch {
+		npb := opts.NodesPerBlock
+		if npb <= 0 {
+			npb = 1
+		}
+		p, err := provider.NewBatch(provider.BatchConfig{Scheduler: tb.Sched, Partition: "default", NodesPerBlock: npb})
+		if err != nil {
+			return nil, err
+		}
+		prov = p
+	} else {
+		prov = provider.NewLocal(opts.Workers)
+	}
+	maxBlocks := opts.MaxBlocks
+	if maxBlocks <= 0 {
+		maxBlocks = 4
+	}
+	rc := endpoint.RunnerConfig{
+		Registry: opts.Registry,
+		Shell: shellfn.Options{
+			SandboxRoot: opts.SandboxRoot,
+			Containers:  opts.Containers,
+		},
+		Objects: tb.Objects,
+	}
+	if opts.ProxyStore != nil {
+		preg := proxystore.NewRegistry()
+		preg.Register(opts.ProxyStore)
+		rc.Proxies = preg
+		rc.ProxyStore = opts.ProxyStore
+		rc.ProxyPolicy = opts.ProxyPolicy
+	}
+	runner := endpoint.NewRunnerFrom(rc)
+	eng, err := engine.New(engine.Config{
+		Provider: prov, Run: runner,
+		WorkersPerNode: workersPerNode(opts),
+		InitBlocks:     1, MinBlocks: 1, MaxBlocks: maxBlocks,
+		ScalingInterval: 20 * time.Millisecond,
+		Transport:       opts.Transport,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The heartbeat closure reports status plus the agent's utilization;
+	// agentRef is assigned before Start launches the heartbeat loop.
+	var agentRef *endpoint.Agent
+	cfg := endpoint.Config{
+		EndpointID: epID,
+		Conn:       broker.LocalConn(tb.Broker),
+		Engine:     eng,
+		Objects:    tb.Objects,
+		Heartbeat: func(online bool) {
+			_ = tb.Service.SetEndpointStatus(epID, online)
+			if agentRef != nil {
+				l := agentRef.SnapshotLoad()
+				_ = tb.Service.ReportEndpointLoad(epID, statestore.EndpointLoad{
+					PendingTasks: l.PendingTasks, TotalWorkers: l.TotalWorkers,
+					FreeWorkers: l.FreeWorkers, TasksReceived: l.TasksReceived,
+					ResultsPublished: l.ResultsPublished,
+				})
+			}
+		},
+		HeartbeatInterval: time.Second,
+	}
+	if opts.WithMPI {
+		blockNodes := opts.MPIBlockNodes
+		if blockNodes <= 0 {
+			blockNodes = 2
+		}
+		mpiProv, err := provider.NewBatch(provider.BatchConfig{
+			Scheduler: tb.Sched, Partition: "default", NodesPerBlock: blockNodes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mpi, err := mpiengine.New(mpiengine.Config{Provider: mpiProv})
+		if err != nil {
+			return nil, err
+		}
+		cfg.MPI = mpi
+	}
+	agent, err := endpoint.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	agentRef = agent
+	return agent, nil
+}
+
+func workersPerNode(opts EndpointOptions) int {
+	if opts.UseBatch {
+		return opts.Workers
+	}
+	// The local provider exposes opts.Workers synthetic nodes; one worker
+	// per node keeps the total at opts.Workers.
+	return 1
+}
+
+// ServiceAddr returns the REST API address (requires HTTP mode).
+func (tb *Testbed) ServiceAddr() string {
+	if tb.HTTP == nil {
+		return ""
+	}
+	return tb.HTTP.Addr()
+}
+
+// Close shuts everything down in dependency order.
+func (tb *Testbed) Close() {
+	if tb.closed {
+		return
+	}
+	tb.closed = true
+	for _, m := range tb.meps {
+		m.Stop()
+	}
+	for _, a := range tb.agents {
+		a.Stop()
+	}
+	if tb.HTTP != nil {
+		tb.HTTP.Close()
+	}
+	if tb.Service != nil {
+		tb.Service.Close()
+	}
+	if tb.BrokerSrv != nil {
+		tb.BrokerSrv.Close()
+	}
+	if tb.ObjectsSrv != nil {
+		tb.ObjectsSrv.Close()
+	}
+	tb.Broker.Close()
+	tb.Sched.Close()
+}
+
+// String summarizes the deployment.
+func (tb *Testbed) String() string {
+	mode := "in-process"
+	if tb.HTTP != nil {
+		mode = fmt.Sprintf("http=%s broker=%s objects=%s", tb.HTTP.Addr(), tb.BrokerSrv.Addr(), tb.ObjectsSrv.Addr())
+	}
+	return fmt.Sprintf("testbed(%s, endpoints=%d)", mode, len(tb.agents))
+}

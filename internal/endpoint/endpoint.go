@@ -1,0 +1,412 @@
+// Package endpoint implements the Globus Compute Agent for a single-user
+// endpoint: it consumes the endpoint's task queue from the broker, routes
+// tasks to the pilot-job engine (python/shell kinds) or the MPI engine (MPI
+// kind), and publishes results to the endpoint's result queue, heartbeating
+// its status to the web service.
+package endpoint
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"globuscompute/internal/broker"
+	"globuscompute/internal/engine"
+	"globuscompute/internal/metrics"
+	"globuscompute/internal/mpiengine"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/proxystore"
+	"globuscompute/internal/registry"
+	"globuscompute/internal/shellfn"
+)
+
+// ObjectFetcher resolves payload references spilled to the object store.
+type ObjectFetcher interface {
+	Get(key string) ([]byte, error)
+}
+
+// Config assembles an agent.
+type Config struct {
+	EndpointID protocol.UUID
+	Conn       broker.Conn
+	// Engine executes python and shell tasks (required).
+	Engine *engine.Engine
+	// MPI executes MPI tasks (optional; MPI tasks fail without it).
+	MPI *mpiengine.Engine
+	// Objects resolves PayloadRef tasks (optional).
+	Objects ObjectFetcher
+	// Heartbeat, when set, is called periodically with online=true and at
+	// shutdown with online=false.
+	Heartbeat         func(online bool)
+	HeartbeatInterval time.Duration
+	// Prefetch bounds in-flight task deliveries (default 32).
+	Prefetch int
+}
+
+// Agent is a running endpoint.
+type Agent struct {
+	cfg Config
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+
+	sub  broker.Subscription
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// lastActivity is the unix-nano time of the last task receipt or
+	// result publication, used by multi-user endpoints to reap idle user
+	// endpoints.
+	lastActivity atomic.Int64
+
+	Metrics *metrics.Registry
+}
+
+// LastActivity reports when the agent last received a task or published a
+// result (start time if never).
+func (a *Agent) LastActivity() time.Time {
+	return time.Unix(0, a.lastActivity.Load())
+}
+
+// Load is the agent's self-reported utilization, carried in heartbeats.
+type Load struct {
+	PendingTasks     int
+	TotalWorkers     int
+	FreeWorkers      int
+	TasksReceived    int64
+	ResultsPublished int64
+}
+
+// SnapshotLoad samples the agent's current utilization.
+func (a *Agent) SnapshotLoad() Load {
+	var l Load
+	if a.cfg.Engine != nil {
+		s := a.cfg.Engine.Stats()
+		l.PendingTasks = s.PendingTasks
+		l.TotalWorkers = s.TotalWorkers
+		l.FreeWorkers = s.FreeWorkers
+	}
+	if a.cfg.MPI != nil {
+		s := a.cfg.MPI.Stats()
+		l.PendingTasks += s.Pending
+		l.TotalWorkers += s.TotalNodes
+		l.FreeWorkers += s.FreeNodes
+	}
+	l.TasksReceived = a.Metrics.Counter("tasks_received").Value()
+	l.ResultsPublished = a.Metrics.Counter("results_published").Value()
+	return l
+}
+
+// Busy reports whether any tasks are pending or executing.
+func (a *Agent) Busy() bool {
+	if a.cfg.Engine != nil {
+		s := a.cfg.Engine.Stats()
+		if s.PendingTasks > 0 || s.TasksCompleted < s.TasksSubmitted {
+			return true
+		}
+	}
+	if a.cfg.MPI != nil {
+		s := a.cfg.MPI.Stats()
+		if s.Pending > 0 || s.FreeNodes < s.TotalNodes {
+			return true
+		}
+	}
+	return false
+}
+
+// New validates cfg and builds an agent.
+func New(cfg Config) (*Agent, error) {
+	if !cfg.EndpointID.Valid() {
+		return nil, fmt.Errorf("endpoint: invalid endpoint ID %q", cfg.EndpointID)
+	}
+	if cfg.Conn == nil {
+		return nil, errors.New("endpoint: broker connection required")
+	}
+	if cfg.Engine == nil {
+		return nil, errors.New("endpoint: engine required")
+	}
+	if cfg.Prefetch <= 0 {
+		cfg.Prefetch = 32
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 5 * time.Second
+	}
+	a := &Agent{cfg: cfg, done: make(chan struct{}), Metrics: metrics.NewRegistry()}
+	a.lastActivity.Store(time.Now().UnixNano())
+	return a, nil
+}
+
+// TaskQueue and ResultQueue mirror the web service naming (duplicated here
+// to avoid an import cycle).
+func taskQueue(ep protocol.UUID) string   { return "tasks." + string(ep) }
+func resultQueue(ep protocol.UUID) string { return "results." + string(ep) }
+
+// Start launches the engines, begins consuming tasks, and starts result
+// forwarding and heartbeats.
+func (a *Agent) Start() error {
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return errors.New("endpoint: already started")
+	}
+	a.started = true
+	a.mu.Unlock()
+
+	if err := a.cfg.Engine.Start(); err != nil {
+		return fmt.Errorf("endpoint: start engine: %w", err)
+	}
+	if a.cfg.MPI != nil {
+		if err := a.cfg.MPI.Start(); err != nil {
+			return fmt.Errorf("endpoint: start mpi engine: %w", err)
+		}
+	}
+	sub, err := a.cfg.Conn.Subscribe(taskQueue(a.cfg.EndpointID), a.cfg.Prefetch)
+	if err != nil {
+		return fmt.Errorf("endpoint: consume tasks: %w", err)
+	}
+	a.sub = sub
+
+	a.wg.Add(2)
+	go a.taskLoop()
+	go a.forwardResults(a.cfg.Engine.Results())
+	if a.cfg.MPI != nil {
+		a.wg.Add(1)
+		go a.forwardResults(a.cfg.MPI.Results())
+	}
+	if a.cfg.Heartbeat != nil {
+		a.cfg.Heartbeat(true)
+		a.wg.Add(1)
+		go a.heartbeatLoop()
+	}
+	return nil
+}
+
+// taskLoop routes deliveries into the engines.
+func (a *Agent) taskLoop() {
+	defer a.wg.Done()
+	for m := range a.sub.Messages() {
+		var task protocol.Task
+		if err := json.Unmarshal(m.Body, &task); err != nil {
+			log.Printf("endpoint %s: malformed task: %v", a.cfg.EndpointID, err)
+			// Poison messages dead-letter to tasks.<ep>.dlq for operator
+			// inspection rather than redelivering forever.
+			if rerr := a.sub.Reject(m.Tag); rerr != nil {
+				_ = a.sub.Ack(m.Tag)
+			}
+			a.Metrics.Counter("dead_lettered").Inc()
+			continue
+		}
+		var err error
+		if task.Kind == protocol.KindMPI {
+			if a.cfg.MPI == nil {
+				a.publishResult(protocol.Result{
+					TaskID: task.ID, State: protocol.StateFailed,
+					Error: "endpoint has no MPI engine configured",
+				})
+				_ = a.sub.Ack(m.Tag)
+				a.Metrics.Counter("rejected_mpi").Inc()
+				continue
+			}
+			err = a.cfg.MPI.Submit(task)
+		} else {
+			err = a.cfg.Engine.Submit(task)
+		}
+		if err != nil {
+			// Invalid tasks fail permanently; transient backlog errors
+			// would also land here — report rather than redeliver forever.
+			a.publishResult(protocol.Result{
+				TaskID: task.ID, State: protocol.StateFailed, Error: err.Error(),
+			})
+			a.Metrics.Counter("submit_errors").Inc()
+		}
+		_ = a.sub.Ack(m.Tag)
+		a.Metrics.Counter("tasks_received").Inc()
+		a.lastActivity.Store(time.Now().UnixNano())
+	}
+}
+
+// forwardResults publishes engine results to the result queue.
+func (a *Agent) forwardResults(ch <-chan protocol.Result) {
+	defer a.wg.Done()
+	for res := range ch {
+		a.publishResult(res)
+	}
+}
+
+func (a *Agent) publishResult(res protocol.Result) {
+	res.EndpointID = a.cfg.EndpointID
+	body, err := json.Marshal(res)
+	if err != nil {
+		log.Printf("endpoint %s: marshal result: %v", a.cfg.EndpointID, err)
+		return
+	}
+	if err := a.cfg.Conn.Publish(resultQueue(a.cfg.EndpointID), body); err != nil {
+		log.Printf("endpoint %s: publish result: %v", a.cfg.EndpointID, err)
+		return
+	}
+	a.Metrics.Counter("results_published").Inc()
+	a.lastActivity.Store(time.Now().UnixNano())
+}
+
+func (a *Agent) heartbeatLoop() {
+	defer a.wg.Done()
+	ticker := time.NewTicker(a.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-a.done:
+			return
+		case <-ticker.C:
+			a.cfg.Heartbeat(true)
+		}
+	}
+}
+
+// Stop cancels consumption, drains the engines, and heartbeats offline.
+func (a *Agent) Stop() {
+	a.mu.Lock()
+	if !a.started || a.stopped {
+		a.mu.Unlock()
+		return
+	}
+	a.stopped = true
+	a.mu.Unlock()
+
+	close(a.done)
+	_ = a.sub.Cancel()
+	a.cfg.Engine.Stop()
+	if a.cfg.MPI != nil {
+		a.cfg.MPI.Stop()
+	}
+	a.wg.Wait()
+	if a.cfg.Heartbeat != nil {
+		a.cfg.Heartbeat(false)
+	}
+}
+
+// RunnerConfig assembles a task runner with optional ProxyStore
+// integration: proxied python arguments resolve transparently on the
+// worker, and large python results are proxied back by policy (§V-B).
+type RunnerConfig struct {
+	Registry *registry.Registry
+	Shell    shellfn.Options
+	Objects  ObjectFetcher
+	// Proxies resolves pass-by-reference arguments (nil = references pass
+	// through untouched).
+	Proxies *proxystore.Registry
+	// ProxyStore + ProxyPolicy proxy large results out of band.
+	ProxyStore  *proxystore.Store
+	ProxyPolicy proxystore.Policy
+}
+
+// NewRunner builds the engine TaskRunner for this endpoint: python tasks
+// resolve entrypoints in reg; shell tasks execute via shellfn with the
+// given defaults; payload references resolve through objects.
+func NewRunner(reg *registry.Registry, defaults shellfn.Options, objects ObjectFetcher) engine.TaskRunner {
+	return NewRunnerFrom(RunnerConfig{Registry: reg, Shell: defaults, Objects: objects})
+}
+
+// NewRunnerFrom builds a runner with full configuration.
+func NewRunnerFrom(rc RunnerConfig) engine.TaskRunner {
+	reg := rc.Registry
+	defaults := rc.Shell
+	objects := rc.Objects
+	return func(ctx context.Context, task protocol.Task, w engine.WorkerInfo) protocol.Result {
+		payload := task.Payload
+		if task.PayloadRef != "" {
+			if objects == nil {
+				return failure(task, "task payload is a reference but endpoint has no object store access")
+			}
+			blob, err := objects.Get(task.PayloadRef)
+			if err != nil {
+				return failure(task, fmt.Sprintf("fetch payload %s: %v", task.PayloadRef, err))
+			}
+			payload = blob
+		}
+		switch task.Kind {
+		case protocol.KindPython:
+			var spec protocol.PythonSpec
+			if err := protocol.DecodePayload(payload, &spec); err != nil {
+				return failure(task, err.Error())
+			}
+			// Transparent proxy resolution: arguments that are references
+			// materialize from the store before invocation.
+			if rc.Proxies != nil {
+				for i, raw := range spec.Args {
+					resolved, _, err := proxystore.MaybeResolve(rc.Proxies, raw)
+					if err != nil {
+						return failure(task, fmt.Sprintf("resolve arg %d: %v", i, err))
+					}
+					spec.Args[i] = resolved
+				}
+				for k, raw := range spec.Kwargs {
+					resolved, _, err := proxystore.MaybeResolve(rc.Proxies, raw)
+					if err != nil {
+						return failure(task, fmt.Sprintf("resolve kwarg %s: %v", k, err))
+					}
+					spec.Kwargs[k] = resolved
+				}
+			}
+			out, err := reg.Invoke(ctx, spec.Entrypoint, spec.Args, spec.Kwargs)
+			if err != nil {
+				return failure(task, err.Error())
+			}
+			encoded, err := json.Marshal(out)
+			if err != nil {
+				return failure(task, fmt.Sprintf("encode result: %v", err))
+			}
+			// Result proxying: large outputs go to the store and only the
+			// reference returns through the cloud.
+			if rc.ProxyStore != nil && rc.ProxyPolicy.ShouldProxy(len(encoded)) {
+				refJSON, proxied, perr := proxystore.MaybeProxy(rc.ProxyStore, rc.ProxyPolicy, json.RawMessage(encoded))
+				if perr != nil {
+					return failure(task, fmt.Sprintf("proxy result: %v", perr))
+				}
+				if proxied {
+					encoded = refJSON
+				}
+			}
+			return protocol.Result{State: protocol.StateSuccess, Output: encoded}
+		case protocol.KindShell:
+			var spec protocol.ShellSpec
+			if err := protocol.DecodePayload(payload, &spec); err != nil {
+				return failure(task, err.Error())
+			}
+			opts := defaults
+			opts.TaskID = string(task.ID)
+			opts.Env = mergeEnv(defaults.Env, map[string]string{"GC_NODE": w.Node, "GC_WORKER": w.ID})
+			sr, err := shellfn.ExecuteSpec(ctx, spec, opts)
+			if err != nil {
+				return failure(task, err.Error())
+			}
+			encoded, err := protocol.EncodePayload(sr)
+			if err != nil {
+				return failure(task, err.Error())
+			}
+			return protocol.Result{State: protocol.StateSuccess, Output: encoded}
+		default:
+			return failure(task, fmt.Sprintf("unsupported task kind %q", task.Kind))
+		}
+	}
+}
+
+func failure(task protocol.Task, msg string) protocol.Result {
+	return protocol.Result{TaskID: task.ID, State: protocol.StateFailed, Error: msg}
+}
+
+func mergeEnv(base, extra map[string]string) map[string]string {
+	out := make(map[string]string, len(base)+len(extra))
+	for k, v := range base {
+		out[k] = v
+	}
+	for k, v := range extra {
+		out[k] = v
+	}
+	return out
+}

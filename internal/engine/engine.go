@@ -1,0 +1,541 @@
+// Package engine implements the GlobusComputeEngine pilot-job runtime: an
+// interchange that queues tasks and dispatches them to managers, one manager
+// per provisioned block (pilot job), each hosting a pool of workers sized by
+// the workers-per-node configuration. The engine scales blocks elastically
+// through a Provider (min/max blocks, scale-out on backlog, scale-in on
+// idle), mirroring Parsl's HighThroughputExecutor as wrapped by Globus
+// Compute.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"globuscompute/internal/metrics"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/provider"
+)
+
+// Common errors.
+var (
+	ErrStopped    = errors.New("engine: stopped")
+	ErrNotStarted = errors.New("engine: not started")
+)
+
+// WorkerInfo identifies the worker executing a task.
+type WorkerInfo struct {
+	ID      string
+	Node    string
+	BlockID string
+}
+
+// TaskRunner executes one task on a worker and produces its result. The
+// context is cancelled when the hosting block is released (walltime or
+// scale-in); runners should produce a result promptly in that case.
+type TaskRunner func(ctx context.Context, task protocol.Task, w WorkerInfo) protocol.Result
+
+// Config configures an engine.
+type Config struct {
+	Provider provider.Provider
+	Run      TaskRunner
+	// WorkersPerNode sizes each manager's worker pool (default 1).
+	WorkersPerNode int
+	// InitBlocks blocks are provisioned at Start (default MinBlocks).
+	InitBlocks int
+	// MinBlocks is the scale-in floor (default 0).
+	MinBlocks int
+	// MaxBlocks is the scale-out ceiling (default 1).
+	MaxBlocks int
+	// ScalingInterval is the strategy poll period (default 50ms).
+	ScalingInterval time.Duration
+	// IdleTimeout releases blocks idle this long when above MinBlocks
+	// (default: never).
+	IdleTimeout time.Duration
+	// QueueCapacity bounds the interchange backlog (default 65536).
+	QueueCapacity int
+	// Transport selects how managers attach to the interchange:
+	// "channel" (default, in-process) or "tcp" (framed TCP, the real
+	// engine's multiplexed-connection topology).
+	Transport string
+}
+
+func (c *Config) fill() error {
+	if c.Provider == nil {
+		return errors.New("engine: provider required")
+	}
+	if c.Run == nil {
+		return errors.New("engine: task runner required")
+	}
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = 1
+	}
+	if c.MaxBlocks <= 0 {
+		c.MaxBlocks = 1
+	}
+	if c.MinBlocks < 0 {
+		c.MinBlocks = 0
+	}
+	if c.MinBlocks > c.MaxBlocks {
+		return fmt.Errorf("engine: min blocks %d > max blocks %d", c.MinBlocks, c.MaxBlocks)
+	}
+	if c.InitBlocks == 0 {
+		c.InitBlocks = c.MinBlocks
+	}
+	if c.InitBlocks > c.MaxBlocks {
+		c.InitBlocks = c.MaxBlocks
+	}
+	if c.ScalingInterval <= 0 {
+		c.ScalingInterval = 50 * time.Millisecond
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 65536
+	}
+	switch c.Transport {
+	case "", "channel":
+		c.Transport = "channel"
+	case "tcp":
+	default:
+		return fmt.Errorf("engine: unknown transport %q", c.Transport)
+	}
+	return nil
+}
+
+// manager is the per-block worker pool head.
+type manager struct {
+	id       string
+	blockID  string
+	nodes    []string
+	capacity int
+	tasks    chan protocol.Task
+	// guarded by engine.mu
+	freeSlots  int
+	removed    bool
+	lastActive time.Time
+	// inflight tracks tasks written to a TCP manager but not yet
+	// answered, so a dying connection can requeue them (nil in channel
+	// mode, where workers always deliver results in-process).
+	inflight map[protocol.UUID]protocol.Task
+	// workers done
+	wg sync.WaitGroup
+}
+
+// Engine is the interchange.
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	pending  []protocol.Task
+	managers map[string]*manager
+	blocks   map[string]string // block ID -> manager ID ("" until registered)
+	started  bool
+	stopped  bool
+	nextMgr  int
+
+	results chan protocol.Result
+	wake    chan struct{}
+	done    chan struct{}
+	loops   sync.WaitGroup
+	// ln is the TCP interchange listener (tcp transport only).
+	ln net.Listener
+
+	Metrics *metrics.Registry
+}
+
+// New validates cfg and returns an engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:      cfg,
+		managers: make(map[string]*manager),
+		blocks:   make(map[string]string),
+		results:  make(chan protocol.Result, cfg.QueueCapacity),
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		Metrics:  metrics.NewRegistry(),
+	}, nil
+}
+
+// Start provisions initial blocks and begins dispatching.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return errors.New("engine: already started")
+	}
+	e.started = true
+	e.mu.Unlock()
+	if e.cfg.Transport == "tcp" {
+		if err := e.startInterchange(); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < e.cfg.InitBlocks; i++ {
+		if err := e.addBlock(); err != nil {
+			return err
+		}
+	}
+	e.loops.Add(2)
+	go e.dispatchLoop()
+	go e.scalingLoop()
+	return nil
+}
+
+// Submit enqueues a task for execution.
+func (e *Engine) Submit(task protocol.Task) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.started {
+		return ErrNotStarted
+	}
+	if e.stopped {
+		return ErrStopped
+	}
+	if len(e.pending) >= e.cfg.QueueCapacity {
+		return fmt.Errorf("engine: backlog full (%d tasks)", len(e.pending))
+	}
+	e.pending = append(e.pending, task)
+	e.Metrics.Counter("submitted").Inc()
+	e.wakeUp()
+	return nil
+}
+
+// Results returns the completed-task stream. It is closed by Stop after all
+// inflight work drains.
+func (e *Engine) Results() <-chan protocol.Result { return e.results }
+
+// Stats is a point-in-time engine snapshot.
+type Stats struct {
+	PendingTasks   int
+	ConnectedMgrs  int
+	TotalWorkers   int
+	FreeWorkers    int
+	LiveBlocks     int
+	TasksSubmitted int64
+	TasksCompleted int64
+	BlocksLaunched int64
+	BlocksReleased int64
+}
+
+// Stats reports current engine state.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Stats{
+		PendingTasks:   len(e.pending),
+		LiveBlocks:     len(e.blocks),
+		TasksSubmitted: e.Metrics.Counter("submitted").Value(),
+		TasksCompleted: e.Metrics.Counter("completed").Value(),
+		BlocksLaunched: e.Metrics.Counter("blocks_launched").Value(),
+		BlocksReleased: e.Metrics.Counter("blocks_released").Value(),
+	}
+	for _, m := range e.managers {
+		if m.removed {
+			continue
+		}
+		s.ConnectedMgrs++
+		s.TotalWorkers += m.capacity
+		s.FreeWorkers += m.freeSlots
+	}
+	return s
+}
+
+// Stop drains nothing further: it cancels blocks, waits for inflight tasks
+// to produce results, and closes the results channel. Pending tasks that
+// never started are dropped with failed results so callers are not left
+// waiting.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	pending := e.pending
+	e.pending = nil
+	blockIDs := make([]string, 0, len(e.blocks))
+	for id := range e.blocks {
+		blockIDs = append(blockIDs, id)
+	}
+	e.mu.Unlock()
+
+	close(e.done)
+	for _, t := range pending {
+		e.results <- protocol.Result{
+			TaskID: t.ID, State: protocol.StateFailed,
+			Error: "engine stopped before execution",
+		}
+	}
+	for _, id := range blockIDs {
+		_ = e.cfg.Provider.CancelBlock(id)
+	}
+	if e.ln != nil {
+		e.ln.Close()
+	}
+	// Wait for managers to drain (their launch functions return on cancel).
+	for {
+		e.mu.Lock()
+		live := len(e.managers)
+		e.mu.Unlock()
+		if live == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	e.loops.Wait()
+	close(e.results)
+}
+
+func (e *Engine) wakeUp() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// addBlock provisions one block whose launch function runs a manager
+// (in-process or dialing the TCP interchange, per the transport).
+func (e *Engine) addBlock() error {
+	launch := e.runManager
+	if e.cfg.Transport == "tcp" {
+		launch = e.runRemoteManager
+	}
+	blockID, err := e.cfg.Provider.SubmitBlock(launch)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if _, exists := e.blocks[blockID]; !exists {
+		e.blocks[blockID] = ""
+	}
+	e.mu.Unlock()
+	e.Metrics.Counter("blocks_launched").Inc()
+	return nil
+}
+
+// runManager is the pilot-job body: it registers a manager for the block,
+// spawns workers, and serves until the block context ends.
+func (e *Engine) runManager(ctx context.Context, blk provider.BlockInfo) error {
+	capacity := len(blk.Nodes) * e.cfg.WorkersPerNode
+	if capacity == 0 {
+		capacity = e.cfg.WorkersPerNode
+	}
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return nil
+	}
+	e.nextMgr++
+	m := &manager{
+		id:         fmt.Sprintf("mgr-%d", e.nextMgr),
+		blockID:    blk.ID,
+		nodes:      blk.Nodes,
+		capacity:   capacity,
+		tasks:      make(chan protocol.Task, capacity),
+		freeSlots:  capacity,
+		lastActive: time.Now(),
+	}
+	e.managers[m.id] = m
+	e.blocks[blk.ID] = m.id
+	e.mu.Unlock()
+	e.wakeUp()
+
+	for i := 0; i < capacity; i++ {
+		node := ""
+		if len(blk.Nodes) > 0 {
+			node = blk.Nodes[i%len(blk.Nodes)]
+		}
+		w := WorkerInfo{ID: fmt.Sprintf("%s-w%d", m.id, i), Node: node, BlockID: blk.ID}
+		m.wg.Add(1)
+		go e.workerLoop(ctx, m, w)
+	}
+
+	<-ctx.Done()
+	// Stop dispatch to this manager, requeue undrained tasks, wait workers.
+	// removed=true and close happen under the same lock acquisition that
+	// the dispatcher sends under, so no send can follow the close.
+	e.mu.Lock()
+	m.removed = true
+	close(m.tasks)
+	e.mu.Unlock()
+	requeued := 0
+	for t := range m.tasks {
+		e.requeue(t)
+		requeued++
+	}
+	m.wg.Wait()
+	e.mu.Lock()
+	delete(e.managers, m.id)
+	delete(e.blocks, blk.ID)
+	e.mu.Unlock()
+	e.Metrics.Counter("blocks_released").Inc()
+	e.wakeUp()
+	return nil
+}
+
+// requeue returns an undispatched task to the interchange (or fails it when
+// the engine is stopping).
+func (e *Engine) requeue(t protocol.Task) {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		e.results <- protocol.Result{
+			TaskID: t.ID, State: protocol.StateFailed,
+			Error: "engine stopped before execution",
+		}
+		return
+	}
+	e.pending = append([]protocol.Task{t}, e.pending...)
+	e.mu.Unlock()
+	e.Metrics.Counter("requeued").Inc()
+	e.wakeUp()
+}
+
+// workerLoop is one worker: take a task, run it, report the result.
+func (e *Engine) workerLoop(ctx context.Context, m *manager, w WorkerInfo) {
+	defer m.wg.Done()
+	for t := range m.tasks {
+		started := time.Now()
+		res := e.cfg.Run(ctx, t, w)
+		res.TaskID = t.ID
+		res.WorkerID = w.ID
+		if !t.Submitted.IsZero() {
+			res.QueueDelay = started.Sub(t.Submitted)
+		}
+		if res.Started.IsZero() {
+			res.Started = started
+		}
+		if res.Completed.IsZero() {
+			res.Completed = time.Now()
+		}
+		res.ExecutionMS = float64(res.Completed.Sub(res.Started)) / float64(time.Millisecond)
+		e.results <- res
+		e.Metrics.Counter("completed").Inc()
+		e.mu.Lock()
+		m.freeSlots++
+		m.lastActive = time.Now()
+		e.mu.Unlock()
+		e.wakeUp()
+	}
+}
+
+// dispatchLoop hands pending tasks to managers with free slots, round-robin
+// by map iteration with a fairness nudge from lastActive updates.
+func (e *Engine) dispatchLoop() {
+	defer e.loops.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-e.wake:
+		}
+		for {
+			e.mu.Lock()
+			if e.stopped || len(e.pending) == 0 {
+				e.mu.Unlock()
+				break
+			}
+			var target *manager
+			for _, m := range e.managers {
+				if m.removed || m.freeSlots <= 0 {
+					continue
+				}
+				if target == nil || m.freeSlots > target.freeSlots {
+					target = m
+				}
+			}
+			if target == nil {
+				e.mu.Unlock()
+				break
+			}
+			t := e.pending[0]
+			e.pending = e.pending[1:]
+			target.freeSlots--
+			target.lastActive = time.Now()
+			// The channel is buffered to capacity and freeSlots accounting
+			// keeps this send nonblocking, so it is safe under the lock —
+			// and holding the lock orders it before the manager's
+			// removed=true + close sequence.
+			target.tasks <- t
+			e.mu.Unlock()
+			e.Metrics.Counter("dispatched").Inc()
+		}
+	}
+}
+
+// scalingLoop implements the elasticity strategy.
+func (e *Engine) scalingLoop() {
+	defer e.loops.Done()
+	ticker := time.NewTicker(e.cfg.ScalingInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-ticker.C:
+		}
+		e.mu.Lock()
+		// Forget blocks that terminated without ever registering a manager
+		// (cancelled while queued in the batch system).
+		var stale []string
+		for blockID, mgrID := range e.blocks {
+			if mgrID != "" {
+				continue
+			}
+			if st, err := e.cfg.Provider.BlockStatus(blockID); err == nil && st.Terminal() {
+				stale = append(stale, blockID)
+			}
+		}
+		for _, id := range stale {
+			delete(e.blocks, id)
+		}
+		backlog := len(e.pending)
+		live := len(e.blocks)
+		perBlock := e.cfg.Provider.NodesPerBlock() * e.cfg.WorkersPerNode
+		if perBlock <= 0 {
+			perBlock = 1
+		}
+		// Scale out: enough additional blocks to absorb the backlog,
+		// bounded by the ceiling.
+		toAdd := 0
+		if backlog > 0 && live < e.cfg.MaxBlocks {
+			toAdd = min((backlog+perBlock-1)/perBlock, e.cfg.MaxBlocks-live)
+		}
+		// Scale in: cancel idle managers above the floor.
+		var toCancel []string
+		if e.cfg.IdleTimeout > 0 && live > e.cfg.MinBlocks {
+			cutoff := time.Now().Add(-e.cfg.IdleTimeout)
+			excess := live - e.cfg.MinBlocks
+			for _, m := range e.managers {
+				if excess == 0 {
+					break
+				}
+				if !m.removed && m.freeSlots == m.capacity && m.lastActive.Before(cutoff) {
+					toCancel = append(toCancel, m.blockID)
+					excess--
+				}
+			}
+		}
+		e.mu.Unlock()
+		for i := 0; i < toAdd; i++ {
+			if err := e.addBlock(); err != nil {
+				break
+			}
+		}
+		for _, blockID := range toCancel {
+			_ = e.cfg.Provider.CancelBlock(blockID)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/provider"
+	"globuscompute/internal/scheduler"
+)
+
+func newTCPEngine(t *testing.T, prov provider.Provider, run TaskRunner, blocks int) *Engine {
+	t.Helper()
+	eng, err := New(Config{
+		Provider: prov, Run: run,
+		InitBlocks: blocks, MinBlocks: blocks, MaxBlocks: blocks,
+		WorkersPerNode: 2,
+		Transport:      "tcp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestTCPTransportRunsTasks(t *testing.T) {
+	eng := newTCPEngine(t, provider.NewLocal(2), echoRunner, 1)
+	defer eng.Stop()
+	if eng.InterchangeAddr() == "" {
+		t.Fatal("no interchange address in tcp mode")
+	}
+	const n = 30
+	want := map[string]bool{}
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("tcp-task-%d", i)
+		want[p] = true
+		if err := eng.Submit(newTask(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string]bool{}
+	timeout := time.After(10 * time.Second)
+	for len(got) < n {
+		select {
+		case r := <-eng.Results():
+			if r.State != protocol.StateSuccess {
+				t.Fatalf("result %+v", r)
+			}
+			got[string(r.Output)] = true
+			if r.WorkerID == "" {
+				t.Error("worker ID missing on TCP path")
+			}
+		case <-timeout:
+			t.Fatalf("received %d of %d", len(got), n)
+		}
+	}
+	for p := range want {
+		if !got[p] {
+			t.Errorf("missing %s", p)
+		}
+	}
+}
+
+func TestTCPTransportMultipleManagers(t *testing.T) {
+	sched := scheduler.SimpleCluster(4)
+	defer sched.Close()
+	prov, _ := provider.NewBatch(provider.BatchConfig{Scheduler: sched, NodesPerBlock: 2})
+	eng := newTCPEngine(t, prov, slowRunner(10*time.Millisecond), 2)
+	defer eng.Stop()
+	// Two blocks x 2 nodes x 2 workers/node = 8 workers.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := eng.Stats()
+		if s.ConnectedMgrs == 2 && s.TotalWorkers == 8 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats = %+v", eng.Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		eng.Submit(newTask(fmt.Sprint(i)))
+	}
+	timeout := time.After(20 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case <-eng.Results():
+		case <-timeout:
+			t.Fatalf("results stalled at %d of %d", i, n)
+		}
+	}
+}
+
+func TestTCPManagerDeathRequeues(t *testing.T) {
+	// Blocks die at walltime; the interchange requeues undrained tasks
+	// onto the replacement manager and nothing is lost.
+	sched := scheduler.SimpleCluster(2)
+	defer sched.Close()
+	prov, _ := provider.NewBatch(provider.BatchConfig{
+		Scheduler: sched, NodesPerBlock: 1, Walltime: 150 * time.Millisecond,
+	})
+	eng, err := New(Config{
+		Provider: prov, Run: slowRunner(15 * time.Millisecond),
+		InitBlocks: 1, MinBlocks: 1, MaxBlocks: 2,
+		WorkersPerNode:  1,
+		ScalingInterval: 10 * time.Millisecond,
+		Transport:       "tcp",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Stop()
+	const n = 25
+	for i := 0; i < n; i++ {
+		eng.Submit(newTask(fmt.Sprint(i)))
+	}
+	got := 0
+	timeout := time.After(30 * time.Second)
+	for got < n {
+		select {
+		case <-eng.Results():
+			got++
+		case <-timeout:
+			t.Fatalf("results = %d of %d after manager churn", got, n)
+		}
+	}
+}
+
+func TestTCPStopCleansUp(t *testing.T) {
+	eng := newTCPEngine(t, provider.NewLocal(1), echoRunner, 1)
+	eng.Submit(newTask("x"))
+	<-eng.Results()
+	eng.Stop()
+	// Listener is closed: dialing fails.
+	if _, err := New(Config{Provider: provider.NewLocal(1), Run: echoRunner, Transport: "warp"}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}

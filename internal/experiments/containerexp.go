@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"globuscompute/internal/container"
+	"globuscompute/internal/core"
+	"globuscompute/internal/sdk"
+)
+
+// Containers measures the containerized execution option: cold image pulls
+// on first use per endpoint, warm reuse afterwards, and the per-invocation
+// start cost.
+func Containers(invocations int) (Report, error) {
+	r := Report{
+		ID:     "containers",
+		Title:  fmt.Sprintf("Containerized ShellFunctions: cold pull vs warm reuse (%d invocations)", invocations),
+		Header: "invocation,image,latency_ms",
+	}
+	e, err := newEnv(2)
+	if err != nil {
+		return r, err
+	}
+	defer e.close()
+	rt := container.NewRuntime(100*time.Millisecond, 2*time.Millisecond)
+	epID, err := e.tb.StartEndpoint(core.EndpointOptions{
+		Name: "container-ep", Owner: "bench", Workers: 1, Containers: rt,
+	})
+	if err != nil {
+		return r, err
+	}
+	ex, err := e.executor(epID)
+	if err != nil {
+		return r, err
+	}
+	defer ex.Close()
+
+	sf := sdk.NewShellFunction("echo ran in $GC_CONTAINER")
+	sf.Container = "analysis:v1"
+	var coldMS, warmTotalMS float64
+	for i := 0; i < invocations; i++ {
+		start := time.Now()
+		fut, err := ex.SubmitShell(sf, nil)
+		if err != nil {
+			return r, err
+		}
+		sr, err := shellResultWithin(fut, 60*time.Second)
+		if err != nil {
+			return r, err
+		}
+		if sr.Stdout != "ran in analysis:v1" {
+			return r, fmt.Errorf("container env missing: %q", sr.Stdout)
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		label := "warm"
+		if i == 0 {
+			label = "cold"
+			coldMS = ms
+		} else {
+			warmTotalMS += ms
+		}
+		r.Rows = append(r.Rows, fmt.Sprintf("%d (%s),analysis:v1,%.1f", i+1, label, ms))
+	}
+	warmMean := warmTotalMS / float64(invocations-1)
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("cold start %.1fms (image pull) vs %.1fms warm mean — %.1fx", coldMS, warmMean, coldMS/warmMean),
+		"the image caches per endpoint runtime; subsequent tasks skip the pull")
+	return r, nil
+}

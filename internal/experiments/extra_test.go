@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatencyReport(t *testing.T) {
+	r, err := Latency(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, want := range []string{"submit->worker-start", "execution", "result-return", "total"} {
+		found := false
+		for _, row := range r.Rows {
+			if strings.HasPrefix(row, want+",") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing segment %q", want)
+		}
+	}
+}
+
+func TestContainersReport(t *testing.T) {
+	r, err := Containers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if !strings.Contains(r.Rows[0], "(cold)") || !strings.Contains(r.Rows[1], "(warm)") {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
+func TestFleetReport(t *testing.T) {
+	r, err := Fleet(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, policy := range []string{"round-robin", "fastest", "greenest"} {
+		found := false
+		for _, row := range r.Rows {
+			if strings.HasPrefix(row, policy+",") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing policy %q", policy)
+		}
+	}
+}
+
+func TestFairshareReport(t *testing.T) {
+	r, err := Fairshare(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d: %v", len(r.Rows), r.Rows)
+	}
+}
+
+func TestElasticityReport(t *testing.T) {
+	r, err := Elasticity(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Error("no rows")
+	}
+}

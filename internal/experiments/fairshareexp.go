@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"globuscompute/internal/metrics"
+	"globuscompute/internal/scheduler"
+)
+
+// Fairshare contrasts plain priority scheduling with fairshare on the
+// batch-scheduler substrate: a heavy user saturating the queue against a
+// light user submitting occasionally. Fairshare bounds the light user's
+// queue wait.
+func Fairshare(jobsPerUser int) (Report, error) {
+	r := Report{
+		ID:     "fairshare",
+		Title:  fmt.Sprintf("Batch fairshare ablation (heavy user %d jobs vs light user %d)", 4*jobsPerUser, jobsPerUser),
+		Header: "mode,user,mean_wait_ms,p95_wait_ms",
+	}
+	run := func(enable bool) error {
+		sched := scheduler.SimpleCluster(2)
+		defer sched.Close()
+		if enable {
+			sched.EnableFairshare(time.Minute, 5)
+		}
+		waits := map[string]*metrics.Histogram{
+			"heavy": metrics.NewHistogram(0),
+			"light": metrics.NewHistogram(0),
+		}
+		var wg sync.WaitGroup
+		submit := func(user string, count int, gap time.Duration) {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				submitted := time.Now()
+				done := make(chan struct{})
+				_, err := sched.Submit(scheduler.JobSpec{
+					User: user,
+					Script: func(context.Context, scheduler.Allocation) error {
+						waits[user].Observe(time.Since(submitted))
+						time.Sleep(15 * time.Millisecond)
+						close(done)
+						return nil
+					},
+				})
+				if err != nil {
+					return
+				}
+				if gap > 0 {
+					time.Sleep(gap)
+				}
+				_ = done
+			}
+		}
+		wg.Add(2)
+		go submit("heavy", 4*jobsPerUser, 0)
+		go submit("light", jobsPerUser, 25*time.Millisecond)
+		wg.Wait()
+		// Drain: wait until all jobs finished.
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			pendingOrRunning := 0
+			for _, j := range sched.Queue() {
+				if !j.State.Terminal() {
+					pendingOrRunning++
+				}
+			}
+			if pendingOrRunning == 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("fairshare arm stalled with %d live jobs", pendingOrRunning)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		mode := "priority-only"
+		if enable {
+			mode = "fairshare"
+		}
+		for _, user := range []string{"heavy", "light"} {
+			h := waits[user]
+			r.Rows = append(r.Rows, fmt.Sprintf("%s,%s,%.1f,%.1f", mode, user,
+				float64(h.Mean().Microseconds())/1000,
+				float64(h.Percentile(95).Microseconds())/1000))
+		}
+		return nil
+	}
+	if err := run(false); err != nil {
+		return r, err
+	}
+	if err := run(true); err != nil {
+		return r, err
+	}
+	r.Notes = append(r.Notes,
+		"fairshare charges decayed node-seconds per user; the saturating user's effective priority drops, bounding the light user's wait",
+	)
+	return r, nil
+}

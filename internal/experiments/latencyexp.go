@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"globuscompute/internal/core"
+	"globuscompute/internal/metrics"
+	"globuscompute/internal/sdk"
+)
+
+// Latency decomposes end-to-end task latency into its pipeline segments —
+// the funcX-style breakdown behind the paper's efficiency claims: time from
+// submission to worker start (service + queue + dispatch), execution, and
+// result return (worker -> broker -> result processor -> stream -> client).
+func Latency(n int) (Report, error) {
+	r := Report{
+		ID:     "latency",
+		Title:  fmt.Sprintf("End-to-end latency breakdown (%d no-op tasks)", n),
+		Header: "segment,p50_ms,p95_ms,max_ms",
+	}
+	e, err := newEnv(2)
+	if err != nil {
+		return r, err
+	}
+	defer e.close()
+	epID, err := e.tb.StartEndpoint(core.EndpointOptions{Name: "lat-ep", Owner: "bench", Workers: 4})
+	if err != nil {
+		return r, err
+	}
+	ex, err := e.executor(epID)
+	if err != nil {
+		return r, err
+	}
+	defer ex.Close()
+
+	toStart := metrics.NewHistogram(0)   // submit -> worker start
+	execution := metrics.NewHistogram(0) // worker execution
+	toResult := metrics.NewHistogram(0)  // worker completion -> client future
+	total := metrics.NewHistogram(0)
+
+	fn := &sdk.PythonFunction{Entrypoint: "identity"}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		submitAt := time.Now()
+		fut, err := ex.Submit(fn, i)
+		if err != nil {
+			return r, err
+		}
+		res, err := fut.Raw(ctx)
+		if err != nil {
+			return r, err
+		}
+		doneAt := time.Now()
+		total.Observe(doneAt.Sub(submitAt))
+		if !res.Started.IsZero() {
+			toStart.Observe(res.Started.Sub(submitAt))
+			toResult.Observe(doneAt.Sub(res.Completed))
+		}
+		execution.Observe(time.Duration(res.ExecutionMS * float64(time.Millisecond)))
+	}
+
+	row := func(name string, h *metrics.Histogram) string {
+		ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+		return fmt.Sprintf("%s,%.2f,%.2f,%.2f",
+			name, ms(h.Percentile(50)), ms(h.Percentile(95)), ms(h.Max()))
+	}
+	r.Rows = append(r.Rows,
+		row("submit->worker-start", toStart),
+		row("execution", execution),
+		row("result-return", toResult),
+		row("total", total),
+	)
+	r.Notes = append(r.Notes,
+		"submit->start covers REST batching, service validation, queue transit, and dispatch",
+		"result-return covers worker publish, result processor, group-queue stream, and future resolution")
+	return r, nil
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"globuscompute/internal/core"
+	"globuscompute/internal/sdk"
+)
+
+// MEPReuse measures the T6 claim: submissions with the same user endpoint
+// configuration reuse one user endpoint (amortizing spawn cost), while
+// modified configurations spawn fresh ones.
+func MEPReuse(submitsPerConfig int) (Report, error) {
+	r := Report{
+		ID:     "mep-reuse",
+		Title:  "User endpoint reuse by configuration hash (§IV-B)",
+		Header: "event,config,latency_ms,ueps_spawned",
+	}
+	e, err := newEnv(8)
+	if err != nil {
+		return r, err
+	}
+	defer e.close()
+	mepID, mgr, err := e.tb.StartMEP(core.MEPOptions{
+		Name: "t6-mep", Owner: "admin@uchicago.edu", Mapper: uchicagoMapper(),
+	})
+	if err != nil {
+		return r, err
+	}
+	fn := &sdk.PythonFunction{Entrypoint: "identity"}
+
+	submitOnce := func(label string, config map[string]any) error {
+		ex, err := e.executor(mepID)
+		if err != nil {
+			return err
+		}
+		defer ex.Close()
+		ex.UserEndpointConfig = config
+		for i := 0; i < submitsPerConfig; i++ {
+			start := time.Now()
+			fut, err := ex.Submit(fn, i)
+			if err != nil {
+				return err
+			}
+			if _, err := fut.ResultWithin(60 * time.Second); err != nil {
+				return err
+			}
+			event := "reused"
+			if i == 0 {
+				event = "first-submit"
+			}
+			r.Rows = append(r.Rows, fmt.Sprintf("%s,%s,%.1f,%d",
+				event, label, float64(time.Since(start).Microseconds())/1000,
+				mgr.Stats().ChildrenSpawned))
+		}
+		return nil
+	}
+
+	confA := map[string]any{"NODES_PER_BLOCK": 1, "ACCOUNT_ID": "allocA"}
+	confB := map[string]any{"NODES_PER_BLOCK": 2, "ACCOUNT_ID": "allocA"}
+	if err := submitOnce("A", confA); err != nil {
+		return r, err
+	}
+	if err := submitOnce("A-again", confA); err != nil { // same hash -> same UEP
+		return r, err
+	}
+	if err := submitOnce("B", confB); err != nil { // new hash -> new UEP
+		return r, err
+	}
+	stats := mgr.Stats()
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("2 distinct configs -> %d user endpoints spawned across %d submissions",
+			stats.ChildrenSpawned, 3*submitsPerConfig),
+		"first submission per config pays the spawn cost; subsequent ones route to the running UEP",
+	)
+	if stats.ChildrenSpawned != 2 {
+		return r, fmt.Errorf("expected 2 spawns, saw %d", stats.ChildrenSpawned)
+	}
+	return r, nil
+}
+
+// Elasticity is the A3 ablation: the engine's block elasticity under a
+// burst of tasks — blocks scale out on backlog and scale back in when idle.
+func Elasticity(tasks int) (Report, error) {
+	r := Report{
+		ID:     "elasticity",
+		Title:  fmt.Sprintf("Provider elasticity under a %d-task burst", tasks),
+		Header: "phase,live_blocks,pending_tasks",
+	}
+	e, err := newEnv(8)
+	if err != nil {
+		return r, err
+	}
+	defer e.close()
+	epID, err := e.tb.StartEndpoint(core.EndpointOptions{
+		Name: "a3-ep", Owner: "bench", UseBatch: true, Workers: 1, NodesPerBlock: 1,
+	})
+	if err != nil {
+		return r, err
+	}
+	ex, err := e.executor(epID)
+	if err != nil {
+		return r, err
+	}
+	defer ex.Close()
+
+	sf := sdk.NewShellFunction("sleep 0.05")
+	futs := make([]*sdk.Future, tasks)
+	for i := range futs {
+		fut, err := ex.SubmitShell(sf, nil)
+		if err != nil {
+			return r, err
+		}
+		futs[i] = fut
+	}
+	// Sample the fleet while the burst drains.
+	done := make(chan error, 1)
+	go func() { done <- waitAll(futs, 120*time.Second) }()
+	maxBlocks := 0
+	samples := 0
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				return r, err
+			}
+			r.Rows = append(r.Rows, fmt.Sprintf("burst-drained,peak=%d,0", maxBlocks))
+			if maxBlocks < 2 {
+				return r, fmt.Errorf("engine never scaled out (peak blocks %d)", maxBlocks)
+			}
+			r.Notes = append(r.Notes,
+				fmt.Sprintf("blocks scaled from 1 to %d during the burst", maxBlocks),
+				"scale-in follows after the idle timeout (engine MinBlocks floor = 1)")
+			return r, nil
+		case <-time.After(10 * time.Millisecond):
+			free, _ := e.tb.Sched.FreeNodes("default")
+			live := 8 - free
+			if live > maxBlocks {
+				maxBlocks = live
+			}
+			if samples%20 == 0 {
+				r.Rows = append(r.Rows, fmt.Sprintf("draining,%d,-", live))
+			}
+			samples++
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProfilerEWMA(t *testing.T) {
+	p := NewProfiler(0.5)
+	if _, ok := p.Predict("f", "a"); ok {
+		t.Error("prediction before samples")
+	}
+	p.Record("f", "a", 100*time.Millisecond)
+	pred, ok := p.Predict("f", "a")
+	if !ok || pred != 100*time.Millisecond {
+		t.Errorf("first prediction = %v, %v", pred, ok)
+	}
+	p.Record("f", "a", 200*time.Millisecond)
+	pred, _ = p.Predict("f", "a")
+	if pred != 150*time.Millisecond { // 0.5*200 + 0.5*100
+		t.Errorf("ewma = %v, want 150ms", pred)
+	}
+	if p.Samples("f", "a") != 2 {
+		t.Errorf("samples = %d", p.Samples("f", "a"))
+	}
+	// Other labels and targets are independent.
+	if _, ok := p.Predict("g", "a"); ok {
+		t.Error("label leakage")
+	}
+	if _, ok := p.Predict("f", "b"); ok {
+		t.Error("target leakage")
+	}
+}
+
+func TestProfilerDefaultAlpha(t *testing.T) {
+	p := NewProfiler(-1)
+	p.Record("f", "a", time.Second)
+	p.Record("f", "a", 2*time.Second)
+	pred, _ := p.Predict("f", "a")
+	// alpha 0.3: 0.3*2 + 0.7*1 = 1.3s (within float tolerance)
+	if diff := pred - 1300*time.Millisecond; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("pred = %v", pred)
+	}
+}
+
+func newTestScheduler(t *testing.T, policy Policy) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(policy, []*Target{
+		{Name: "fast", PowerWatts: 400},
+		{Name: "slow", PowerWatts: 50},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler(Fastest, nil); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, err := NewScheduler(Fastest, []*Target{{}}); err == nil {
+		t.Error("unnamed target accepted")
+	}
+	if _, err := NewScheduler(Fastest, []*Target{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Error("duplicate target accepted")
+	}
+	if _, err := NewScheduler("warp", []*Target{{Name: "a"}}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRoundRobinAlternates(t *testing.T) {
+	s := newTestScheduler(t, RoundRobin)
+	seen := map[string]int{}
+	for i := 0; i < 10; i++ {
+		seen[s.Pick("f").Name]++
+	}
+	if seen["fast"] != 5 || seen["slow"] != 5 {
+		t.Errorf("distribution = %v", seen)
+	}
+}
+
+func TestExplorationBeforeExploitation(t *testing.T) {
+	s := newTestScheduler(t, Fastest)
+	first := s.Pick("f")
+	s.Profiler().Record("f", first.Name, 10*time.Millisecond)
+	second := s.Pick("f")
+	if second.Name == first.Name {
+		t.Errorf("second pick %q did not explore the unprofiled target", second.Name)
+	}
+}
+
+func TestFastestPolicyExploits(t *testing.T) {
+	s := newTestScheduler(t, Fastest)
+	s.Profiler().Record("f", "fast", 10*time.Millisecond)
+	s.Profiler().Record("f", "slow", 200*time.Millisecond)
+	for i := 0; i < 5; i++ {
+		if got := s.Pick("f"); got.Name != "fast" {
+			t.Fatalf("pick = %q, want fast", got.Name)
+		}
+	}
+	// Per-label profiles: another function still explores.
+	if got := s.Pick("other"); s.Profiler().Samples("other", got.Name) != 0 {
+		t.Error("exploration skipped for fresh label")
+	}
+}
+
+func TestGreenestPolicyWeighsPower(t *testing.T) {
+	// fast endpoint: 10ms at 400W = 4 J; slow endpoint: 50ms at 50W =
+	// 2.5 J. Greenest picks slow; fastest picks fast.
+	green := newTestScheduler(t, Greenest)
+	green.Profiler().Record("f", "fast", 10*time.Millisecond)
+	green.Profiler().Record("f", "slow", 50*time.Millisecond)
+	if got := green.Pick("f"); got.Name != "slow" {
+		t.Errorf("greenest pick = %q, want slow", got.Name)
+	}
+	fast := newTestScheduler(t, Fastest)
+	fast.Profiler().Record("f", "fast", 10*time.Millisecond)
+	fast.Profiler().Record("f", "slow", 50*time.Millisecond)
+	if got := fast.Pick("f"); got.Name != "fast" {
+		t.Errorf("fastest pick = %q, want fast", got.Name)
+	}
+	energy := green.EstimatedEnergy("f")
+	if energy["fast"] <= energy["slow"] {
+		t.Errorf("energy = %v, want fast > slow", energy)
+	}
+}
+
+func TestGreenestDefaultsPowerToOne(t *testing.T) {
+	s, _ := NewScheduler(Greenest, []*Target{
+		{Name: "a"}, {Name: "b"},
+	})
+	s.Profiler().Record("f", "a", 10*time.Millisecond)
+	s.Profiler().Record("f", "b", 20*time.Millisecond)
+	if got := s.Pick("f"); got.Name != "a" {
+		t.Errorf("pick = %q", got.Name)
+	}
+}

@@ -1,0 +1,106 @@
+package flows
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"globuscompute/internal/sdk"
+	"globuscompute/internal/transfer"
+)
+
+// TransferAction builds a flow action that submits a Globus Transfer task
+// (spec derived from the current state) and waits for it to succeed. The
+// transfer task ID is recorded under stateKey when non-empty.
+func TransferAction(name string, ts *transfer.Service, build func(State) (transfer.Spec, error), stateKey string) Action {
+	return Action{
+		Name: name,
+		Do: func(ctx context.Context, state State) error {
+			spec, err := build(state)
+			if err != nil {
+				return err
+			}
+			id, err := ts.Submit(spec)
+			if err != nil {
+				return err
+			}
+			if stateKey != "" {
+				state[stateKey] = string(id)
+			}
+			deadline := 5 * time.Minute
+			if d, ok := ctx.Deadline(); ok {
+				deadline = time.Until(d)
+			}
+			info, err := ts.Wait(id, deadline)
+			if err != nil {
+				return err
+			}
+			if info.Status != transfer.StatusSucceeded {
+				return fmt.Errorf("flows: transfer %s: %s (%s)", name, info.Status, info.Error)
+			}
+			return nil
+		},
+	}
+}
+
+// ComputeAction builds a flow action that submits a registered function to
+// a Globus Compute executor with arguments derived from state, waits for
+// the result, and decodes it into state[outKey].
+func ComputeAction(name string, ex *sdk.Executor, fn *sdk.PythonFunction, args func(State) []any, outKey string) Action {
+	return Action{
+		Name: name,
+		Do: func(ctx context.Context, state State) error {
+			var argv []any
+			if args != nil {
+				argv = args(state)
+			}
+			fut, err := ex.Submit(fn, argv...)
+			if err != nil {
+				return err
+			}
+			out, err := fut.Result(ctx)
+			if err != nil {
+				return err
+			}
+			if outKey != "" {
+				var decoded any
+				if err := json.Unmarshal(out, &decoded); err != nil {
+					return fmt.Errorf("flows: decode %s result: %w", name, err)
+				}
+				state[outKey] = decoded
+			}
+			return nil
+		},
+	}
+}
+
+// ShellAction builds a flow action that runs a ShellFunction with kwargs
+// derived from state and records its stdout under outKey. Non-zero return
+// codes fail the action.
+func ShellAction(name string, ex *sdk.Executor, sf *sdk.ShellFunction, kwargs func(State) map[string]string, outKey string) Action {
+	return Action{
+		Name: name,
+		Do: func(ctx context.Context, state State) error {
+			var kw map[string]string
+			if kwargs != nil {
+				kw = kwargs(state)
+			}
+			fut, err := ex.SubmitShell(sf, kw)
+			if err != nil {
+				return err
+			}
+			sr, err := fut.ShellResult(ctx)
+			if err != nil {
+				return err
+			}
+			if sr.ReturnCode != 0 {
+				return fmt.Errorf("flows: %s exited %d: %s", name, sr.ReturnCode, sr.Stderr)
+			}
+			if outKey != "" {
+				state[outKey] = sr.Stdout
+			}
+			return nil
+		},
+	}
+}

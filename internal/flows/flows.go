@@ -1,0 +1,256 @@
+// Package flows implements a Globus Flows substitute: fire-and-forget
+// automation that orchestrates sequences of actions — data transfer,
+// compute tasks, and custom steps — with per-action retries and timeouts
+// and a shared state document flowing between steps. This models the
+// paper's §VI "real-time analysis" pattern, where Globus Flows drives
+// transfer, processing, and publication through Globus Compute.
+package flows
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"globuscompute/internal/metrics"
+	"globuscompute/internal/protocol"
+)
+
+// Common errors.
+var (
+	ErrUnknownRun = errors.New("flows: unknown run")
+	ErrEmptyFlow  = errors.New("flows: flow has no actions")
+)
+
+// State is the document passed between actions; actions read inputs from
+// and write outputs into it.
+type State map[string]any
+
+// clone shallow-copies the state for snapshots.
+func (s State) clone() State {
+	out := make(State, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Action is one step of a flow.
+type Action struct {
+	Name string
+	// Do performs the step, reading and mutating state.
+	Do func(ctx context.Context, state State) error
+	// Retries re-runs a failing action this many additional times.
+	Retries int
+	// Timeout bounds one attempt (0 = no bound).
+	Timeout time.Duration
+}
+
+// Flow is an ordered action sequence.
+type Flow struct {
+	Name    string
+	Actions []Action
+}
+
+// Validate checks the flow is runnable.
+func (f Flow) Validate() error {
+	if len(f.Actions) == 0 {
+		return ErrEmptyFlow
+	}
+	for i, a := range f.Actions {
+		if a.Do == nil {
+			return fmt.Errorf("flows: action %d (%s) has no body", i, a.Name)
+		}
+	}
+	return nil
+}
+
+// RunStatus is a run's lifecycle state.
+type RunStatus string
+
+const (
+	RunActive    RunStatus = "ACTIVE"
+	RunSucceeded RunStatus = "SUCCEEDED"
+	RunFailed    RunStatus = "FAILED"
+)
+
+// ActionResult records one executed action.
+type ActionResult struct {
+	Name     string
+	Attempts int
+	Err      string
+	Elapsed  time.Duration
+}
+
+// RunInfo is a point-in-time run snapshot.
+type RunInfo struct {
+	ID        protocol.UUID
+	Flow      string
+	Status    RunStatus
+	Log       []ActionResult
+	State     State
+	Started   time.Time
+	Completed time.Time
+}
+
+// Runner executes flows asynchronously (fire and forget, status by
+// polling — the Globus Flows interaction model).
+type Runner struct {
+	mu   sync.Mutex
+	runs map[protocol.UUID]*run
+	wg   sync.WaitGroup
+
+	Metrics *metrics.Registry
+}
+
+type run struct {
+	info   RunInfo
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewRunner returns an empty runner.
+func NewRunner() *Runner {
+	return &Runner{runs: make(map[protocol.UUID]*run), Metrics: metrics.NewRegistry()}
+}
+
+// Start launches a flow with an initial state and returns the run ID
+// immediately.
+func (r *Runner) Start(flow Flow, initial State) (protocol.UUID, error) {
+	if err := flow.Validate(); err != nil {
+		return "", err
+	}
+	if initial == nil {
+		initial = State{}
+	}
+	id := protocol.NewUUID()
+	ctx, cancel := context.WithCancel(context.Background())
+	// Detach from the caller's map before the goroutine starts so later
+	// caller mutations cannot race the run.
+	state := initial.clone()
+	rn := &run{
+		info: RunInfo{
+			ID: id, Flow: flow.Name, Status: RunActive,
+			State: state.clone(), Started: time.Now(),
+		},
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	r.mu.Lock()
+	r.runs[id] = rn
+	r.mu.Unlock()
+	r.Metrics.Counter("runs_started").Inc()
+
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer close(rn.done)
+		defer cancel()
+		for _, action := range flow.Actions {
+			res := r.execute(ctx, action, state)
+			r.mu.Lock()
+			rn.info.Log = append(rn.info.Log, res)
+			rn.info.State = state.clone()
+			r.mu.Unlock()
+			if res.Err != "" {
+				r.finish(rn, RunFailed)
+				return
+			}
+			if ctx.Err() != nil {
+				r.finish(rn, RunFailed)
+				return
+			}
+		}
+		r.finish(rn, RunSucceeded)
+	}()
+	return id, nil
+}
+
+// execute runs one action with retries and timeout.
+func (r *Runner) execute(ctx context.Context, action Action, state State) ActionResult {
+	res := ActionResult{Name: action.Name}
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; attempt <= action.Retries; attempt++ {
+		res.Attempts++
+		attemptCtx := ctx
+		var cancel context.CancelFunc
+		if action.Timeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, action.Timeout)
+		}
+		lastErr = action.Do(attemptCtx, state)
+		if cancel != nil {
+			cancel()
+		}
+		if lastErr == nil {
+			res.Elapsed = time.Since(start)
+			r.Metrics.Counter("actions_succeeded").Inc()
+			return res
+		}
+		if ctx.Err() != nil {
+			break // run cancelled; do not retry
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.Err = lastErr.Error()
+	r.Metrics.Counter("actions_failed").Inc()
+	return res
+}
+
+func (r *Runner) finish(rn *run, status RunStatus) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rn.info.Status = status
+	rn.info.Completed = time.Now()
+	if status == RunSucceeded {
+		r.Metrics.Counter("runs_succeeded").Inc()
+	} else {
+		r.Metrics.Counter("runs_failed").Inc()
+	}
+}
+
+// Status returns a run snapshot.
+func (r *Runner) Status(id protocol.UUID) (RunInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rn, ok := r.runs[id]
+	if !ok {
+		return RunInfo{}, fmt.Errorf("%w: %s", ErrUnknownRun, id)
+	}
+	info := rn.info
+	info.Log = append([]ActionResult(nil), rn.info.Log...)
+	info.State = rn.info.State.clone()
+	return info, nil
+}
+
+// Wait blocks until the run completes or the timeout elapses.
+func (r *Runner) Wait(id protocol.UUID, timeout time.Duration) (RunInfo, error) {
+	r.mu.Lock()
+	rn, ok := r.runs[id]
+	r.mu.Unlock()
+	if !ok {
+		return RunInfo{}, fmt.Errorf("%w: %s", ErrUnknownRun, id)
+	}
+	select {
+	case <-rn.done:
+		return r.Status(id)
+	case <-time.After(timeout):
+		return r.Status(id)
+	}
+}
+
+// Cancel stops an active run after its current action attempt.
+func (r *Runner) Cancel(id protocol.UUID) error {
+	r.mu.Lock()
+	rn, ok := r.runs[id]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRun, id)
+	}
+	rn.cancel()
+	return nil
+}
+
+// Close waits for active runs to finish.
+func (r *Runner) Close() { r.wg.Wait() }

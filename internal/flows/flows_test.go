@@ -1,0 +1,259 @@
+package flows
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/transfer"
+)
+
+func TestSimpleFlowSucceeds(t *testing.T) {
+	r := NewRunner()
+	defer r.Close()
+	flow := Flow{Name: "two-step", Actions: []Action{
+		{Name: "produce", Do: func(_ context.Context, s State) error {
+			s["value"] = 21
+			return nil
+		}},
+		{Name: "double", Do: func(_ context.Context, s State) error {
+			s["value"] = s["value"].(int) * 2
+			return nil
+		}},
+	}}
+	id, err := r.Start(flow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := r.Wait(id, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != RunSucceeded {
+		t.Fatalf("status = %s", info.Status)
+	}
+	if info.State["value"].(int) != 42 {
+		t.Errorf("state = %v", info.State)
+	}
+	if len(info.Log) != 2 || info.Log[0].Name != "produce" {
+		t.Errorf("log = %+v", info.Log)
+	}
+}
+
+func TestFlowFailureStopsPipeline(t *testing.T) {
+	r := NewRunner()
+	defer r.Close()
+	ran := atomic.Int32{}
+	flow := Flow{Name: "failing", Actions: []Action{
+		{Name: "boom", Do: func(context.Context, State) error { return errors.New("stage failed") }},
+		{Name: "never", Do: func(context.Context, State) error { ran.Add(1); return nil }},
+	}}
+	id, _ := r.Start(flow, nil)
+	info, _ := r.Wait(id, 5*time.Second)
+	if info.Status != RunFailed {
+		t.Fatalf("status = %s", info.Status)
+	}
+	if ran.Load() != 0 {
+		t.Error("action after failure executed")
+	}
+	if len(info.Log) != 1 || info.Log[0].Err == "" {
+		t.Errorf("log = %+v", info.Log)
+	}
+}
+
+func TestRetries(t *testing.T) {
+	r := NewRunner()
+	defer r.Close()
+	attempts := atomic.Int32{}
+	flow := Flow{Name: "flaky", Actions: []Action{{
+		Name:    "flaky",
+		Retries: 3,
+		Do: func(context.Context, State) error {
+			if attempts.Add(1) < 3 {
+				return errors.New("transient")
+			}
+			return nil
+		},
+	}}}
+	id, _ := r.Start(flow, nil)
+	info, _ := r.Wait(id, 5*time.Second)
+	if info.Status != RunSucceeded {
+		t.Fatalf("status = %s", info.Status)
+	}
+	if info.Log[0].Attempts != 3 {
+		t.Errorf("attempts = %d", info.Log[0].Attempts)
+	}
+}
+
+func TestActionTimeout(t *testing.T) {
+	r := NewRunner()
+	defer r.Close()
+	flow := Flow{Name: "slow", Actions: []Action{{
+		Name:    "hang",
+		Timeout: 30 * time.Millisecond,
+		Do: func(ctx context.Context, _ State) error {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(5 * time.Second):
+				return nil
+			}
+		},
+	}}}
+	id, _ := r.Start(flow, nil)
+	info, _ := r.Wait(id, 5*time.Second)
+	if info.Status != RunFailed {
+		t.Fatalf("status = %s (timeout not enforced)", info.Status)
+	}
+}
+
+func TestCancelRun(t *testing.T) {
+	r := NewRunner()
+	defer r.Close()
+	started := make(chan struct{})
+	flow := Flow{Name: "cancellable", Actions: []Action{{
+		Name: "wait",
+		Do: func(ctx context.Context, _ State) error {
+			close(started)
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	}}}
+	id, _ := r.Start(flow, nil)
+	<-started
+	if err := r.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := r.Wait(id, 5*time.Second)
+	if info.Status != RunFailed {
+		t.Errorf("status = %s", info.Status)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := NewRunner()
+	defer r.Close()
+	if _, err := r.Start(Flow{Name: "empty"}, nil); !errors.Is(err, ErrEmptyFlow) {
+		t.Errorf("empty flow = %v", err)
+	}
+	if _, err := r.Start(Flow{Name: "nil-body", Actions: []Action{{Name: "x"}}}, nil); err == nil {
+		t.Error("nil action body accepted")
+	}
+	if _, err := r.Status(protocol.NewUUID()); !errors.Is(err, ErrUnknownRun) {
+		t.Errorf("unknown run = %v", err)
+	}
+	if err := r.Cancel(protocol.NewUUID()); !errors.Is(err, ErrUnknownRun) {
+		t.Errorf("cancel unknown = %v", err)
+	}
+}
+
+func TestStateIsolation(t *testing.T) {
+	// The caller's initial map and returned snapshots are not aliased to
+	// the run's live state.
+	r := NewRunner()
+	defer r.Close()
+	initial := State{"k": "original"}
+	gate := make(chan struct{})
+	flow := Flow{Name: "iso", Actions: []Action{
+		{Name: "hold", Do: func(context.Context, State) error { <-gate; return nil }},
+		{Name: "mutate", Do: func(_ context.Context, s State) error { s["k"] = "mutated"; return nil }},
+	}}
+	id, _ := r.Start(flow, initial)
+	initial["k"] = "caller-clobbered"
+	close(gate)
+	info, _ := r.Wait(id, 5*time.Second)
+	if info.State["k"] != "mutated" {
+		t.Errorf("state = %v (caller mutation leaked or update lost)", info.State)
+	}
+}
+
+func TestTransferActionIntegration(t *testing.T) {
+	ts := transfer.NewService()
+	defer ts.Close()
+	src, _ := ts.CreateEndpoint("src", filepath.Join(t.TempDir(), "src"))
+	dst, _ := ts.CreateEndpoint("dst", filepath.Join(t.TempDir(), "dst"))
+	os.WriteFile(filepath.Join(src.Root, "in.dat"), []byte("data"), 0o644)
+
+	r := NewRunner()
+	defer r.Close()
+	flow := Flow{Name: "stage", Actions: []Action{
+		TransferAction("stage-in", ts, func(s State) (transfer.Spec, error) {
+			return transfer.Spec{
+				Source: src.ID, Destination: dst.ID,
+				Items: []transfer.Item{{SourcePath: s["input"].(string), DestPath: "staged.dat"}},
+			}, nil
+		}, "transfer_task"),
+	}}
+	id, err := r.Start(flow, State{"input": "in.dat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _ := r.Wait(id, 10*time.Second)
+	if info.Status != RunSucceeded {
+		t.Fatalf("status = %s log=%+v", info.Status, info.Log)
+	}
+	if info.State["transfer_task"] == "" {
+		t.Error("transfer task ID not recorded")
+	}
+	if _, err := os.Stat(filepath.Join(dst.Root, "staged.dat")); err != nil {
+		t.Errorf("staged file missing: %v", err)
+	}
+}
+
+func TestTransferActionFailure(t *testing.T) {
+	ts := transfer.NewService()
+	defer ts.Close()
+	src, _ := ts.CreateEndpoint("src", filepath.Join(t.TempDir(), "src"))
+	dst, _ := ts.CreateEndpoint("dst", filepath.Join(t.TempDir(), "dst"))
+	r := NewRunner()
+	defer r.Close()
+	flow := Flow{Name: "bad", Actions: []Action{
+		TransferAction("stage", ts, func(State) (transfer.Spec, error) {
+			return transfer.Spec{
+				Source: src.ID, Destination: dst.ID,
+				Items: []transfer.Item{{SourcePath: "missing.dat", DestPath: "x"}},
+			}, nil
+		}, ""),
+	}}
+	id, _ := r.Start(flow, nil)
+	info, _ := r.Wait(id, 10*time.Second)
+	if info.Status != RunFailed {
+		t.Errorf("status = %s", info.Status)
+	}
+}
+
+func TestConcurrentRuns(t *testing.T) {
+	r := NewRunner()
+	defer r.Close()
+	var ids []protocol.UUID
+	for i := 0; i < 10; i++ {
+		i := i
+		flow := Flow{Name: fmt.Sprintf("run-%d", i), Actions: []Action{{
+			Name: "work",
+			Do: func(_ context.Context, s State) error {
+				s["i"] = i
+				return nil
+			},
+		}}}
+		id, err := r.Start(flow, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for i, id := range ids {
+		info, _ := r.Wait(id, 5*time.Second)
+		if info.Status != RunSucceeded || info.State["i"].(int) != i {
+			t.Errorf("run %d: %+v", i, info)
+		}
+	}
+	if got := r.Metrics.Counter("runs_succeeded").Value(); got != 10 {
+		t.Errorf("succeeded = %d", got)
+	}
+}

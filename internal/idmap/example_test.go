@@ -1,0 +1,29 @@
+package idmap_test
+
+import (
+	"fmt"
+
+	"globuscompute/internal/auth"
+	"globuscompute/internal/idmap"
+)
+
+// The expression mapping of the paper's Listing 8: identities from
+// uchicago.edu map to their local username.
+func ExampleExpressionMapper() {
+	mapper, err := idmap.NewExpressionMapper([]idmap.Rule{{
+		Source: "{username}",
+		Match:  `(.*)@uchicago\.edu`,
+		Output: "{0}",
+	}})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	local, _ := mapper.Map(auth.Identity{Username: "alice@uchicago.edu"})
+	fmt.Println(local)
+	_, err = mapper.Map(auth.Identity{Username: "eve@elsewhere.org"})
+	fmt.Println(err != nil)
+	// Output:
+	// alice
+	// true
+}

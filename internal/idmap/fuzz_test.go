@@ -1,0 +1,42 @@
+package idmap
+
+import (
+	"testing"
+
+	"globuscompute/internal/auth"
+)
+
+// FuzzParseRules ensures mapping documents never panic the parser.
+func FuzzParseRules(f *testing.F) {
+	f.Add([]byte(`{"DATA_TYPE":"expression_identity_mapping#1.0.0","mappings":[{"match":"(.*)@x","output":"{0}"}]}`))
+	f.Add([]byte(`[{"match":"a","output":"b"}]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rules, err := ParseRules(data)
+		if err != nil {
+			return
+		}
+		// Any parsed rules either compile or error cleanly.
+		m, err := NewExpressionMapper(rules)
+		if err != nil {
+			return
+		}
+		_, _ = m.Map(auth.Identity{Username: "probe@example.edu", Provider: "p"})
+	})
+}
+
+// FuzzExpressionMap ensures arbitrary usernames never panic mapping.
+func FuzzExpressionMap(f *testing.F) {
+	f.Add("alice@uchicago.edu")
+	f.Add("")
+	f.Add("@@@")
+	f.Add("a@b@c")
+	f.Fuzz(func(t *testing.T, username string) {
+		m, err := NewExpressionMapper([]Rule{{Match: `(.*)@uchicago\.edu`, Output: "{0}"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = m.Map(auth.Identity{Username: username})
+	})
+}

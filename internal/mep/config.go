@@ -1,0 +1,95 @@
+package mep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EndpointConfig is the rendered endpoint configuration a template
+// produces, mirroring the paper's Listing 9 (the real system renders YAML;
+// this repo renders JSON — see DESIGN.md substitutions).
+type EndpointConfig struct {
+	DisplayName string         `json:"display_name,omitempty"`
+	Engine      EngineConfig   `json:"engine"`
+	Provider    ProviderConfig `json:"provider"`
+}
+
+// EngineConfig selects and sizes the task engine.
+type EngineConfig struct {
+	// Type is GlobusComputeEngine or GlobusMPIEngine.
+	Type           string `json:"type"`
+	NodesPerBlock  int    `json:"nodes_per_block,omitempty"`
+	WorkersPerNode int    `json:"workers_per_node,omitempty"`
+	MaxBlocks      int    `json:"max_blocks,omitempty"`
+	// MPILauncher applies to GlobusMPIEngine (mpiexec, srun).
+	MPILauncher string `json:"mpi_launcher,omitempty"`
+}
+
+// ProviderConfig selects the resource provider.
+type ProviderConfig struct {
+	// Type is SlurmProvider, PBSProProvider, KubernetesProvider, or
+	// LocalProvider.
+	Type      string `json:"type"`
+	Partition string `json:"partition,omitempty"`
+	Account   string `json:"account,omitempty"`
+	// Walltime is HH:MM:SS.
+	Walltime string `json:"walltime,omitempty"`
+}
+
+// ParseEndpointConfig decodes and validates a rendered configuration.
+func ParseEndpointConfig(rendered string) (EndpointConfig, error) {
+	var cfg EndpointConfig
+	dec := json.NewDecoder(strings.NewReader(rendered))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return cfg, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	switch cfg.Engine.Type {
+	case "GlobusComputeEngine", "GlobusMPIEngine":
+	case "":
+		return cfg, fmt.Errorf("%w: engine type required", ErrBadConfig)
+	default:
+		return cfg, fmt.Errorf("%w: unknown engine type %q", ErrBadConfig, cfg.Engine.Type)
+	}
+	switch cfg.Provider.Type {
+	case "SlurmProvider", "PBSProProvider", "KubernetesProvider", "LocalProvider":
+	case "":
+		return cfg, fmt.Errorf("%w: provider type required", ErrBadConfig)
+	default:
+		return cfg, fmt.Errorf("%w: unknown provider type %q", ErrBadConfig, cfg.Provider.Type)
+	}
+	if cfg.Engine.NodesPerBlock < 0 || cfg.Engine.WorkersPerNode < 0 || cfg.Engine.MaxBlocks < 0 {
+		return cfg, fmt.Errorf("%w: negative engine sizing", ErrBadConfig)
+	}
+	if cfg.Provider.Walltime != "" {
+		if _, err := ParseWalltime(cfg.Provider.Walltime); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}
+
+// ParseWalltime parses the scheduler's HH:MM:SS walltime notation.
+func ParseWalltime(s string) (time.Duration, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("%w: walltime %q not HH:MM:SS", ErrBadConfig, s)
+	}
+	var vals [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("%w: walltime %q not HH:MM:SS", ErrBadConfig, s)
+		}
+		vals[i] = v
+	}
+	if vals[1] > 59 || vals[2] > 59 {
+		return 0, fmt.Errorf("%w: walltime %q has out-of-range minutes/seconds", ErrBadConfig, s)
+	}
+	return time.Duration(vals[0])*time.Hour +
+		time.Duration(vals[1])*time.Minute +
+		time.Duration(vals[2])*time.Second, nil
+}

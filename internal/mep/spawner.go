@@ -1,0 +1,137 @@
+package mep
+
+import (
+	"context"
+	"time"
+
+	"globuscompute/internal/broker"
+	"globuscompute/internal/endpoint"
+	"globuscompute/internal/engine"
+	"globuscompute/internal/mpiengine"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/provider"
+	"globuscompute/internal/registry"
+	"globuscompute/internal/scheduler"
+	"globuscompute/internal/shellfn"
+)
+
+// SpawnerDeps carries the resources an agent spawner binds user endpoints
+// to: the batch cluster, the broker, the object store, and the worker
+// callable registry.
+type SpawnerDeps struct {
+	// Scheduler backs Slurm/PBS provider configs (required for those).
+	Scheduler *scheduler.Scheduler
+	// Conn connects spawned agents to the broker.
+	Conn broker.Conn
+	// Objects resolves payload references (optional).
+	Objects endpoint.ObjectFetcher
+	// Registry seeds the spawned agents' callable registries (default
+	// Builtins).
+	Registry *registry.Registry
+	// SandboxRoot hosts ShellFunction sandboxes.
+	SandboxRoot string
+	// Heartbeat reports child endpoint status upstream (optional).
+	Heartbeat func(child protocol.UUID, online bool)
+}
+
+// NewAgentSpawner returns a SpawnFunc that builds real endpoint agents from
+// rendered configurations: provider and engine types, block sizing, and
+// walltime come from the admin template; the mapped local user is recorded
+// in the task environment (the real MEP forks and drops privileges).
+func NewAgentSpawner(deps SpawnerDeps) SpawnFunc {
+	if deps.Registry == nil {
+		deps.Registry = registry.Builtins()
+	}
+	return func(_ context.Context, req SpawnRequest) (UserEndpoint, error) {
+		cfg, err := ParseEndpointConfig(req.RenderedConfig)
+		if err != nil {
+			return nil, err
+		}
+		nodesPerBlock := cfg.Engine.NodesPerBlock
+		if nodesPerBlock <= 0 {
+			nodesPerBlock = 1
+		}
+		workersPerNode := cfg.Engine.WorkersPerNode
+		if workersPerNode <= 0 {
+			workersPerNode = 1
+		}
+		maxBlocks := cfg.Engine.MaxBlocks
+		if maxBlocks <= 0 {
+			maxBlocks = 2
+		}
+		var walltime time.Duration
+		if cfg.Provider.Walltime != "" {
+			walltime, err = ParseWalltime(cfg.Provider.Walltime)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		var prov provider.Provider
+		switch cfg.Provider.Type {
+		case "SlurmProvider", "PBSProProvider":
+			prov, err = provider.NewBatch(provider.BatchConfig{
+				Scheduler: deps.Scheduler, Partition: cfg.Provider.Partition,
+				NodesPerBlock: nodesPerBlock, Walltime: walltime,
+				Account: cfg.Provider.Account, LabelName: cfg.Provider.Type,
+			})
+			if err != nil {
+				return nil, err
+			}
+		case "KubernetesProvider":
+			prov = provider.NewKubernetes(10*time.Millisecond, req.LocalUser)
+		default:
+			prov = provider.NewLocal(nodesPerBlock)
+		}
+
+		runner := endpoint.NewRunner(deps.Registry, shellfn.Options{
+			SandboxRoot: deps.SandboxRoot,
+			Env:         map[string]string{"USER": req.LocalUser, "GC_LOCAL_USER": req.LocalUser},
+		}, deps.Objects)
+
+		agentCfg := endpoint.Config{
+			EndpointID:        req.ChildEndpointID,
+			Conn:              deps.Conn,
+			Objects:           deps.Objects,
+			HeartbeatInterval: time.Second,
+		}
+		if deps.Heartbeat != nil {
+			child := req.ChildEndpointID
+			agentCfg.Heartbeat = func(online bool) { deps.Heartbeat(child, online) }
+		}
+		if cfg.Engine.Type == "GlobusMPIEngine" {
+			mpiProv, err := provider.NewBatch(provider.BatchConfig{
+				Scheduler: deps.Scheduler, Partition: cfg.Provider.Partition,
+				NodesPerBlock: nodesPerBlock, Walltime: walltime,
+			})
+			if err != nil {
+				return nil, err
+			}
+			mpiEng, err := mpiengine.New(mpiengine.Config{
+				Provider: mpiProv, Launcher: cfg.Engine.MPILauncher,
+			})
+			if err != nil {
+				return nil, err
+			}
+			agentCfg.MPI = mpiEng
+		}
+		eng, err := engine.New(engine.Config{
+			Provider: prov, Run: runner,
+			WorkersPerNode: workersPerNode,
+			InitBlocks:     1, MinBlocks: 1, MaxBlocks: maxBlocks,
+			ScalingInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		agentCfg.Engine = eng
+		agent, err := endpoint.New(agentCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := agent.Start(); err != nil {
+			return nil, err
+		}
+		return agent, nil
+	}
+}

@@ -1,0 +1,293 @@
+// Package objectstore is the S3 substitute: a keyed blob store used by the
+// web service to hold task payloads and results that exceed the inline
+// threshold, and by ProxyStore as one of its storage connectors. It offers
+// an in-process API plus an HTTP server (PUT/GET/DELETE /objects/<key>) for
+// cross-process access.
+package objectstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"globuscompute/internal/metrics"
+)
+
+// Common errors.
+var (
+	ErrNotFound = errors.New("objectstore: key not found")
+	ErrClosed   = errors.New("objectstore: closed")
+)
+
+// Store is an in-memory blob store safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+	closed  bool
+	// MaxObject bounds a single object size; 0 means unlimited.
+	MaxObject int
+	Metrics   *metrics.Registry
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{objects: make(map[string][]byte), Metrics: metrics.NewRegistry()}
+}
+
+// Put stores data under key, replacing any existing object.
+func (s *Store) Put(key string, data []byte) error {
+	if key == "" {
+		return errors.New("objectstore: empty key")
+	}
+	if s.MaxObject > 0 && len(data) > s.MaxObject {
+		return fmt.Errorf("objectstore: object %q size %d exceeds cap %d", key, len(data), s.MaxObject)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.objects[key] = append([]byte(nil), data...)
+	s.Metrics.Counter("puts").Inc()
+	s.Metrics.Counter("bytes_in").Add(int64(len(data)))
+	return nil
+}
+
+// PutContent stores data under its SHA-256 hex digest and returns the key.
+// Identical content deduplicates to the same key.
+func (s *Store) PutContent(data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	key := hex.EncodeToString(sum[:])
+	if err := s.Put(key, data); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// Get returns a copy of the object stored under key.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	data, ok := s.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	s.Metrics.Counter("gets").Inc()
+	return append([]byte(nil), data...), nil
+}
+
+// Delete removes the object under key. Deleting a missing key returns
+// ErrNotFound.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.objects[key]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	delete(s.objects, key)
+	s.Metrics.Counter("deletes").Inc()
+	return nil
+}
+
+// Exists reports whether key is present.
+func (s *Store) Exists(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.objects[key]
+	return ok
+}
+
+// Size returns the stored size of key, or ErrNotFound.
+func (s *Store) Size(key string) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.objects[key]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return len(data), nil
+}
+
+// Len returns the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// TotalBytes returns the sum of stored object sizes.
+func (s *Store) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, d := range s.objects {
+		n += int64(len(d))
+	}
+	return n
+}
+
+// Close marks the store closed; subsequent operations fail.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.objects = nil
+}
+
+// Server exposes a Store over HTTP, mimicking presigned-URL style access:
+//
+//	PUT    /objects/<key>   store body
+//	GET    /objects/<key>   fetch
+//	DELETE /objects/<key>   remove
+//	GET    /healthz         liveness
+type Server struct {
+	store *Store
+	http  *http.Server
+	ln    net.Listener
+}
+
+// ServeHTTP starts an HTTP front end for store on addr.
+func ServeHTTP(store *Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("objectstore: listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	s := &Server{store: store, ln: ln}
+	mux.HandleFunc("/objects/", s.handleObject)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.http.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the HTTP server.
+func (s *Server) Close() { s.http.Close() }
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
+	key := strings.TrimPrefix(r.URL.Path, "/objects/")
+	if key == "" || strings.Contains(key, "/") {
+		http.Error(w, "bad key", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<30))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.store.Put(key, body); err != nil {
+			http.Error(w, err.Error(), http.StatusInsufficientStorage)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+	case http.MethodGet:
+		data, err := s.store.Get(key)
+		if errors.Is(err, ErrNotFound) {
+			http.NotFound(w, r)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	case http.MethodDelete:
+		err := s.store.Delete(key)
+		if errors.Is(err, ErrNotFound) {
+			http.NotFound(w, r)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// Client accesses a remote object store server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at addr (host:port).
+func NewClient(addr string) *Client {
+	return &Client{base: "http://" + addr, hc: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Put stores data under key on the remote store.
+func (c *Client) Put(key string, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, c.base+"/objects/"+key, strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("objectstore: put: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("objectstore: put %q: status %s", key, resp.Status)
+	}
+	return nil
+}
+
+// Get fetches the object under key from the remote store.
+func (c *Client) Get(key string) ([]byte, error) {
+	resp, err := c.hc.Get(c.base + "/objects/" + key)
+	if err != nil {
+		return nil, fmt.Errorf("objectstore: get: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("objectstore: get %q: status %s", key, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Delete removes the object under key on the remote store.
+func (c *Client) Delete(key string) error {
+	req, err := http.NewRequest(http.MethodDelete, c.base+"/objects/"+key, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("objectstore: delete: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("objectstore: delete %q: status %s", key, resp.Status)
+	}
+	return nil
+}

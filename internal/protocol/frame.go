@@ -1,0 +1,148 @@
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Envelope is the unit of transmission on every framed connection: a type
+// tag, an optional correlation ID, and a JSON body.
+type Envelope struct {
+	Type string          `json:"type"`
+	ID   string          `json:"id,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Envelope type tags used across the system.
+const (
+	EnvTask      = "task"      // broker -> endpoint, interchange -> manager
+	EnvResult    = "result"    // worker -> ... -> broker
+	EnvAck       = "ack"       // consumer acknowledgement
+	EnvNack      = "nack"      // consumer rejection (requeue)
+	EnvHeartbeat = "heartbeat" // liveness
+	EnvRegister  = "register"  // manager registration with interchange
+	EnvCapacity  = "capacity"  // manager advertises free worker slots
+	EnvConsume   = "consume"   // broker client: begin consuming a queue
+	EnvPublish   = "publish"   // broker client: publish to a queue
+	EnvDeclare   = "declare"   // broker client: declare a queue
+	EnvDelivery  = "delivery"  // broker -> consumer: a delivered message
+	EnvError     = "error"     // protocol-level error report
+	EnvOK        = "ok"        // generic success reply
+	EnvDrain     = "drain"     // manager: stop accepting, finish inflight
+	EnvShutdown  = "shutdown"  // orderly termination
+)
+
+// MaxFrame bounds a single frame; larger frames indicate corruption or a
+// payload that should have gone through the object store.
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge is returned when an encoded or received frame exceeds
+// MaxFrame.
+var ErrFrameTooLarge = fmt.Errorf("protocol: frame exceeds %d bytes", MaxFrame)
+
+// NewEnvelope builds an envelope, JSON-encoding body. A nil body yields an
+// empty envelope body.
+func NewEnvelope(typ, id string, body any) (Envelope, error) {
+	env := Envelope{Type: typ, ID: id}
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return env, fmt.Errorf("protocol: marshal envelope body: %w", err)
+		}
+		env.Body = b
+	}
+	return env, nil
+}
+
+// MustEnvelope is NewEnvelope for bodies that cannot fail to marshal.
+func MustEnvelope(typ, id string, body any) Envelope {
+	env, err := NewEnvelope(typ, id, body)
+	if err != nil {
+		panic(err)
+	}
+	return env
+}
+
+// Decode unmarshals the envelope body into v.
+func (e Envelope) Decode(v any) error {
+	if err := json.Unmarshal(e.Body, v); err != nil {
+		return fmt.Errorf("protocol: decode %s envelope: %w", e.Type, err)
+	}
+	return nil
+}
+
+// FrameWriter writes length-prefixed JSON envelopes. It is safe for
+// concurrent use: the engine multiplexes many logical streams over one
+// manager connection.
+type FrameWriter struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+}
+
+// NewFrameWriter wraps w.
+func NewFrameWriter(w io.Writer) *FrameWriter {
+	return &FrameWriter{w: bufio.NewWriter(w)}
+}
+
+// Write encodes env as a 4-byte big-endian length followed by JSON, and
+// flushes.
+func (fw *FrameWriter) Write(env Envelope) error {
+	b, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("protocol: marshal frame: %w", err)
+	}
+	if len(b) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(b); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// FrameReader reads length-prefixed JSON envelopes. Not safe for concurrent
+// use; each connection has a single reader goroutine.
+type FrameReader struct {
+	r *bufio.Reader
+}
+
+// NewFrameReader wraps r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next envelope. io.EOF is returned unwrapped at a clean
+// stream end.
+func (fr *FrameReader) Read() (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Envelope{}, io.EOF
+		}
+		return Envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Envelope{}, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(fr.r, buf); err != nil {
+		return Envelope{}, fmt.Errorf("protocol: short frame: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(buf, &env); err != nil {
+		return Envelope{}, fmt.Errorf("protocol: bad frame: %w", err)
+	}
+	return env, nil
+}

@@ -1,0 +1,55 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameReader hardens the wire framing against malformed input: no
+// crash, no unbounded allocation, errors surfaced cleanly.
+func FuzzFrameReader(f *testing.F) {
+	// Seed with a valid frame, truncations, and junk.
+	var buf bytes.Buffer
+	w := NewFrameWriter(&buf)
+	w.Write(MustEnvelope(EnvTask, "id", map[string]string{"k": "v"}))
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 4, '{', '}', '!', '!'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte("\x00\x00\x00\x02{}"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewFrameReader(bytes.NewReader(data))
+		for i := 0; i < 8; i++ {
+			if _, err := r.Read(); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// FuzzDecodePayload ensures arbitrary payload bytes never panic the
+// decoders.
+func FuzzDecodePayload(f *testing.F) {
+	f.Add([]byte(`{"command":"ls"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var shell ShellSpec
+		_ = DecodePayload(data, &shell)
+		var py PythonSpec
+		_ = DecodePayload(data, &py)
+	})
+}
+
+// FuzzUUIDValid checks Valid never panics and accepts only 36-byte
+// canonical forms.
+func FuzzUUIDValid(f *testing.F) {
+	f.Add(string(NewUUID()))
+	f.Add("")
+	f.Add("zzzzzzzz-zzzz-zzzz-zzzz-zzzzzzzzzzzz")
+	f.Fuzz(func(t *testing.T, s string) {
+		if UUID(s).Valid() && len(s) != 36 {
+			t.Fatalf("Valid accepted %d-byte string %q", len(s), s)
+		}
+	})
+}

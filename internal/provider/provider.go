@@ -1,0 +1,343 @@
+// Package provider implements the Parsl Provider abstraction the Globus
+// Compute agent uses to provision compute resources: an interface to request
+// blocks of nodes, poll their status, and release them, with implementations
+// for Slurm-like and PBS-like batch schedulers (backed by the scheduler
+// simulator), local processes, and a Kubernetes-style pod provider.
+package provider
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/scheduler"
+)
+
+// BlockState is the provider-level view of a provisioned block (pilot job).
+type BlockState string
+
+const (
+	BlockRequested  BlockState = "requested"
+	BlockActive     BlockState = "active"
+	BlockTerminated BlockState = "terminated"
+	BlockFailed     BlockState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s BlockState) Terminal() bool {
+	return s == BlockTerminated || s == BlockFailed
+}
+
+// ErrUnknownBlock is returned for status/cancel of an unknown block ID.
+var ErrUnknownBlock = errors.New("provider: unknown block")
+
+// BlockInfo describes a provisioned block handed to its launch function.
+type BlockInfo struct {
+	ID    string
+	Nodes []string
+	// Env carries scheduler environment (SLURM_*/PBS_*) when applicable.
+	Env map[string]string
+}
+
+// LaunchFunc is the pilot-job body: it runs on the provisioned block (here,
+// in a goroutine bound to the block's allocation) and returns when the block
+// should be released. ctx is cancelled on walltime expiry or CancelBlock.
+type LaunchFunc func(ctx context.Context, block BlockInfo) error
+
+// Provider provisions blocks of nodes.
+type Provider interface {
+	// SubmitBlock requests one block; launch runs once it is provisioned.
+	SubmitBlock(launch LaunchFunc) (string, error)
+	// BlockStatus reports the current state of a block.
+	BlockStatus(id string) (BlockState, error)
+	// CancelBlock releases a block, cancelling its launch context.
+	CancelBlock(id string) error
+	// NodesPerBlock reports the size of each provisioned block.
+	NodesPerBlock() int
+	// Label names the provider for logs and metrics.
+	Label() string
+}
+
+// --- batch provider (Slurm / PBS over the scheduler simulator) ---
+
+// BatchConfig configures a batch provider.
+type BatchConfig struct {
+	Scheduler     *scheduler.Scheduler
+	Partition     string
+	NodesPerBlock int
+	Walltime      time.Duration
+	Account       string
+	// LabelName overrides the default label.
+	LabelName string
+}
+
+// Batch is a provider that provisions via the batch scheduler simulator,
+// covering both SlurmProvider and PBSProProvider behaviour (the flavor comes
+// from the scheduler's configuration).
+type Batch struct {
+	cfg BatchConfig
+
+	mu     sync.Mutex
+	blocks map[string]protocol.UUID // block ID -> scheduler job ID
+}
+
+// NewBatch returns a batch provider.
+func NewBatch(cfg BatchConfig) (*Batch, error) {
+	if cfg.Scheduler == nil {
+		return nil, errors.New("provider: batch requires a scheduler")
+	}
+	if cfg.NodesPerBlock <= 0 {
+		cfg.NodesPerBlock = 1
+	}
+	return &Batch{cfg: cfg, blocks: make(map[string]protocol.UUID)}, nil
+}
+
+// Label implements Provider.
+func (b *Batch) Label() string {
+	if b.cfg.LabelName != "" {
+		return b.cfg.LabelName
+	}
+	return "batch"
+}
+
+// NodesPerBlock implements Provider.
+func (b *Batch) NodesPerBlock() int { return b.cfg.NodesPerBlock }
+
+// SubmitBlock implements Provider: it submits a pilot job to the scheduler.
+func (b *Batch) SubmitBlock(launch LaunchFunc) (string, error) {
+	jobID, err := b.cfg.Scheduler.Submit(scheduler.JobSpec{
+		Partition: b.cfg.Partition,
+		Nodes:     b.cfg.NodesPerBlock,
+		Walltime:  b.cfg.Walltime,
+		User:      b.cfg.Account,
+		Name:      "gc-pilot",
+		Script: func(ctx context.Context, alloc scheduler.Allocation) error {
+			return launch(ctx, BlockInfo{ID: string(alloc.JobID), Nodes: alloc.Nodes, Env: alloc.Env})
+		},
+	})
+	if err != nil {
+		return "", fmt.Errorf("provider: submit block: %w", err)
+	}
+	id := string(jobID)
+	b.mu.Lock()
+	b.blocks[id] = jobID
+	b.mu.Unlock()
+	return id, nil
+}
+
+// BlockStatus implements Provider.
+func (b *Batch) BlockStatus(id string) (BlockState, error) {
+	b.mu.Lock()
+	jobID, ok := b.blocks[id]
+	b.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownBlock, id)
+	}
+	info, err := b.cfg.Scheduler.Status(jobID)
+	if err != nil {
+		return "", err
+	}
+	switch info.State {
+	case scheduler.JobPending:
+		return BlockRequested, nil
+	case scheduler.JobRunning:
+		return BlockActive, nil
+	case scheduler.JobCompleted, scheduler.JobCancelled, scheduler.JobTimeout:
+		return BlockTerminated, nil
+	default:
+		return BlockFailed, nil
+	}
+}
+
+// CancelBlock implements Provider.
+func (b *Batch) CancelBlock(id string) error {
+	b.mu.Lock()
+	jobID, ok := b.blocks[id]
+	b.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownBlock, id)
+	}
+	return b.cfg.Scheduler.Cancel(jobID)
+}
+
+// --- local provider ---
+
+// Local provisions "blocks" as in-process goroutines on synthetic localhost
+// nodes, mirroring Parsl's LocalProvider for laptops and login nodes.
+type Local struct {
+	// Nodes is the number of synthetic nodes per block (default 1).
+	Nodes int
+
+	mu     sync.Mutex
+	nextID int
+	blocks map[string]*localBlock
+}
+
+type localBlock struct {
+	cancel context.CancelFunc
+	state  BlockState
+	done   chan struct{}
+}
+
+// NewLocal returns a local provider with nodesPerBlock synthetic nodes.
+func NewLocal(nodesPerBlock int) *Local {
+	if nodesPerBlock <= 0 {
+		nodesPerBlock = 1
+	}
+	return &Local{Nodes: nodesPerBlock, blocks: make(map[string]*localBlock)}
+}
+
+// Label implements Provider.
+func (l *Local) Label() string { return "local" }
+
+// NodesPerBlock implements Provider.
+func (l *Local) NodesPerBlock() int { return l.Nodes }
+
+// SubmitBlock implements Provider.
+func (l *Local) SubmitBlock(launch LaunchFunc) (string, error) {
+	l.mu.Lock()
+	l.nextID++
+	id := fmt.Sprintf("local-%d", l.nextID)
+	ctx, cancel := context.WithCancel(context.Background())
+	blk := &localBlock{cancel: cancel, state: BlockActive, done: make(chan struct{})}
+	l.blocks[id] = blk
+	l.mu.Unlock()
+
+	nodes := make([]string, l.Nodes)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("localhost-%d", i)
+	}
+	go func() {
+		defer close(blk.done)
+		err := launch(ctx, BlockInfo{ID: id, Nodes: nodes, Env: map[string]string{"GC_LOCAL_BLOCK": id}})
+		l.mu.Lock()
+		if err != nil && ctx.Err() == nil {
+			blk.state = BlockFailed
+		} else {
+			blk.state = BlockTerminated
+		}
+		l.mu.Unlock()
+	}()
+	return id, nil
+}
+
+// BlockStatus implements Provider.
+func (l *Local) BlockStatus(id string) (BlockState, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	blk, ok := l.blocks[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownBlock, id)
+	}
+	return blk.state, nil
+}
+
+// CancelBlock implements Provider.
+func (l *Local) CancelBlock(id string) error {
+	l.mu.Lock()
+	blk, ok := l.blocks[id]
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownBlock, id)
+	}
+	blk.cancel()
+	<-blk.done
+	return nil
+}
+
+// --- kubernetes-style provider ---
+
+// Kubernetes simulates a pod-per-block provider: each block is one
+// single-node "pod" that becomes ready after a startup delay (image pull +
+// container start), mirroring the KubernetesProvider used by cloud-adjacent
+// endpoints.
+type Kubernetes struct {
+	// StartupDelay models pod scheduling and image pull time.
+	StartupDelay time.Duration
+	// Namespace is recorded in the block environment.
+	Namespace string
+
+	mu     sync.Mutex
+	nextID int
+	pods   map[string]*localBlock
+}
+
+// NewKubernetes returns a pod provider.
+func NewKubernetes(startupDelay time.Duration, namespace string) *Kubernetes {
+	if namespace == "" {
+		namespace = "default"
+	}
+	return &Kubernetes{StartupDelay: startupDelay, Namespace: namespace, pods: make(map[string]*localBlock)}
+}
+
+// Label implements Provider.
+func (k *Kubernetes) Label() string { return "kubernetes" }
+
+// NodesPerBlock implements Provider: one pod per block.
+func (k *Kubernetes) NodesPerBlock() int { return 1 }
+
+// SubmitBlock implements Provider.
+func (k *Kubernetes) SubmitBlock(launch LaunchFunc) (string, error) {
+	k.mu.Lock()
+	k.nextID++
+	id := fmt.Sprintf("pod-%d", k.nextID)
+	ctx, cancel := context.WithCancel(context.Background())
+	blk := &localBlock{cancel: cancel, state: BlockRequested, done: make(chan struct{})}
+	k.pods[id] = blk
+	k.mu.Unlock()
+
+	go func() {
+		defer close(blk.done)
+		select {
+		case <-time.After(k.StartupDelay):
+		case <-ctx.Done():
+			k.mu.Lock()
+			blk.state = BlockTerminated
+			k.mu.Unlock()
+			return
+		}
+		k.mu.Lock()
+		blk.state = BlockActive
+		k.mu.Unlock()
+		err := launch(ctx, BlockInfo{
+			ID:    id,
+			Nodes: []string{id},
+			Env:   map[string]string{"KUBERNETES_NAMESPACE": k.Namespace, "POD_NAME": id},
+		})
+		k.mu.Lock()
+		if err != nil && ctx.Err() == nil {
+			blk.state = BlockFailed
+		} else {
+			blk.state = BlockTerminated
+		}
+		k.mu.Unlock()
+	}()
+	return id, nil
+}
+
+// BlockStatus implements Provider.
+func (k *Kubernetes) BlockStatus(id string) (BlockState, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	blk, ok := k.pods[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownBlock, id)
+	}
+	return blk.state, nil
+}
+
+// CancelBlock implements Provider.
+func (k *Kubernetes) CancelBlock(id string) error {
+	k.mu.Lock()
+	blk, ok := k.pods[id]
+	k.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownBlock, id)
+	}
+	blk.cancel()
+	<-blk.done
+	return nil
+}

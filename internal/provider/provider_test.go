@@ -1,0 +1,223 @@
+package provider
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"globuscompute/internal/scheduler"
+)
+
+func waitBlockState(t *testing.T, p Provider, id string, want BlockState, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := p.BlockStatus(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("block %s state = %s, want %s", id, st, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestBatchProviderLifecycle(t *testing.T) {
+	sched := scheduler.SimpleCluster(4)
+	defer sched.Close()
+	p, err := NewBatch(BatchConfig{Scheduler: sched, Partition: "default", NodesPerBlock: 2, LabelName: "slurm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Label() != "slurm" || p.NodesPerBlock() != 2 {
+		t.Errorf("label=%s npb=%d", p.Label(), p.NodesPerBlock())
+	}
+
+	gotNodes := make(chan []string, 1)
+	release := make(chan struct{})
+	id, err := p.SubmitBlock(func(ctx context.Context, blk BlockInfo) error {
+		gotNodes <- blk.Nodes
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitBlockState(t, p, id, BlockActive, 2*time.Second)
+	nodes := <-gotNodes
+	if len(nodes) != 2 {
+		t.Errorf("nodes = %v", nodes)
+	}
+	close(release)
+	waitBlockState(t, p, id, BlockTerminated, 2*time.Second)
+}
+
+func TestBatchProviderCancel(t *testing.T) {
+	sched := scheduler.SimpleCluster(1)
+	defer sched.Close()
+	p, _ := NewBatch(BatchConfig{Scheduler: sched})
+	started := make(chan struct{})
+	id, _ := p.SubmitBlock(func(ctx context.Context, _ BlockInfo) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	<-started
+	if err := p.CancelBlock(id); err != nil {
+		t.Fatal(err)
+	}
+	waitBlockState(t, p, id, BlockTerminated, 2*time.Second)
+}
+
+func TestBatchProviderPendingIsRequested(t *testing.T) {
+	sched := scheduler.SimpleCluster(1)
+	defer sched.Close()
+	p, _ := NewBatch(BatchConfig{Scheduler: sched})
+	release := make(chan struct{})
+	defer close(release)
+	hold := func(ctx context.Context, _ BlockInfo) error {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	}
+	p.SubmitBlock(hold)
+	id2, _ := p.SubmitBlock(hold)
+	st, err := p.BlockStatus(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != BlockRequested {
+		t.Errorf("queued block state = %s, want requested", st)
+	}
+}
+
+func TestBatchProviderValidation(t *testing.T) {
+	if _, err := NewBatch(BatchConfig{}); err == nil {
+		t.Error("NewBatch without scheduler succeeded")
+	}
+	sched := scheduler.SimpleCluster(1)
+	defer sched.Close()
+	p, _ := NewBatch(BatchConfig{Scheduler: sched})
+	if _, err := p.BlockStatus("bogus"); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("status = %v", err)
+	}
+	if err := p.CancelBlock("bogus"); !errors.Is(err, ErrUnknownBlock) {
+		t.Errorf("cancel = %v", err)
+	}
+}
+
+func TestLocalProvider(t *testing.T) {
+	p := NewLocal(3)
+	if p.NodesPerBlock() != 3 || p.Label() != "local" {
+		t.Errorf("npb=%d label=%s", p.NodesPerBlock(), p.Label())
+	}
+	done := make(chan BlockInfo, 1)
+	id, err := p.SubmitBlock(func(_ context.Context, blk BlockInfo) error {
+		done <- blk
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := <-done
+	if len(blk.Nodes) != 3 {
+		t.Errorf("nodes = %v", blk.Nodes)
+	}
+	waitBlockState(t, p, id, BlockTerminated, 2*time.Second)
+}
+
+func TestLocalProviderFailure(t *testing.T) {
+	p := NewLocal(1)
+	id, _ := p.SubmitBlock(func(context.Context, BlockInfo) error {
+		return errors.New("launch failed")
+	})
+	waitBlockState(t, p, id, BlockFailed, 2*time.Second)
+}
+
+func TestLocalProviderCancel(t *testing.T) {
+	p := NewLocal(1)
+	started := make(chan struct{})
+	id, _ := p.SubmitBlock(func(ctx context.Context, _ BlockInfo) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	<-started
+	if err := p.CancelBlock(id); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := p.BlockStatus(id)
+	if !st.Terminal() {
+		t.Errorf("state after cancel = %s", st)
+	}
+}
+
+func TestKubernetesProviderStartupDelay(t *testing.T) {
+	p := NewKubernetes(30*time.Millisecond, "compute")
+	started := time.Now()
+	ready := make(chan time.Time, 1)
+	id, err := p.SubmitBlock(func(_ context.Context, blk BlockInfo) error {
+		if blk.Env["KUBERNETES_NAMESPACE"] != "compute" {
+			t.Errorf("env = %v", blk.Env)
+		}
+		ready <- time.Now()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := p.BlockStatus(id)
+	if st != BlockRequested {
+		t.Errorf("immediate state = %s, want requested (pod pending)", st)
+	}
+	at := <-ready
+	if at.Sub(started) < 30*time.Millisecond {
+		t.Errorf("pod ready after %s, want >= 30ms", at.Sub(started))
+	}
+	waitBlockState(t, p, id, BlockTerminated, 2*time.Second)
+}
+
+func TestKubernetesCancelDuringStartup(t *testing.T) {
+	p := NewKubernetes(10*time.Second, "")
+	launched := make(chan struct{}, 1)
+	id, _ := p.SubmitBlock(func(context.Context, BlockInfo) error {
+		launched <- struct{}{}
+		return nil
+	})
+	if err := p.CancelBlock(id); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-launched:
+		t.Error("launch ran despite cancellation during startup")
+	case <-time.After(50 * time.Millisecond):
+	}
+	st, _ := p.BlockStatus(id)
+	if st != BlockTerminated {
+		t.Errorf("state = %s", st)
+	}
+}
+
+func TestProviderInterfaceCompliance(t *testing.T) {
+	sched := scheduler.SimpleCluster(1)
+	defer sched.Close()
+	batch, _ := NewBatch(BatchConfig{Scheduler: sched})
+	for _, p := range []Provider{batch, NewLocal(1), NewKubernetes(0, "")} {
+		if p.Label() == "" {
+			t.Errorf("%T has empty label", p)
+		}
+		if p.NodesPerBlock() < 1 {
+			t.Errorf("%T nodes per block = %d", p, p.NodesPerBlock())
+		}
+	}
+}

@@ -1,0 +1,463 @@
+// Package proxystore reimplements the ProxyStore model the paper adopts for
+// pass-by-reference data movement (§V-B): objects live in a store reached
+// through a pluggable connector (memory, shared filesystem, the object
+// store service); producers replace large values with lightweight proxies;
+// consumers resolve a proxy on first use, with per-process caching for
+// objects shared by many tasks. Proxied task arguments and results bypass
+// the cloud service's 10 MB payload limit entirely.
+package proxystore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"globuscompute/internal/metrics"
+	"globuscompute/internal/objectstore"
+	"globuscompute/internal/serialize"
+)
+
+// Common errors.
+var (
+	ErrNotFound     = errors.New("proxystore: object not found")
+	ErrUnknownStore = errors.New("proxystore: unknown store")
+	ErrReleased     = errors.New("proxystore: proxy target released")
+	ErrBadReference = errors.New("proxystore: malformed reference")
+)
+
+// Connector moves bytes to and from a storage medium. Implementations
+// cover the paper's in-site options (memory, shared filesystem, object
+// store); wide-area options are modeled by the transfer package.
+type Connector interface {
+	Name() string
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	Exists(key string) bool
+}
+
+// --- connectors ---
+
+// MemoryConnector keeps objects in process memory (the Redis/margo-style
+// in-site store).
+type MemoryConnector struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+}
+
+// NewMemoryConnector returns an empty in-memory connector.
+func NewMemoryConnector() *MemoryConnector {
+	return &MemoryConnector{objects: make(map[string][]byte)}
+}
+
+// Name implements Connector.
+func (m *MemoryConnector) Name() string { return "memory" }
+
+// Put implements Connector.
+func (m *MemoryConnector) Put(key string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.objects[key] = append([]byte(nil), data...)
+	return nil
+}
+
+// Get implements Connector.
+func (m *MemoryConnector) Get(key string) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Delete implements Connector.
+func (m *MemoryConnector) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.objects, key)
+	return nil
+}
+
+// Exists implements Connector.
+func (m *MemoryConnector) Exists(key string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.objects[key]
+	return ok
+}
+
+// FileConnector stores objects as files under a directory (the shared
+// filesystem option on HPC systems).
+type FileConnector struct {
+	dir string
+}
+
+// NewFileConnector uses dir (created if absent).
+func NewFileConnector(dir string) (*FileConnector, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("proxystore: file connector: %w", err)
+	}
+	return &FileConnector{dir: dir}, nil
+}
+
+// Name implements Connector.
+func (f *FileConnector) Name() string { return "file" }
+
+func (f *FileConnector) path(key string) (string, error) {
+	if key == "" || strings.ContainsAny(key, "/\\") {
+		return "", fmt.Errorf("%w: bad key %q", ErrBadReference, key)
+	}
+	return filepath.Join(f.dir, key), nil
+}
+
+// Put implements Connector.
+func (f *FileConnector) Put(key string, data []byte) error {
+	p, err := f.path(key)
+	if err != nil {
+		return err
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, p)
+}
+
+// Get implements Connector.
+func (f *FileConnector) Get(key string) ([]byte, error) {
+	p, err := f.path(key)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return data, err
+}
+
+// Delete implements Connector.
+func (f *FileConnector) Delete(key string) error {
+	p, err := f.path(key)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Exists implements Connector.
+func (f *FileConnector) Exists(key string) bool {
+	p, err := f.path(key)
+	if err != nil {
+		return false
+	}
+	_, statErr := os.Stat(p)
+	return statErr == nil
+}
+
+// ObjectStoreConnector bridges to the object store service (or its HTTP
+// client) so proxies can reference S3-style storage.
+type ObjectStoreConnector struct {
+	// Backend is anything with the object-store Put/Get/Delete shape.
+	Backend interface {
+		Put(key string, data []byte) error
+		Get(key string) ([]byte, error)
+		Delete(key string) error
+	}
+}
+
+// Name implements Connector.
+func (o ObjectStoreConnector) Name() string { return "objectstore" }
+
+// Put implements Connector.
+func (o ObjectStoreConnector) Put(key string, data []byte) error { return o.Backend.Put(key, data) }
+
+// Get implements Connector, translating the backend's not-found error.
+func (o ObjectStoreConnector) Get(key string) ([]byte, error) {
+	data, err := o.Backend.Get(key)
+	if errors.Is(err, objectstore.ErrNotFound) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return data, err
+}
+
+// Delete implements Connector.
+func (o ObjectStoreConnector) Delete(key string) error { return o.Backend.Delete(key) }
+
+// Exists implements Connector.
+func (o ObjectStoreConnector) Exists(key string) bool {
+	_, err := o.Backend.Get(key)
+	return err == nil
+}
+
+// --- store ---
+
+// Reference is the serializable proxy token that travels inside task
+// payloads in place of the object (pass-by-reference).
+type Reference struct {
+	Store string `json:"ps_store"`
+	Key   string `json:"ps_key"`
+	Size  int    `json:"ps_size"`
+	// Owned marks evict-on-first-resolve semantics (OwnedProxy pattern:
+	// the consumer that resolves it releases the target).
+	Owned bool `json:"ps_owned,omitempty"`
+}
+
+// Store names a connector and provides proxy/resolve with caching.
+type Store struct {
+	name string
+	conn Connector
+	// cache holds recently resolved objects for reuse across tasks in the
+	// same process.
+	cacheMu  sync.Mutex
+	cache    map[string][]byte
+	cacheCap int
+	cacheSeq []string // FIFO eviction order
+
+	Metrics *metrics.Registry
+}
+
+// NewStore builds a store over a connector. cacheCap bounds the resolve
+// cache entry count (<=0 disables caching).
+func NewStore(name string, conn Connector, cacheCap int) (*Store, error) {
+	if name == "" {
+		return nil, errors.New("proxystore: store requires a name")
+	}
+	if conn == nil {
+		return nil, errors.New("proxystore: store requires a connector")
+	}
+	return &Store{
+		name: name, conn: conn,
+		cache: make(map[string][]byte), cacheCap: cacheCap,
+		Metrics: metrics.NewRegistry(),
+	}, nil
+}
+
+// Name returns the store name used in references.
+func (s *Store) Name() string { return s.name }
+
+// Put serializes v (JSON envelope) into the connector and returns a proxy.
+func (s *Store) Put(v any) (*Proxy, error) {
+	data, err := serialize.Encode(v, serialize.Options{Codec: serialize.CodecJSON, Compress: true, CompressAbove: 4 << 10, Limit: 1 << 31})
+	if err != nil {
+		return nil, err
+	}
+	return s.PutBytes(data)
+}
+
+// PutBytes stores pre-serialized bytes under a content-addressed key.
+func (s *Store) PutBytes(data []byte) (*Proxy, error) {
+	sum := sha256.Sum256(data)
+	key := hex.EncodeToString(sum[:16])
+	if err := s.conn.Put(key, data); err != nil {
+		return nil, err
+	}
+	s.Metrics.Counter("proxied").Inc()
+	s.Metrics.Counter("proxied_bytes").Add(int64(len(data)))
+	return &Proxy{ref: Reference{Store: s.name, Key: key, Size: len(data)}, store: s}, nil
+}
+
+// PutOwned stores bytes with evict-on-resolve semantics: the first resolve
+// deletes the target (the ownership pattern of the OOPSLA follow-up the
+// paper cites for lifetime management).
+func (s *Store) PutOwned(data []byte) (*Proxy, error) {
+	p, err := s.PutBytes(data)
+	if err != nil {
+		return nil, err
+	}
+	p.ref.Owned = true
+	return p, nil
+}
+
+// resolve fetches the bytes behind a reference, consulting the cache.
+func (s *Store) resolve(ref Reference) ([]byte, error) {
+	if s.cacheCap > 0 && !ref.Owned {
+		s.cacheMu.Lock()
+		if data, ok := s.cache[ref.Key]; ok {
+			s.cacheMu.Unlock()
+			s.Metrics.Counter("cache_hits").Inc()
+			return data, nil
+		}
+		s.cacheMu.Unlock()
+	}
+	data, err := s.conn.Get(ref.Key)
+	if err != nil {
+		if errors.Is(err, ErrNotFound) && ref.Owned {
+			return nil, fmt.Errorf("%w: %q", ErrReleased, ref.Key)
+		}
+		return nil, err
+	}
+	s.Metrics.Counter("resolves").Inc()
+	if ref.Owned {
+		_ = s.conn.Delete(ref.Key)
+	} else if s.cacheCap > 0 {
+		s.cacheMu.Lock()
+		if _, dup := s.cache[ref.Key]; !dup {
+			if len(s.cacheSeq) >= s.cacheCap {
+				oldest := s.cacheSeq[0]
+				s.cacheSeq = s.cacheSeq[1:]
+				delete(s.cache, oldest)
+			}
+			s.cache[ref.Key] = data
+			s.cacheSeq = append(s.cacheSeq, ref.Key)
+		}
+		s.cacheMu.Unlock()
+	}
+	return data, nil
+}
+
+// Evict removes an object from the connector and cache.
+func (s *Store) Evict(ref Reference) error {
+	s.cacheMu.Lock()
+	delete(s.cache, ref.Key)
+	s.cacheMu.Unlock()
+	return s.conn.Delete(ref.Key)
+}
+
+// Proxy is the transparent-object-proxy analogue: a handle that resolves
+// its target on first use and caches the resolution. (Go cannot intercept
+// attribute access, so resolution is an explicit method — the factory
+// indirection and the pass-by-reference wire format are preserved.)
+type Proxy struct {
+	ref   Reference
+	store *Store
+
+	once sync.Once
+	data []byte
+	err  error
+}
+
+// Reference returns the wire token for embedding in task payloads.
+func (p *Proxy) Reference() Reference { return p.ref }
+
+// Resolve fetches (once) and returns the serialized bytes.
+func (p *Proxy) Resolve() ([]byte, error) {
+	p.once.Do(func() {
+		p.data, p.err = p.store.resolve(p.ref)
+	})
+	return p.data, p.err
+}
+
+// ResolveInto decodes the target into v.
+func (p *Proxy) ResolveInto(v any) error {
+	data, err := p.Resolve()
+	if err != nil {
+		return err
+	}
+	return serialize.Decode(data, v)
+}
+
+// Release deletes the proxy target.
+func (p *Proxy) Release() error { return p.store.Evict(p.ref) }
+
+// --- registry ---
+
+// Registry resolves references by store name; worker processes register the
+// stores they can reach (factory lookup in the paper's terms).
+type Registry struct {
+	mu     sync.RWMutex
+	stores map[string]*Store
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{stores: make(map[string]*Store)}
+}
+
+// Register adds a store.
+func (r *Registry) Register(s *Store) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stores[s.name] = s
+}
+
+// Lookup finds a store.
+func (r *Registry) Lookup(name string) (*Store, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.stores[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownStore, name)
+	}
+	return s, nil
+}
+
+// ResolveReference fetches the bytes behind a wire reference.
+func (r *Registry) ResolveReference(ref Reference) ([]byte, error) {
+	s, err := r.Lookup(ref.Store)
+	if err != nil {
+		return nil, err
+	}
+	return s.resolve(ref)
+}
+
+// --- policy ---
+
+// Policy decides which values get proxied, mirroring ProxyStore's
+// size-based executor policy.
+type Policy struct {
+	// MinSize proxies serialized values at or above this many bytes.
+	MinSize int
+}
+
+// ShouldProxy applies the policy to a serialized size.
+func (p Policy) ShouldProxy(size int) bool {
+	return p.MinSize > 0 && size >= p.MinSize
+}
+
+// MaybeProxy encodes v and either returns the inline JSON (small values) or
+// stores it and returns the reference JSON (large values). The returned
+// boolean reports whether a proxy was created.
+func MaybeProxy(store *Store, policy Policy, v any) (json.RawMessage, bool, error) {
+	inline, err := json.Marshal(v)
+	if err != nil {
+		return nil, false, err
+	}
+	if !policy.ShouldProxy(len(inline)) {
+		return inline, false, nil
+	}
+	proxy, err := store.Put(v)
+	if err != nil {
+		return nil, false, err
+	}
+	refJSON, err := json.Marshal(proxy.Reference())
+	if err != nil {
+		return nil, false, err
+	}
+	return refJSON, true, nil
+}
+
+// MaybeResolve inspects raw JSON: if it is a proxy reference, it resolves
+// through the registry and returns the original serialized value; otherwise
+// it returns raw unchanged.
+func MaybeResolve(reg *Registry, raw json.RawMessage) (json.RawMessage, bool, error) {
+	var ref Reference
+	if err := json.Unmarshal(raw, &ref); err != nil || ref.Store == "" || ref.Key == "" {
+		return raw, false, nil
+	}
+	data, err := reg.ResolveReference(ref)
+	if err != nil {
+		return nil, true, err
+	}
+	var v any
+	if err := serialize.Decode(data, &v); err != nil {
+		return nil, true, err
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		return nil, true, err
+	}
+	return out, true, nil
+}

@@ -1,0 +1,452 @@
+// Package scheduler simulates an HPC batch scheduler (Slurm/PBS semantics):
+// a cluster of named nodes organized into partitions, a FIFO job queue with
+// optional backfill, exclusive node allocation, and walltime enforcement.
+//
+// Jobs carry a Script callback that runs when the job starts, with the
+// allocation (node list and scheduler-style environment variables such as
+// SLURM_JOB_NODELIST / PBS_NODEFILE contents) available — exactly what the
+// endpoint's pilot-job engine reads to discover its resources. The Globus
+// Compute Provider abstraction (internal/provider) submits pilot jobs here
+// the way the real agent submits to sbatch/qsub.
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"globuscompute/internal/protocol"
+)
+
+// Common errors.
+var (
+	ErrUnknownJob       = errors.New("scheduler: unknown job")
+	ErrUnknownPartition = errors.New("scheduler: unknown partition")
+	ErrTooManyNodes     = errors.New("scheduler: request exceeds partition limit")
+	ErrWalltimeExceeded = errors.New("scheduler: requested walltime exceeds partition limit")
+	ErrClosed           = errors.New("scheduler: shut down")
+)
+
+// JobState is the scheduler's view of a job.
+type JobState string
+
+const (
+	JobPending   JobState = "PENDING"
+	JobRunning   JobState = "RUNNING"
+	JobCompleted JobState = "COMPLETED"
+	JobFailed    JobState = "FAILED"
+	JobCancelled JobState = "CANCELLED"
+	JobTimeout   JobState = "TIMEOUT"
+)
+
+// Terminal reports whether s is final.
+func (s JobState) Terminal() bool {
+	switch s {
+	case JobCompleted, JobFailed, JobCancelled, JobTimeout:
+		return true
+	}
+	return false
+}
+
+// Partition groups nodes under limits, like a Slurm partition or PBS queue.
+type Partition struct {
+	Name string
+	// Nodes lists member node names.
+	Nodes []string
+	// MaxWalltime bounds per-job walltime (0 = unlimited).
+	MaxWalltime time.Duration
+	// MaxNodesPerJob bounds per-job node counts (0 = partition size).
+	MaxNodesPerJob int
+}
+
+// Allocation describes the resources granted to a running job.
+type Allocation struct {
+	JobID protocol.UUID
+	// Nodes are the granted node names, in stable order.
+	Nodes []string
+	// Env carries scheduler-style environment: SLURM_JOB_ID,
+	// SLURM_JOB_NODELIST, SLURM_NNODES, PBS_NODEFILE-equivalent contents.
+	Env map[string]string
+}
+
+// Script is the job body: it runs when the job starts and the job completes
+// when it returns. ctx is cancelled at walltime or scancel.
+type Script func(ctx context.Context, alloc Allocation) error
+
+// JobSpec is a batch submission.
+type JobSpec struct {
+	Partition string
+	Nodes     int
+	Walltime  time.Duration
+	User      string
+	Name      string
+	// Priority orders the pending queue (higher first; ties by submission
+	// order), like Slurm's priority factor.
+	Priority int
+	Script   Script
+}
+
+// JobInfo is a point-in-time job status snapshot.
+type JobInfo struct {
+	ID        protocol.UUID
+	Spec      JobSpec
+	State     JobState
+	Nodes     []string
+	Submitted time.Time
+	Started   time.Time
+	Ended     time.Time
+	// Reason is set for failures and cancellations.
+	Reason string
+}
+
+type job struct {
+	info   JobInfo
+	cancel context.CancelFunc
+}
+
+// Scheduler is a simulated batch system. Safe for concurrent use.
+type Scheduler struct {
+	mu         sync.Mutex
+	partitions map[string]*Partition
+	// free tracks unallocated nodes per partition (set semantics).
+	free   map[string]map[string]bool
+	jobs   map[protocol.UUID]*job
+	queue  []protocol.UUID // pending jobs in submit order
+	closed bool
+	// Backfill allows later pending jobs to start ahead of blocked earlier
+	// ones when they fit (simple, non-reserving backfill).
+	Backfill bool
+	// Flavor controls the environment variables exposed to scripts:
+	// "slurm" (default) or "pbs".
+	Flavor string
+	// fair tracks decayed per-user usage when fairshare is enabled.
+	fair       *fairshare
+	fairWeight float64
+
+	wg sync.WaitGroup
+}
+
+// Config describes the simulated cluster.
+type Config struct {
+	Partitions []Partition
+	Backfill   bool
+	Flavor     string
+}
+
+// New builds a scheduler from config. Node names must be unique within a
+// partition.
+func New(cfg Config) (*Scheduler, error) {
+	if len(cfg.Partitions) == 0 {
+		return nil, errors.New("scheduler: no partitions configured")
+	}
+	s := &Scheduler{
+		partitions: make(map[string]*Partition),
+		free:       make(map[string]map[string]bool),
+		jobs:       make(map[protocol.UUID]*job),
+		Backfill:   cfg.Backfill,
+		Flavor:     cfg.Flavor,
+	}
+	if s.Flavor == "" {
+		s.Flavor = "slurm"
+	}
+	for i := range cfg.Partitions {
+		p := cfg.Partitions[i]
+		if p.Name == "" {
+			return nil, errors.New("scheduler: partition without a name")
+		}
+		if len(p.Nodes) == 0 {
+			return nil, fmt.Errorf("scheduler: partition %q has no nodes", p.Name)
+		}
+		if _, dup := s.partitions[p.Name]; dup {
+			return nil, fmt.Errorf("scheduler: duplicate partition %q", p.Name)
+		}
+		freeSet := make(map[string]bool, len(p.Nodes))
+		for _, n := range p.Nodes {
+			if freeSet[n] {
+				return nil, fmt.Errorf("scheduler: duplicate node %q in partition %q", n, p.Name)
+			}
+			freeSet[n] = true
+		}
+		s.partitions[p.Name] = &p
+		s.free[p.Name] = freeSet
+	}
+	return s, nil
+}
+
+// SimpleCluster builds a single-partition cluster with n nodes named
+// node-000..node-(n-1) and no limits.
+func SimpleCluster(n int) *Scheduler {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node-%03d", i)
+	}
+	s, err := New(Config{Partitions: []Partition{{Name: "default", Nodes: nodes}}, Backfill: true})
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Submit enqueues a job and returns its ID. The scheduling pass runs
+// immediately, so a fitting job on an idle cluster starts before Submit
+// returns.
+func (s *Scheduler) Submit(spec JobSpec) (protocol.UUID, error) {
+	if spec.Script == nil {
+		return "", errors.New("scheduler: job without script")
+	}
+	if spec.Nodes <= 0 {
+		spec.Nodes = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", ErrClosed
+	}
+	if spec.Partition == "" {
+		// Single-partition clusters accept unqualified submissions.
+		if len(s.partitions) == 1 {
+			for name := range s.partitions {
+				spec.Partition = name
+			}
+		} else {
+			return "", fmt.Errorf("%w: partition required", ErrUnknownPartition)
+		}
+	}
+	p, ok := s.partitions[spec.Partition]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownPartition, spec.Partition)
+	}
+	maxNodes := p.MaxNodesPerJob
+	if maxNodes == 0 {
+		maxNodes = len(p.Nodes)
+	}
+	if spec.Nodes > maxNodes {
+		return "", fmt.Errorf("%w: %d > %d in partition %q", ErrTooManyNodes, spec.Nodes, maxNodes, spec.Partition)
+	}
+	if p.MaxWalltime > 0 && spec.Walltime > p.MaxWalltime {
+		return "", fmt.Errorf("%w: %s > %s", ErrWalltimeExceeded, spec.Walltime, p.MaxWalltime)
+	}
+	id := protocol.NewUUID()
+	s.jobs[id] = &job{info: JobInfo{ID: id, Spec: spec, State: JobPending, Submitted: time.Now()}}
+	s.queue = append(s.queue, id)
+	s.scheduleLocked()
+	return id, nil
+}
+
+// scheduleLocked starts pending jobs in priority order (ties FIFO); with
+// Backfill, jobs that fit may overtake blocked ones.
+func (s *Scheduler) scheduleLocked() {
+	// Stable sort keeps submission order within a priority level;
+	// fairshare (when enabled) folds decayed usage into the rank.
+	sort.SliceStable(s.queue, func(a, b int) bool {
+		return s.effectivePriorityLocked(s.jobs[s.queue[a]]) > s.effectivePriorityLocked(s.jobs[s.queue[b]])
+	})
+	remaining := s.queue[:0]
+	blocked := false
+	for _, id := range s.queue {
+		j := s.jobs[id]
+		if j.info.State != JobPending {
+			continue
+		}
+		if blocked && !s.Backfill {
+			remaining = append(remaining, id)
+			continue
+		}
+		if s.tryStartLocked(j) {
+			continue
+		}
+		blocked = true
+		remaining = append(remaining, id)
+	}
+	s.queue = remaining
+}
+
+func (s *Scheduler) tryStartLocked(j *job) bool {
+	part := j.info.Spec.Partition
+	freeSet := s.free[part]
+	if len(freeSet) < j.info.Spec.Nodes {
+		return false
+	}
+	nodes := make([]string, 0, j.info.Spec.Nodes)
+	for n := range freeSet {
+		nodes = append(nodes, n)
+		if len(nodes) == j.info.Spec.Nodes {
+			break
+		}
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		delete(freeSet, n)
+	}
+	j.info.State = JobRunning
+	j.info.Nodes = nodes
+	j.info.Started = time.Now()
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if wt := j.info.Spec.Walltime; wt > 0 {
+		ctx, cancel = context.WithTimeout(ctx, wt)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	j.cancel = cancel
+
+	alloc := Allocation{JobID: j.info.ID, Nodes: nodes, Env: s.envFor(j.info.ID, nodes)}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		err := j.info.Spec.Script(ctx, alloc)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if j.info.State == JobRunning {
+			switch {
+			case ctx.Err() == context.DeadlineExceeded:
+				j.info.State = JobTimeout
+				j.info.Reason = "walltime exceeded"
+			case err != nil:
+				j.info.State = JobFailed
+				j.info.Reason = err.Error()
+			default:
+				j.info.State = JobCompleted
+			}
+		}
+		j.info.Ended = time.Now()
+		for _, n := range j.info.Nodes {
+			s.free[part][n] = true
+		}
+		if s.fair != nil {
+			s.fair.charge(j.info.Spec.User, len(j.info.Nodes), j.info.Ended.Sub(j.info.Started))
+		}
+		s.scheduleLocked()
+	}()
+	return true
+}
+
+// envFor builds the scheduler environment scripts see.
+func (s *Scheduler) envFor(id protocol.UUID, nodes []string) map[string]string {
+	nodelist := strings.Join(nodes, ",")
+	switch s.Flavor {
+	case "pbs":
+		return map[string]string{
+			"PBS_JOBID":         string(id),
+			"PBS_NODEFILE_DATA": nodelist, // contents of $PBS_NODEFILE
+			"PBS_NUM_NODES":     fmt.Sprint(len(nodes)),
+		}
+	default:
+		return map[string]string{
+			"SLURM_JOB_ID":       string(id),
+			"SLURM_JOB_NODELIST": nodelist,
+			"SLURM_NNODES":       fmt.Sprint(len(nodes)),
+		}
+	}
+}
+
+// Cancel terminates a pending or running job (scancel/qdel).
+func (s *Scheduler) Cancel(id protocol.UUID) error {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	switch j.info.State {
+	case JobPending:
+		j.info.State = JobCancelled
+		j.info.Reason = "cancelled while pending"
+		j.info.Ended = time.Now()
+		s.mu.Unlock()
+		return nil
+	case JobRunning:
+		j.info.State = JobCancelled
+		j.info.Reason = "cancelled"
+		cancel := j.cancel
+		s.mu.Unlock()
+		cancel() // script sees ctx.Done; completion path frees nodes
+		return nil
+	default:
+		s.mu.Unlock()
+		return nil // cancelling a finished job is a no-op
+	}
+}
+
+// Status returns a snapshot of one job.
+func (s *Scheduler) Status(id protocol.UUID) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	info := j.info
+	info.Nodes = append([]string(nil), j.info.Nodes...)
+	return info, nil
+}
+
+// Queue lists all jobs (squeue-style), pending and running first by
+// submission order, then finished.
+func (s *Scheduler) Queue() []JobInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobInfo, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j.info)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Submitted.Before(out[b].Submitted) })
+	return out
+}
+
+// FreeNodes reports currently idle nodes in a partition.
+func (s *Scheduler) FreeNodes(partition string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.free[partition]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownPartition, partition)
+	}
+	return len(f), nil
+}
+
+// TotalNodes reports the size of a partition.
+func (s *Scheduler) TotalNodes(partition string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.partitions[partition]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownPartition, partition)
+	}
+	return len(p.Nodes), nil
+}
+
+// Close cancels all jobs and waits for scripts to finish.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	var cancels []context.CancelFunc
+	for _, j := range s.jobs {
+		if j.info.State == JobPending {
+			j.info.State = JobCancelled
+			j.info.Reason = "scheduler shutdown"
+			j.info.Ended = time.Now()
+		}
+		if j.info.State == JobRunning && j.cancel != nil {
+			j.info.State = JobCancelled
+			j.info.Reason = "scheduler shutdown"
+			cancels = append(cancels, j.cancel)
+		}
+	}
+	s.queue = nil
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	s.wg.Wait()
+}

@@ -1,0 +1,543 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"globuscompute/internal/protocol"
+)
+
+// waitTerminal polls until the job reaches a terminal state or the deadline.
+func waitTerminal(t *testing.T, s *Scheduler, id protocol.UUID, timeout time.Duration) JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		info, err := s.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State.Terminal() {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", info.ID, info.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSimpleJobRuns(t *testing.T) {
+	s := SimpleCluster(2)
+	defer s.Close()
+	ran := make(chan Allocation, 1)
+	id, err := s.Submit(JobSpec{Nodes: 2, Script: func(_ context.Context, a Allocation) error {
+		ran <- a
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case a := <-ran:
+		if len(a.Nodes) != 2 {
+			t.Errorf("allocated %v", a.Nodes)
+		}
+		if a.Env["SLURM_NNODES"] != "2" {
+			t.Errorf("env = %v", a.Env)
+		}
+		if !strings.Contains(a.Env["SLURM_JOB_NODELIST"], ",") {
+			t.Errorf("nodelist = %q", a.Env["SLURM_JOB_NODELIST"])
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("script never ran")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		info, _ := s.Status(id)
+		if info.State == JobCompleted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("state = %s, want COMPLETED", info.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	s := SimpleCluster(1)
+	defer s.Close()
+	id, _ := s.Submit(JobSpec{Script: func(context.Context, Allocation) error {
+		return errors.New("segfault")
+	}})
+	info := waitTerminal(t, s, id, 2*time.Second)
+	if info.State != JobFailed || info.Reason != "segfault" {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestWalltimeTimeout(t *testing.T) {
+	s := SimpleCluster(1)
+	defer s.Close()
+	id, _ := s.Submit(JobSpec{Walltime: 50 * time.Millisecond, Script: func(ctx context.Context, _ Allocation) error {
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	info := waitTerminal(t, s, id, 2*time.Second)
+	if info.State != JobTimeout {
+		t.Errorf("state = %s, want TIMEOUT", info.State)
+	}
+}
+
+func TestCancelPending(t *testing.T) {
+	s := SimpleCluster(1)
+	defer s.Close()
+	block := make(chan struct{})
+	s.Submit(JobSpec{Script: func(ctx context.Context, _ Allocation) error {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil
+	}})
+	id2, _ := s.Submit(JobSpec{Script: func(context.Context, Allocation) error { return nil }})
+	info, _ := s.Status(id2)
+	if info.State != JobPending {
+		t.Fatalf("second job state = %s, want PENDING", info.State)
+	}
+	if err := s.Cancel(id2); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = s.Status(id2)
+	if info.State != JobCancelled {
+		t.Errorf("state = %s", info.State)
+	}
+	close(block)
+}
+
+func TestCancelRunning(t *testing.T) {
+	s := SimpleCluster(1)
+	defer s.Close()
+	started := make(chan struct{})
+	id, _ := s.Submit(JobSpec{Script: func(ctx context.Context, _ Allocation) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	<-started
+	if err := s.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		info, _ := s.Status(id)
+		if info.State == JobCancelled && !info.Ended.IsZero() {
+			// Node must return to the free pool.
+			if free, _ := s.FreeNodes("default"); free != 1 {
+				t.Errorf("free = %d after cancel", free)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("state = %s", info.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCancelFinishedNoop(t *testing.T) {
+	s := SimpleCluster(1)
+	defer s.Close()
+	id, _ := s.Submit(JobSpec{Script: func(context.Context, Allocation) error { return nil }})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		info, _ := s.Status(id)
+		if info.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s.Cancel(id); err != nil {
+		t.Errorf("cancel finished = %v", err)
+	}
+	info, _ := s.Status(id)
+	if info.State != JobCompleted {
+		t.Errorf("state mutated to %s", info.State)
+	}
+}
+
+func TestNoNodeOversubscription(t *testing.T) {
+	// With 4 nodes and many 2-node jobs, at most 2 run concurrently and
+	// no node is ever double-allocated.
+	s := SimpleCluster(4)
+	defer s.Close()
+	var mu sync.Mutex
+	inUse := make(map[string]int)
+	maxConc := 0
+	conc := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		s.Submit(JobSpec{Nodes: 2, Script: func(_ context.Context, a Allocation) error {
+			mu.Lock()
+			conc++
+			if conc > maxConc {
+				maxConc = conc
+			}
+			for _, n := range a.Nodes {
+				inUse[n]++
+				if inUse[n] > 1 {
+					t.Errorf("node %s double-allocated", n)
+				}
+			}
+			mu.Unlock()
+			time.Sleep(10 * time.Millisecond)
+			mu.Lock()
+			for _, n := range a.Nodes {
+				inUse[n]--
+			}
+			conc--
+			mu.Unlock()
+			wg.Done()
+			return nil
+		}})
+	}
+	wg.Wait()
+	if maxConc > 2 {
+		t.Errorf("max concurrency %d, want <= 2", maxConc)
+	}
+	if maxConc < 2 {
+		t.Errorf("max concurrency %d, want 2 (parallelism wasted)", maxConc)
+	}
+}
+
+func TestBackfillOvertakesBlockedJob(t *testing.T) {
+	s := SimpleCluster(2)
+	defer s.Close()
+	release := make(chan struct{})
+	// Occupy one node indefinitely.
+	s.Submit(JobSpec{Nodes: 1, Script: func(ctx context.Context, _ Allocation) error {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	}})
+	// This job needs 2 nodes: blocked.
+	bigID, _ := s.Submit(JobSpec{Nodes: 2, Script: func(context.Context, Allocation) error { return nil }})
+	// A 1-node job should backfill around it.
+	smallRan := make(chan struct{})
+	s.Submit(JobSpec{Nodes: 1, Script: func(context.Context, Allocation) error {
+		close(smallRan)
+		return nil
+	}})
+	select {
+	case <-smallRan:
+	case <-time.After(2 * time.Second):
+		t.Fatal("backfill job never ran while blocked job waited")
+	}
+	if info, _ := s.Status(bigID); info.State != JobPending {
+		t.Errorf("big job state = %s, want PENDING", info.State)
+	}
+	close(release)
+}
+
+func TestStrictFIFOWithoutBackfill(t *testing.T) {
+	nodes := []string{"a", "b"}
+	s, err := New(Config{Partitions: []Partition{{Name: "p", Nodes: nodes}}, Backfill: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	release := make(chan struct{})
+	s.Submit(JobSpec{Partition: "p", Nodes: 1, Script: func(ctx context.Context, _ Allocation) error {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	}})
+	s.Submit(JobSpec{Partition: "p", Nodes: 2, Script: func(context.Context, Allocation) error { return nil }})
+	smallRan := make(chan struct{}, 1)
+	smallID, _ := s.Submit(JobSpec{Partition: "p", Nodes: 1, Script: func(context.Context, Allocation) error {
+		smallRan <- struct{}{}
+		return nil
+	}})
+	select {
+	case <-smallRan:
+		t.Error("small job overtook blocked job without backfill")
+	case <-time.After(100 * time.Millisecond):
+	}
+	if info, _ := s.Status(smallID); info.State != JobPending {
+		t.Errorf("small job state = %s", info.State)
+	}
+	close(release)
+}
+
+func TestPartitionLimits(t *testing.T) {
+	s, err := New(Config{Partitions: []Partition{{
+		Name: "cpu", Nodes: []string{"n1", "n2"}, MaxWalltime: time.Minute, MaxNodesPerJob: 1,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	noop := func(context.Context, Allocation) error { return nil }
+	if _, err := s.Submit(JobSpec{Partition: "cpu", Nodes: 2, Script: noop}); !errors.Is(err, ErrTooManyNodes) {
+		t.Errorf("2-node submit = %v", err)
+	}
+	if _, err := s.Submit(JobSpec{Partition: "cpu", Walltime: time.Hour, Script: noop}); !errors.Is(err, ErrWalltimeExceeded) {
+		t.Errorf("long walltime = %v", err)
+	}
+	if _, err := s.Submit(JobSpec{Partition: "gpu", Script: noop}); !errors.Is(err, ErrUnknownPartition) {
+		t.Errorf("unknown partition = %v", err)
+	}
+	if _, err := s.Submit(JobSpec{Partition: "cpu", Script: nil}); err == nil {
+		t.Error("nil script accepted")
+	}
+}
+
+func TestMultiPartitionRequiresName(t *testing.T) {
+	s, err := New(Config{Partitions: []Partition{
+		{Name: "a", Nodes: []string{"a1"}},
+		{Name: "b", Nodes: []string{"b1"}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Submit(JobSpec{Script: func(context.Context, Allocation) error { return nil }}); !errors.Is(err, ErrUnknownPartition) {
+		t.Errorf("unqualified submit = %v", err)
+	}
+}
+
+func TestPBSFlavorEnv(t *testing.T) {
+	s, err := New(Config{
+		Partitions: []Partition{{Name: "q", Nodes: []string{"p1", "p2"}}},
+		Flavor:     "pbs",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	env := make(chan map[string]string, 1)
+	s.Submit(JobSpec{Partition: "q", Nodes: 2, Script: func(_ context.Context, a Allocation) error {
+		env <- a.Env
+		return nil
+	}})
+	select {
+	case e := <-env:
+		if e["PBS_NUM_NODES"] != "2" || e["PBS_NODEFILE_DATA"] == "" {
+			t.Errorf("pbs env = %v", e)
+		}
+		if _, hasSlurm := e["SLURM_JOB_ID"]; hasSlurm {
+			t.Error("slurm vars in pbs flavor")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("job never ran")
+	}
+}
+
+func TestStatusUnknownJob(t *testing.T) {
+	s := SimpleCluster(1)
+	defer s.Close()
+	if _, err := s.Status("00000000-0000-4000-8000-000000000000"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("err = %v", err)
+	}
+	if err := s.Cancel("00000000-0000-4000-8000-000000000000"); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("cancel err = %v", err)
+	}
+}
+
+func TestQueueListing(t *testing.T) {
+	s := SimpleCluster(1)
+	defer s.Close()
+	block := make(chan struct{})
+	defer close(block)
+	s.Submit(JobSpec{Name: "one", Script: func(ctx context.Context, _ Allocation) error {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return nil
+	}})
+	s.Submit(JobSpec{Name: "two", Script: func(context.Context, Allocation) error { return nil }})
+	q := s.Queue()
+	if len(q) != 2 {
+		t.Fatalf("queue = %d entries", len(q))
+	}
+	if q[0].Spec.Name != "one" || q[1].Spec.Name != "two" {
+		t.Errorf("order: %s, %s", q[0].Spec.Name, q[1].Spec.Name)
+	}
+	if q[0].State != JobRunning || q[1].State != JobPending {
+		t.Errorf("states: %s, %s", q[0].State, q[1].State)
+	}
+}
+
+func TestCloseCancelsEverything(t *testing.T) {
+	s := SimpleCluster(1)
+	started := make(chan struct{})
+	id1, _ := s.Submit(JobSpec{Script: func(ctx context.Context, _ Allocation) error {
+		close(started)
+		<-ctx.Done()
+		return ctx.Err()
+	}})
+	id2, _ := s.Submit(JobSpec{Script: func(context.Context, Allocation) error { return nil }})
+	<-started
+	s.Close()
+	i1, _ := s.Status(id1)
+	i2, _ := s.Status(id2)
+	if i1.State != JobCancelled || i2.State != JobCancelled {
+		t.Errorf("states after close: %s, %s", i1.State, i2.State)
+	}
+	if _, err := s.Submit(JobSpec{Script: func(context.Context, Allocation) error { return nil }}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after close = %v", err)
+	}
+}
+
+func TestPriorityOrdersQueue(t *testing.T) {
+	s := SimpleCluster(1)
+	defer s.Close()
+	release := make(chan struct{})
+	// Occupy the node.
+	s.Submit(JobSpec{Script: func(ctx context.Context, _ Allocation) error {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	}})
+	order := make(chan string, 3)
+	mk := func(name string, prio int) {
+		s.Submit(JobSpec{Name: name, Priority: prio, Script: func(context.Context, Allocation) error {
+			order <- name
+			return nil
+		}})
+	}
+	mk("low", 1)
+	mk("high", 10)
+	mk("mid", 5)
+	close(release)
+	var got []string
+	for i := 0; i < 3; i++ {
+		select {
+		case n := <-order:
+			got = append(got, n)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %v ran", got)
+		}
+	}
+	want := []string{"high", "mid", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPriorityTiesAreFIFO(t *testing.T) {
+	s := SimpleCluster(1)
+	defer s.Close()
+	release := make(chan struct{})
+	s.Submit(JobSpec{Script: func(ctx context.Context, _ Allocation) error {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil
+	}})
+	order := make(chan int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		s.Submit(JobSpec{Priority: 3, Script: func(context.Context, Allocation) error {
+			order <- i
+			return nil
+		}})
+	}
+	close(release)
+	for want := 0; want < 4; want++ {
+		select {
+		case got := <-order:
+			if got != want {
+				t.Fatalf("position %d ran job %d", want, got)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("queue stalled")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := New(Config{Partitions: []Partition{{Name: "", Nodes: []string{"a"}}}}); err == nil {
+		t.Error("unnamed partition accepted")
+	}
+	if _, err := New(Config{Partitions: []Partition{{Name: "p"}}}); err == nil {
+		t.Error("nodeless partition accepted")
+	}
+	if _, err := New(Config{Partitions: []Partition{
+		{Name: "p", Nodes: []string{"a"}}, {Name: "p", Nodes: []string{"b"}},
+	}}); err == nil {
+		t.Error("duplicate partition accepted")
+	}
+	if _, err := New(Config{Partitions: []Partition{{Name: "p", Nodes: []string{"a", "a"}}}}); err == nil {
+		t.Error("duplicate node accepted")
+	}
+}
+
+func TestManyJobsDrainCompletely(t *testing.T) {
+	s := SimpleCluster(8)
+	defer s.Close()
+	const n = 100
+	var done sync.WaitGroup
+	done.Add(n)
+	var mu sync.Mutex
+	completed := 0
+	for i := 0; i < n; i++ {
+		nodes := 1 + i%4
+		_, err := s.Submit(JobSpec{Nodes: nodes, Script: func(context.Context, Allocation) error {
+			mu.Lock()
+			completed++
+			mu.Unlock()
+			done.Done()
+			return nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDone := make(chan struct{})
+	go func() { done.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(10 * time.Second):
+		mu.Lock()
+		t.Fatalf("only %d of %d jobs ran", completed, n)
+	}
+	if free, _ := s.FreeNodes("default"); free != 8 {
+		// Completion frees nodes asynchronously; wait briefly.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			f, _ := s.FreeNodes("default")
+			if f == 8 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("free nodes = %d, want 8", f)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if total, _ := s.TotalNodes("default"); total != 8 {
+		t.Errorf("TotalNodes = %d", total)
+	}
+}

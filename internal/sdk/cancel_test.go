@@ -1,0 +1,114 @@
+package sdk_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"globuscompute/internal/core"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/sdk"
+)
+
+func TestCancelQueuedTask(t *testing.T) {
+	// A single slow worker: the second task waits in the engine queue and
+	// can be cancelled; its future resolves as cancelled.
+	e := newEnv(t, core.EndpointOptions{Workers: 1})
+	ex := e.executor(t)
+	// The victim is slow, so the cancellation reaches the service while
+	// the task is still delivered/running and wins the terminal state.
+	slow := sdk.NewShellFunction("sleep 0.5")
+	fut, err := ex.SubmitShell(slow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := ex.Cancel(ctx, fut); err != nil {
+		t.Fatal(err)
+	}
+	_, err = fut.Result(ctx)
+	if !errors.Is(err, sdk.ErrTaskFailed) {
+		t.Fatalf("result err = %v, want cancelled failure", err)
+	}
+	raw, rawErr := fut.Raw(ctx)
+	if rawErr != nil || raw.State != protocol.StateCancelled {
+		t.Errorf("raw = %+v, %v", raw, rawErr)
+	}
+}
+
+func TestCancelCompletedTaskFails(t *testing.T) {
+	e := newEnv(t, core.EndpointOptions{})
+	ex := e.executor(t)
+	fut, err := ex.Submit(&sdk.PythonFunction{Entrypoint: "identity"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fut.ResultWithin(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ex.Cancel(ctx, fut); err == nil {
+		t.Error("cancel of completed task succeeded")
+	}
+}
+
+func TestSearchEndpointsViaSDK(t *testing.T) {
+	e := newEnv(t, core.EndpointOptions{Name: "discoverable-hpc"})
+	results, err := e.client.SearchEndpoints("discoverable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "discoverable-hpc" {
+		t.Errorf("results = %+v", results)
+	}
+	none, err := e.client.SearchEndpoints("no-such-thing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("unexpected matches: %+v", none)
+	}
+}
+
+func TestBatchStatusViaSDK(t *testing.T) {
+	e := newEnv(t, core.EndpointOptions{})
+	ex := e.executor(t)
+	fn := &sdk.PythonFunction{Entrypoint: "identity"}
+	var ids []protocol.UUID
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		fut, err := ex.Submit(fn, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fut.Result(ctx); err != nil {
+			t.Fatal(err)
+		}
+		id, _ := fut.TaskID(ctx)
+		ids = append(ids, id)
+	}
+	statuses, err := e.client.TaskStatuses(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(statuses) != 5 {
+		t.Fatalf("statuses = %d", len(statuses))
+	}
+	for i, st := range statuses {
+		if st.State != protocol.StateSuccess {
+			t.Errorf("task %d state = %s", i, st.State)
+		}
+	}
+	// One REST call for all five.
+	before := e.client.Requests.Load()
+	if _, err := e.client.TaskStatuses(ids); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.client.Requests.Load() - before; got != 1 {
+		t.Errorf("batch status used %d requests", got)
+	}
+}

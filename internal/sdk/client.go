@@ -1,0 +1,240 @@
+// Package sdk is the Globus Compute client library: a REST client for the
+// web service, a future-based Executor mirroring
+// concurrent.futures.Executor (submit returns a future; results stream back
+// over the broker rather than by polling), ShellFunction and MPIFunction
+// task types, and on-the-fly function registration with request batching.
+package sdk
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/statestore"
+	"globuscompute/internal/webservice"
+)
+
+// Client talks to the web service REST API.
+type Client struct {
+	// BaseURL is the service address, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Token is the bearer token for every request.
+	Token string
+	// HTTP is the underlying client (default: 30s timeout).
+	HTTP *http.Client
+
+	// Wire accounting, used by the streaming-vs-polling and batching
+	// experiments to compare REST traffic.
+	Requests      atomic.Int64
+	BytesSent     atomic.Int64
+	BytesReceived atomic.Int64
+}
+
+// NewClient builds a client for the service at addr (host:port) using the
+// given bearer token.
+func NewClient(addr, token string) *Client {
+	return &Client{
+		BaseURL: "http://" + addr,
+		Token:   token,
+		HTTP:    &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// APIError carries a non-2xx response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("sdk: api error %d: %s", e.Status, e.Message)
+}
+
+// do performs a JSON request/response round trip. Idempotent GETs retry
+// transient transport failures with a short backoff.
+func (c *Client) do(method, path string, body, out any) error {
+	var encoded []byte
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("sdk: encode request: %w", err)
+		}
+		encoded = b
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	attempts := 1
+	if method == http.MethodGet {
+		attempts = 3
+	}
+	var resp *http.Response
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
+		}
+		buf := bytes.NewReader(encoded)
+		req, err := http.NewRequest(method, c.BaseURL+path, buf)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+		req.Header.Set("Content-Type", "application/json")
+		c.Requests.Add(1)
+		c.BytesSent.Add(int64(len(encoded)))
+		resp, lastErr = hc.Do(req)
+		if lastErr == nil {
+			break
+		}
+	}
+	if lastErr != nil {
+		return fmt.Errorf("sdk: %s %s: %w", method, path, lastErr)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	c.BytesReceived.Add(int64(len(data)))
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		msg := string(data)
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			msg = apiErr.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("sdk: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// RegisterFunction registers an immutable function definition and returns
+// its UUID.
+func (c *Client) RegisterFunction(kind protocol.FunctionKind, definition []byte) (protocol.UUID, error) {
+	var resp struct {
+		FunctionID protocol.UUID `json:"function_uuid"`
+	}
+	err := c.do("POST", "/v2/functions", map[string]any{
+		"kind": kind, "definition": definition,
+	}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.FunctionID, nil
+}
+
+// FunctionRecord is the client view of a registered function.
+type FunctionRecord struct {
+	ID         protocol.UUID         `json:"id"`
+	Owner      string                `json:"owner"`
+	Kind       protocol.FunctionKind `json:"kind"`
+	Definition []byte                `json:"definition"`
+}
+
+// GetFunction fetches a registered function's record (science gateways use
+// this to invoke administrator-approved functions by UUID).
+func (c *Client) GetFunction(id protocol.UUID) (FunctionRecord, error) {
+	var rec FunctionRecord
+	err := c.do("GET", "/v2/functions/"+string(id), nil, &rec)
+	return rec, err
+}
+
+// RegisterEndpoint registers an endpoint and returns its connection info.
+func (c *Client) RegisterEndpoint(req webservice.RegisterEndpointRequest) (webservice.RegisterEndpointResponse, error) {
+	var resp webservice.RegisterEndpointResponse
+	err := c.do("POST", "/v2/endpoints", req, &resp)
+	return resp, err
+}
+
+// Heartbeat reports endpoint liveness.
+func (c *Client) Heartbeat(ep protocol.UUID, online bool) error {
+	return c.do("POST", "/v2/endpoints/"+string(ep)+"/heartbeat", map[string]bool{"online": online}, nil)
+}
+
+// HeartbeatWithLoad reports liveness plus the agent's utilization.
+func (c *Client) HeartbeatWithLoad(ep protocol.UUID, online bool, load statestore.EndpointLoad) error {
+	return c.do("POST", "/v2/endpoints/"+string(ep)+"/heartbeat", map[string]any{
+		"online": online, "load": load,
+	}, nil)
+}
+
+// SubmitBatch submits tasks and returns their IDs in order.
+func (c *Client) SubmitBatch(tasks []webservice.SubmitRequest) ([]protocol.UUID, error) {
+	if len(tasks) == 0 {
+		return nil, errors.New("sdk: empty batch")
+	}
+	var resp struct {
+		TaskIDs []protocol.UUID `json:"task_uuids"`
+	}
+	err := c.do("POST", "/v2/submit", map[string]any{"tasks": tasks}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.TaskIDs) != len(tasks) {
+		return nil, fmt.Errorf("sdk: submitted %d tasks, got %d IDs", len(tasks), len(resp.TaskIDs))
+	}
+	return resp.TaskIDs, nil
+}
+
+// TaskStatus polls one task.
+func (c *Client) TaskStatus(id protocol.UUID) (webservice.TaskStatus, error) {
+	var st webservice.TaskStatus
+	err := c.do("GET", "/v2/tasks/"+string(id), nil, &st)
+	return st, err
+}
+
+// SearchEndpoints discovers endpoints by name or metadata substring (the
+// paper's discovery path for multi-user endpoint IDs).
+func (c *Client) SearchEndpoints(query string) ([]webservice.EndpointSummary, error) {
+	var resp struct {
+		Endpoints []webservice.EndpointSummary `json:"endpoints"`
+	}
+	path := "/v2/endpoints"
+	if query != "" {
+		path += "?search=" + url.QueryEscape(query)
+	}
+	if err := c.do("GET", path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Endpoints, nil
+}
+
+// TaskStatuses polls many tasks in one REST call (batch_status).
+func (c *Client) TaskStatuses(ids []protocol.UUID) ([]webservice.TaskStatus, error) {
+	var resp struct {
+		Tasks []webservice.TaskStatus `json:"tasks"`
+	}
+	err := c.do("POST", "/v2/tasks/batch_status", map[string]any{"task_ids": ids}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tasks, nil
+}
+
+// CancelTask requests cancellation of a non-terminal task the token's
+// identity owns.
+func (c *Client) CancelTask(id protocol.UUID) error {
+	return c.do("POST", "/v2/tasks/"+string(id)+"/cancel", nil, nil)
+}
+
+// Usage fetches aggregate service statistics.
+func (c *Client) Usage() (webservice.UsageStats, error) {
+	var u webservice.UsageStats
+	err := c.do("GET", "/v2/usage", nil, &u)
+	return u, err
+}

@@ -1,0 +1,493 @@
+package sdk
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"globuscompute/internal/broker"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/webservice"
+)
+
+// ErrExecutorClosed is returned by Submit after Close.
+var ErrExecutorClosed = errors.New("sdk: executor closed")
+
+// ObjectFetcher resolves result references spilled to the object store.
+type ObjectFetcher interface {
+	Get(key string) ([]byte, error)
+}
+
+// ExecutorConfig configures an Executor.
+type ExecutorConfig struct {
+	Client     *Client
+	EndpointID protocol.UUID
+	// Conn enables streamed results over the broker (the efficient path
+	// the paper describes). When nil, the executor falls back to polling
+	// the REST API.
+	Conn broker.Conn
+	// PollInterval applies in polling mode (default 100ms).
+	PollInterval time.Duration
+	// LegacyPolling polls each task with an individual REST request (the
+	// pre-executor SDK behaviour) instead of one batch_status call per
+	// tick. Kept for the streaming-vs-polling comparison.
+	LegacyPolling bool
+	// BatchWindow is how long submissions buffer before a flush
+	// (default 2ms) — the SDK's request batching.
+	BatchWindow time.Duration
+	// MaxBatch flushes immediately once this many submissions buffer
+	// (default 128).
+	MaxBatch int
+	// Objects resolves large results spilled to the object store.
+	Objects ObjectFetcher
+}
+
+// Executor mirrors concurrent.futures.Executor over Globus Compute: Submit
+// returns a Future, submissions batch into single REST calls, and results
+// stream back over a per-executor group queue.
+type Executor struct {
+	cfg   ExecutorConfig
+	group protocol.UUID
+
+	// UserEndpointConfig parameterizes multi-user endpoints (template
+	// variables); set before submitting.
+	UserEndpointConfig map[string]any
+	// ResourceSpec applies to MPIFunction submissions.
+	ResourceSpec protocol.ResourceSpec
+
+	mu      sync.Mutex
+	pending []pendingSub
+	futures map[protocol.UUID]*Future
+	orphans map[protocol.UUID]protocol.Result
+	closed  bool
+	timer   *time.Timer
+
+	sub  broker.Subscription
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type pendingSub struct {
+	req webservice.SubmitRequest
+	fut *Future
+}
+
+// NewExecutor builds and starts an executor.
+func NewExecutor(cfg ExecutorConfig) (*Executor, error) {
+	if cfg.Client == nil {
+		return nil, errors.New("sdk: executor requires a client")
+	}
+	if !cfg.EndpointID.Valid() {
+		return nil, fmt.Errorf("sdk: invalid endpoint ID %q", cfg.EndpointID)
+	}
+	if cfg.BatchWindow <= 0 {
+		cfg.BatchWindow = 2 * time.Millisecond
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 128
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 100 * time.Millisecond
+	}
+	ex := &Executor{
+		cfg:     cfg,
+		group:   protocol.NewUUID(),
+		futures: make(map[protocol.UUID]*Future),
+		orphans: make(map[protocol.UUID]protocol.Result),
+		done:    make(chan struct{}),
+	}
+	if cfg.Conn != nil {
+		q := webservice.GroupResultQueue(ex.group)
+		if err := cfg.Conn.Declare(q); err != nil {
+			return nil, fmt.Errorf("sdk: declare group queue: %w", err)
+		}
+		sub, err := cfg.Conn.Subscribe(q, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sdk: subscribe group queue: %w", err)
+		}
+		ex.sub = sub
+		ex.wg.Add(1)
+		go ex.streamLoop()
+	} else {
+		ex.wg.Add(1)
+		go ex.pollLoop()
+	}
+	return ex, nil
+}
+
+// Group returns the executor's task group ID.
+func (ex *Executor) Group() protocol.UUID { return ex.group }
+
+// Submit schedules a PythonFunction invocation and returns its future.
+func (ex *Executor) Submit(fn *PythonFunction, args ...any) (*Future, error) {
+	fnID, err := fn.ensureRegistered(ex.cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := fn.payload(args, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ex.enqueue(fnID, payload, protocol.ResourceSpec{})
+}
+
+// SubmitKwargs is Submit with keyword arguments.
+func (ex *Executor) SubmitKwargs(fn *PythonFunction, args []any, kwargs map[string]any) (*Future, error) {
+	fnID, err := fn.ensureRegistered(ex.cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := fn.payload(args, kwargs)
+	if err != nil {
+		return nil, err
+	}
+	return ex.enqueue(fnID, payload, protocol.ResourceSpec{})
+}
+
+// SubmitRegistered invokes an already-registered function by UUID — the
+// science-gateway pattern, where endpoints restrict execution to a reviewed
+// allowlist and clients never register code themselves. The function's
+// stored definition supplies the entrypoint (python) or command template
+// (shell/MPI); args apply to python functions, kwargs fill shell templates.
+func (ex *Executor) SubmitRegistered(fnID protocol.UUID, args []any, kwargs map[string]string) (*Future, error) {
+	rec, err := ex.cfg.Client.GetFunction(fnID)
+	if err != nil {
+		return nil, err
+	}
+	switch rec.Kind {
+	case protocol.KindPython:
+		var def struct {
+			Entrypoint string `json:"entrypoint"`
+		}
+		if err := json.Unmarshal(rec.Definition, &def); err != nil || def.Entrypoint == "" {
+			return nil, fmt.Errorf("sdk: function %s has no entrypoint in its definition", fnID)
+		}
+		fn := &PythonFunction{Entrypoint: def.Entrypoint}
+		payload, err := fn.payload(args, nil)
+		if err != nil {
+			return nil, err
+		}
+		return ex.enqueue(fnID, payload, protocol.ResourceSpec{})
+	case protocol.KindShell, protocol.KindMPI:
+		var def struct {
+			CommandTemplate string `json:"command_template"`
+			Launcher        string `json:"launcher"`
+			Sandbox         bool   `json:"sandbox"`
+		}
+		if err := json.Unmarshal(rec.Definition, &def); err != nil || def.CommandTemplate == "" {
+			return nil, fmt.Errorf("sdk: function %s has no command template in its definition", fnID)
+		}
+		sf := &ShellFunction{Command: def.CommandTemplate, Sandbox: def.Sandbox}
+		spec, err := sf.shellSpec(kwargs)
+		if err != nil {
+			return nil, err
+		}
+		spec.Launcher = def.Launcher
+		payload, err := protocol.EncodePayload(spec)
+		if err != nil {
+			return nil, err
+		}
+		res := protocol.ResourceSpec{}
+		if rec.Kind == protocol.KindMPI {
+			res = ex.ResourceSpec
+		}
+		return ex.enqueue(fnID, payload, res)
+	default:
+		return nil, fmt.Errorf("sdk: function %s has unknown kind %q", fnID, rec.Kind)
+	}
+}
+
+// SubmitShell schedules a ShellFunction; kwargs fill the command template's
+// {placeholders}.
+func (ex *Executor) SubmitShell(fn *ShellFunction, kwargs map[string]string) (*Future, error) {
+	fnID, err := fn.ensureRegistered(ex.cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := fn.payload(kwargs)
+	if err != nil {
+		return nil, err
+	}
+	return ex.enqueue(fnID, payload, protocol.ResourceSpec{})
+}
+
+// SubmitMPI schedules an MPIFunction under the executor's ResourceSpec.
+func (ex *Executor) SubmitMPI(fn *MPIFunction, kwargs map[string]string) (*Future, error) {
+	fnID, err := fn.ensureRegistered(ex.cfg.Client)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := fn.payload(kwargs)
+	if err != nil {
+		return nil, err
+	}
+	return ex.enqueue(fnID, payload, ex.ResourceSpec)
+}
+
+// enqueue buffers one submission and arms the batch flush.
+func (ex *Executor) enqueue(fnID protocol.UUID, payload []byte, res protocol.ResourceSpec) (*Future, error) {
+	req := webservice.SubmitRequest{
+		EndpointID: ex.cfg.EndpointID,
+		FunctionID: fnID,
+		Payload:    payload,
+		Resources:  res,
+		GroupID:    ex.group,
+	}
+	if ex.UserEndpointConfig != nil {
+		raw, err := json.Marshal(ex.UserEndpointConfig)
+		if err != nil {
+			return nil, err
+		}
+		req.UserEndpointConfig = raw
+	}
+	fut := newFuture()
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
+		return nil, ErrExecutorClosed
+	}
+	ex.pending = append(ex.pending, pendingSub{req: req, fut: fut})
+	n := len(ex.pending)
+	if n >= ex.cfg.MaxBatch {
+		batch := ex.takeBatchLocked()
+		ex.mu.Unlock()
+		ex.flush(batch)
+		return fut, nil
+	}
+	if ex.timer == nil {
+		ex.timer = time.AfterFunc(ex.cfg.BatchWindow, ex.flushTimer)
+	}
+	ex.mu.Unlock()
+	return fut, nil
+}
+
+func (ex *Executor) takeBatchLocked() []pendingSub {
+	batch := ex.pending
+	ex.pending = nil
+	if ex.timer != nil {
+		ex.timer.Stop()
+		ex.timer = nil
+	}
+	return batch
+}
+
+func (ex *Executor) flushTimer() {
+	ex.mu.Lock()
+	batch := ex.takeBatchLocked()
+	ex.mu.Unlock()
+	ex.flush(batch)
+}
+
+// flush submits one batch and wires task IDs to futures.
+func (ex *Executor) flush(batch []pendingSub) {
+	if len(batch) == 0 {
+		return
+	}
+	reqs := make([]webservice.SubmitRequest, len(batch))
+	for i, p := range batch {
+		reqs[i] = p.req
+	}
+	ids, err := ex.cfg.Client.SubmitBatch(reqs)
+	if err != nil {
+		for _, p := range batch {
+			p.fut.resolve(protocol.Result{}, fmt.Errorf("sdk: submission failed: %w", err))
+		}
+		return
+	}
+	ex.mu.Lock()
+	for i, p := range batch {
+		id := ids[i]
+		p.fut.setTaskID(id)
+		if res, ok := ex.orphans[id]; ok {
+			delete(ex.orphans, id)
+			ex.mu.Unlock()
+			ex.deliver(p.fut, res)
+			ex.mu.Lock()
+			continue
+		}
+		ex.futures[id] = p.fut
+	}
+	ex.mu.Unlock()
+}
+
+// streamLoop receives results from the group queue.
+func (ex *Executor) streamLoop() {
+	defer ex.wg.Done()
+	for m := range ex.sub.Messages() {
+		var res protocol.Result
+		if err := json.Unmarshal(m.Body, &res); err != nil {
+			log.Printf("sdk: bad streamed result: %v", err)
+			_ = ex.sub.Ack(m.Tag)
+			continue
+		}
+		ex.mu.Lock()
+		fut, ok := ex.futures[res.TaskID]
+		if ok {
+			delete(ex.futures, res.TaskID)
+		} else if len(ex.orphans) < 4096 {
+			// Result raced ahead of the submit response; hold it. The cap
+			// bounds duplicates for already-resolved tasks (e.g. a late
+			// worker result after a cancellation).
+			ex.orphans[res.TaskID] = res
+		}
+		ex.mu.Unlock()
+		if ok {
+			ex.deliver(fut, res)
+		}
+		_ = ex.sub.Ack(m.Tag)
+	}
+}
+
+// deliver resolves a future, fetching spilled outputs first.
+func (ex *Executor) deliver(fut *Future, res protocol.Result) {
+	if res.OutputRef != "" && len(res.Output) == 0 {
+		if ex.cfg.Objects != nil {
+			blob, err := ex.cfg.Objects.Get(res.OutputRef)
+			if err != nil {
+				fut.resolve(protocol.Result{}, fmt.Errorf("sdk: fetch result %s: %w", res.OutputRef, err))
+				return
+			}
+			res.Output = blob
+		}
+		// Without object store access the caller still gets the reference
+		// via Raw().
+	}
+	fut.resolve(res, nil)
+}
+
+// pollLoop is the legacy polling path (kept for the streaming-vs-polling
+// comparison): it asks the REST API for the status of every outstanding
+// task each interval, one batch_status call per tick.
+func (ex *Executor) pollLoop() {
+	defer ex.wg.Done()
+	ticker := time.NewTicker(ex.cfg.PollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ex.done:
+			return
+		case <-ticker.C:
+		}
+		ex.mu.Lock()
+		outstanding := make(map[protocol.UUID]*Future, len(ex.futures))
+		ids := make([]protocol.UUID, 0, len(ex.futures))
+		for id, fut := range ex.futures {
+			outstanding[id] = fut
+			ids = append(ids, id)
+		}
+		ex.mu.Unlock()
+		if len(ids) == 0 {
+			continue
+		}
+		if ex.cfg.LegacyPolling {
+			for _, id := range ids {
+				st, err := ex.cfg.Client.TaskStatus(id)
+				if err != nil {
+					continue // transient; retry next tick
+				}
+				ex.settlePolled(outstanding, st)
+			}
+			continue
+		}
+		// The batch_status API caps request size; chunk large windows.
+		const chunk = 1024
+		for start := 0; start < len(ids); start += chunk {
+			end := min(start+chunk, len(ids))
+			statuses, err := ex.cfg.Client.TaskStatuses(ids[start:end])
+			if err != nil {
+				break // transient; retry next tick
+			}
+			for _, st := range statuses {
+				ex.settlePolled(outstanding, st)
+			}
+		}
+	}
+}
+
+// settlePolled resolves a future from a polled status if terminal.
+func (ex *Executor) settlePolled(outstanding map[protocol.UUID]*Future, st webservice.TaskStatus) {
+	if !st.State.Terminal() {
+		return
+	}
+	fut := outstanding[st.TaskID]
+	if fut == nil {
+		return
+	}
+	ex.mu.Lock()
+	delete(ex.futures, st.TaskID)
+	ex.mu.Unlock()
+	ex.deliver(fut, protocol.Result{
+		TaskID: st.TaskID, State: st.State,
+		Output: st.Result, OutputRef: st.ResultRef, Error: st.Error,
+	})
+}
+
+// Cancel requests cancellation of a future's task. The future resolves with
+// a cancelled result (via the stream or poll loop); tasks already executing
+// may still complete first, in which case cancellation returns an error and
+// the original result stands.
+func (ex *Executor) Cancel(ctx context.Context, fut *Future) error {
+	id, err := fut.TaskID(ctx)
+	if err != nil {
+		return err
+	}
+	return ex.cfg.Client.CancelTask(id)
+}
+
+// Flush forces any buffered submissions out immediately.
+func (ex *Executor) Flush() {
+	ex.mu.Lock()
+	batch := ex.takeBatchLocked()
+	ex.mu.Unlock()
+	ex.flush(batch)
+}
+
+// Outstanding reports futures not yet resolved.
+func (ex *Executor) Outstanding() int {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return len(ex.futures) + len(ex.pending)
+}
+
+// Close flushes buffered submissions and stops the result loops.
+// Outstanding futures resolve only if their results already arrived; use
+// Drain first to wait for completion.
+func (ex *Executor) Close() {
+	ex.mu.Lock()
+	if ex.closed {
+		ex.mu.Unlock()
+		return
+	}
+	ex.closed = true
+	batch := ex.takeBatchLocked()
+	ex.mu.Unlock()
+	ex.flush(batch)
+	close(ex.done)
+	if ex.sub != nil {
+		_ = ex.sub.Cancel()
+		// Best effort: remove the per-executor group queue so long-lived
+		// brokers don't accumulate them.
+		_ = ex.cfg.Conn.Delete(webservice.GroupResultQueue(ex.group))
+	}
+	ex.wg.Wait()
+}
+
+// Drain flushes and waits until every submitted future has resolved or ctx
+// expires.
+func (ex *Executor) Drain(ctx context.Context) error {
+	ex.Flush()
+	for {
+		if ex.Outstanding() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

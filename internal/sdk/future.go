@@ -1,0 +1,138 @@
+package sdk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"globuscompute/internal/protocol"
+)
+
+// ErrTaskFailed wraps remote task failures surfaced through a future.
+var ErrTaskFailed = errors.New("sdk: task failed")
+
+// Future is the handle returned by Executor.Submit, mirroring
+// concurrent.futures.Future: it resolves exactly once with the task's
+// result or error.
+type Future struct {
+	mu     sync.Mutex
+	taskID protocol.UUID
+	idSet  chan struct{} // closed once the task ID is assigned
+	done   chan struct{} // closed on resolution
+	result protocol.Result
+	err    error
+}
+
+func newFuture() *Future {
+	return &Future{idSet: make(chan struct{}), done: make(chan struct{})}
+}
+
+// setTaskID records the service-assigned task ID (after the batch flush).
+func (f *Future) setTaskID(id protocol.UUID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.taskID == "" {
+		f.taskID = id
+		close(f.idSet)
+	}
+}
+
+// TaskID blocks until the task ID is known (the submission batch flushed)
+// and returns it. ctx bounds the wait.
+func (f *Future) TaskID(ctx context.Context) (protocol.UUID, error) {
+	select {
+	case <-f.idSet:
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		return f.taskID, nil
+	case <-f.done:
+		// Failed before an ID was assigned (e.g. submission error).
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.taskID != "" {
+			return f.taskID, nil
+		}
+		return "", f.err
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+// resolve completes the future. Later calls are ignored (exactly-once).
+func (f *Future) resolve(res protocol.Result, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	select {
+	case <-f.done:
+		return
+	default:
+	}
+	f.result = res
+	f.err = err
+	if f.taskID == "" && res.TaskID != "" {
+		f.taskID = res.TaskID
+		close(f.idSet)
+	}
+	close(f.done)
+}
+
+// Done returns a channel closed when the future resolves.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Result blocks until resolution and returns the raw result output. Remote
+// failures surface as errors wrapping ErrTaskFailed.
+func (f *Future) Result(ctx context.Context) ([]byte, error) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return nil, f.err
+	}
+	if f.result.State != protocol.StateSuccess {
+		return nil, fmt.Errorf("%w: %s (%s)", ErrTaskFailed, f.result.Error, f.result.State)
+	}
+	return f.result.Output, nil
+}
+
+// ResultWithin is Result with a timeout instead of a context.
+func (f *Future) ResultWithin(d time.Duration) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return f.Result(ctx)
+}
+
+// Raw returns the full protocol result after resolution; it blocks like
+// Result but does not convert failures into errors.
+func (f *Future) Raw(ctx context.Context) (protocol.Result, error) {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return protocol.Result{}, ctx.Err()
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return protocol.Result{}, f.err
+	}
+	return f.result, nil
+}
+
+// ShellResult decodes the future's output as a ShellResult (for
+// ShellFunction and MPIFunction submissions).
+func (f *Future) ShellResult(ctx context.Context) (protocol.ShellResult, error) {
+	out, err := f.Result(ctx)
+	if err != nil {
+		return protocol.ShellResult{}, err
+	}
+	var sr protocol.ShellResult
+	if err := protocol.DecodePayload(out, &sr); err != nil {
+		return protocol.ShellResult{}, err
+	}
+	return sr, nil
+}

@@ -1,0 +1,123 @@
+package sdk_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"globuscompute/internal/core"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/sdk"
+)
+
+// TestScienceGatewayPattern reproduces the §VI OpenCosmo/ESGF deployment
+// style: an administrator registers and reviews functions, restricts an
+// endpoint to that allowlist, and portal users invoke functions by UUID
+// only. Unapproved functions are refused.
+func TestScienceGatewayPattern(t *testing.T) {
+	tb, err := core.NewTestbed(core.Options{ClusterNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+
+	// Admin registers the approved analysis functions.
+	adminTok, _ := tb.IssueToken("admin@alcf.anl.gov", "anl")
+	admin := sdk.NewClient(tb.ServiceAddr(), adminTok.Value)
+	pyDef, _ := json.Marshal(map[string]string{"entrypoint": "add"})
+	approvedPy, err := admin.RegisterFunction(protocol.KindPython, pyDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shDef, _ := json.Marshal(map[string]any{"command_template": "echo analysis of {dataset}", "sandbox": false})
+	approvedSh, err := admin.RegisterFunction(protocol.KindShell, shDef)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The gateway endpoint only executes the approved UUIDs.
+	epID, err := tb.StartEndpoint(core.EndpointOptions{
+		Name: "gateway-ep", Owner: "admin@alcf.anl.gov",
+		AllowedFunctions: []protocol.UUID{approvedPy, approvedSh},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A portal user invokes by UUID without registering anything.
+	userTok, _ := tb.IssueToken("visitor@uni.edu", "uni")
+	e := envFromTestbed(t, tb, userTok.Value)
+	ex := e.executorFor(t, epID)
+
+	fut, err := ex.SubmitRegistered(approvedPy, []any{40, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fut.ResultWithin(20 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "42" {
+		t.Errorf("python by UUID = %s", out)
+	}
+
+	fut2, err := ex.SubmitRegistered(approvedSh, nil, map[string]string{"dataset": "cmip6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	sr, err := fut2.ShellResult(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Stdout != "analysis of cmip6" {
+		t.Errorf("shell by UUID = %q", sr.Stdout)
+	}
+
+	// The user's own function is rejected by the allowlist.
+	rogue, err := ex.Submit(&sdk.PythonFunction{Entrypoint: "identity"}, "sneaky")
+	if err == nil {
+		_, err = rogue.ResultWithin(10 * time.Second)
+	}
+	if err == nil {
+		t.Error("unapproved function executed on gateway endpoint")
+	}
+
+	// Submitting by a bogus UUID fails cleanly.
+	if _, err := ex.SubmitRegistered(protocol.NewUUID(), nil, nil); err == nil {
+		t.Error("unknown function UUID accepted")
+	}
+	var apiErr *sdk.APIError
+	if _, err := ex.SubmitRegistered(protocol.NewUUID(), nil, nil); !errors.As(err, &apiErr) {
+		t.Errorf("err = %T", err)
+	}
+}
+
+// envFromTestbed builds client plumbing for an existing testbed with a
+// specific token.
+type gwEnv struct {
+	tb    *core.Testbed
+	token string
+}
+
+func envFromTestbed(t *testing.T, tb *core.Testbed, token string) *gwEnv {
+	t.Helper()
+	return &gwEnv{tb: tb, token: token}
+}
+
+func (g *gwEnv) executorFor(t *testing.T, ep protocol.UUID) *sdk.Executor {
+	t.Helper()
+	client := sdk.NewClient(g.tb.ServiceAddr(), g.token)
+	ex, err := sdk.NewExecutor(sdk.ExecutorConfig{
+		Client: client, EndpointID: ep,
+		PollInterval: 20 * time.Millisecond, // polling keeps this fixture broker-free
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ex.Close)
+	return ex
+}

@@ -1,0 +1,209 @@
+package serialize
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	type payload struct {
+		Name  string
+		Count int
+		Tags  []string
+	}
+	in := payload{Name: "x", Count: 3, Tags: []string{"a", "b"}}
+	data, err := Encode(in, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Count != in.Count || len(out.Tags) != 2 {
+		t.Errorf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestGobRoundTrip(t *testing.T) {
+	in := map[string][]int{"a": {1, 2, 3}}
+	data, err := Encode(in, Options{Codec: CodecGob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string][]int
+	if err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out["a"]) != 3 || out["a"][2] != 3 {
+		t.Errorf("gob round trip = %v", out)
+	}
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	in := []byte{0, 1, 2, 255}
+	data, err := Encode(in, Options{Codec: CodecRaw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	if err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Errorf("raw round trip = %v, want %v", out, in)
+	}
+}
+
+func TestRawCodecTypeErrors(t *testing.T) {
+	if _, err := Encode("not bytes", Options{Codec: CodecRaw}); err == nil {
+		t.Error("Encode raw with string succeeded")
+	}
+	data, _ := Encode([]byte("x"), Options{Codec: CodecRaw})
+	var s string
+	if err := Decode(data, &s); err == nil {
+		t.Error("Decode raw into *string succeeded")
+	}
+}
+
+func TestCompressionApplied(t *testing.T) {
+	// Highly compressible payload well above the threshold must shrink.
+	in := strings.Repeat("abcdefgh", 4096) // 32 KiB
+	opts := DefaultOptions()
+	data, err := Encode(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= len(in) {
+		t.Errorf("compressed size %d >= input %d", len(data), len(in))
+	}
+	var out string
+	if err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Error("compressed round trip mismatch")
+	}
+}
+
+func TestCompressionSkippedWhenLarger(t *testing.T) {
+	// Incompressible data should be stored uncompressed (flag unset).
+	in := make([]byte, 8192)
+	for i := range in {
+		in[i] = byte(i*7 + i*i*13) // pseudo-random-ish
+	}
+	data, err := Encode(in, Options{Codec: CodecRaw, Compress: true, CompressAbove: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[1]&0x1 != 0 {
+		// gzip of this may or may not shrink; only assert decode works
+		t.Log("payload compressed; verifying round trip")
+	}
+	var out []byte
+	if err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestPayloadLimitEnforced(t *testing.T) {
+	big := make([]byte, 1024)
+	_, err := Encode(big, Options{Codec: CodecRaw, Limit: 512})
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestPayloadLimitDefaultTenMB(t *testing.T) {
+	// 10MB + 1 of incompressible-ish data with compression off.
+	big := make([]byte, MaxPayload+1)
+	_, err := Encode(big, Options{Codec: CodecRaw})
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestCheckLimit(t *testing.T) {
+	if err := CheckLimit(make([]byte, 100)); err != nil {
+		t.Errorf("CheckLimit small = %v", err)
+	}
+	if err := CheckLimit(make([]byte, MaxPayload+1)); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("CheckLimit big = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+func TestShouldSpill(t *testing.T) {
+	if ShouldSpill(make([]byte, 10), 100) {
+		t.Error("small payload should not spill")
+	}
+	if !ShouldSpill(make([]byte, 200), 100) {
+		t.Error("large payload should spill")
+	}
+	if ShouldSpill(make([]byte, DefaultInlineThreshold), 0) {
+		t.Error("at-threshold payload should not spill with defaults")
+	}
+	if !ShouldSpill(make([]byte, DefaultInlineThreshold+1), 0) {
+		t.Error("above-threshold payload should spill with defaults")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if err := Decode(nil, new(int)); err == nil {
+		t.Error("Decode(nil) succeeded")
+	}
+	if err := Decode([]byte{'?', 0, 'x'}, new(int)); err == nil {
+		t.Error("Decode unknown codec succeeded")
+	}
+	if err := Decode([]byte{byte(CodecJSON), 0x1, 'x'}, new(int)); err == nil {
+		t.Error("Decode bad gzip succeeded")
+	}
+	if err := Decode([]byte{byte(CodecJSON), 0, '{'}, new(map[string]int)); err == nil {
+		t.Error("Decode bad json succeeded")
+	}
+}
+
+func TestEncodeUnsupportedValue(t *testing.T) {
+	if _, err := Encode(make(chan int), Options{Codec: CodecJSON}); err == nil {
+		t.Error("Encode(chan) with JSON succeeded")
+	}
+}
+
+func TestPropertyRawRoundTrip(t *testing.T) {
+	f := func(b []byte) bool {
+		data, err := Encode(b, Options{Codec: CodecRaw, Compress: true, CompressAbove: 8})
+		if err != nil {
+			return false
+		}
+		var out []byte
+		if err := Decode(data, &out); err != nil {
+			return false
+		}
+		return bytes.Equal(b, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyJSONStringRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		data, err := Encode(s, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		var out string
+		if err := Decode(data, &out); err != nil {
+			return false
+		}
+		return out == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

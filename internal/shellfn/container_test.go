@@ -1,0 +1,95 @@
+package shellfn
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"globuscompute/internal/container"
+	"globuscompute/internal/protocol"
+)
+
+func TestContainerExecution(t *testing.T) {
+	rt := container.NewRuntime(20*time.Millisecond, 0)
+	res, err := Execute(context.Background(), "echo in $GC_CONTAINER", Options{
+		Container: "python:3.11", Containers: rt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != "in python:3.11" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	if !rt.Warm("python:3.11") {
+		t.Error("image not cached after execution")
+	}
+}
+
+func TestContainerColdVsWarm(t *testing.T) {
+	rt := container.NewRuntime(80*time.Millisecond, 0)
+	opts := Options{Container: "sim:app", Containers: rt}
+
+	start := time.Now()
+	if _, err := Execute(context.Background(), "true", opts); err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(start)
+
+	start = time.Now()
+	if _, err := Execute(context.Background(), "true", opts); err != nil {
+		t.Fatal(err)
+	}
+	warm := time.Since(start)
+
+	if cold < 80*time.Millisecond {
+		t.Errorf("cold start %s, want >= pull delay", cold)
+	}
+	if warm >= cold/2 {
+		t.Errorf("warm start %s not faster than cold %s", warm, cold)
+	}
+}
+
+func TestContainerWithoutRuntimeFails(t *testing.T) {
+	if _, err := Execute(context.Background(), "true", Options{Container: "x:y"}); err == nil {
+		t.Error("container without runtime succeeded")
+	}
+}
+
+func TestContainerTaskEnvWins(t *testing.T) {
+	rt := container.NewRuntime(0, 0)
+	res, err := Execute(context.Background(), "echo $GC_CONTAINER", Options{
+		Container: "img:1", Containers: rt,
+		Env: map[string]string{"GC_CONTAINER": "user-override"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != "user-override" {
+		t.Errorf("stdout = %q (task env should win)", res.Stdout)
+	}
+}
+
+func TestContainerViaSpec(t *testing.T) {
+	rt := container.NewRuntime(0, 0)
+	spec := protocol.ShellSpec{Command: "echo $GC_CONTAINER", Container: "spec:img"}
+	res, err := ExecuteSpec(context.Background(), spec, Options{Containers: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != "spec:img" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestContainerWalltimeDuringPull(t *testing.T) {
+	rt := container.NewRuntime(10*time.Second, 0)
+	res, err := Execute(context.Background(), "true", Options{
+		Container: "huge:img", Containers: rt, Walltime: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReturnCode != WalltimeReturnCode {
+		t.Errorf("rc = %d, want 124 (walltime covers the pull)", res.ReturnCode)
+	}
+}

@@ -1,0 +1,28 @@
+package shellfn_test
+
+import (
+	"context"
+	"fmt"
+
+	"globuscompute/internal/shellfn"
+)
+
+// ShellFunction command templates format at invocation time, as in the
+// paper's Listing 2.
+func ExampleFormatCommand() {
+	cmd, _ := shellfn.FormatCommand("echo '{message}'", map[string]string{"message": "hola"})
+	fmt.Println(cmd)
+	// Output: echo 'hola'
+}
+
+// Execute runs a command and captures bounded output; walltime overruns
+// report return code 124 as in Listing 3.
+func ExampleExecute() {
+	res, err := shellfn.Execute(context.Background(), "echo hello", shellfn.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.ReturnCode, res.Stdout)
+	// Output: 0 hello
+}

@@ -1,0 +1,293 @@
+// Package shellfn executes ShellFunctions: command lines run by endpoint
+// workers with optional per-task sandbox directories, a walltime bound that
+// yields return code 124 (the coreutils timeout convention the paper
+// adopts), and capture of the last N lines of stdout and stderr into the
+// ShellResult snippets.
+package shellfn
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"globuscompute/internal/container"
+	"globuscompute/internal/protocol"
+)
+
+// WalltimeReturnCode is the return code reported when execution is killed
+// for exceeding its walltime, matching `timeout(1)`.
+const WalltimeReturnCode = 124
+
+// DefaultSnippetLines is the default bound on captured output lines.
+const DefaultSnippetLines = 1000
+
+// Options configures one execution.
+type Options struct {
+	// RunDir is the working directory; empty selects the process cwd (the
+	// "endpoint path" in the paper).
+	RunDir string
+	// Sandbox creates a unique directory for the task under SandboxRoot
+	// (or RunDir when unset) named by the task UUID.
+	Sandbox bool
+	// SandboxRoot hosts sandbox directories.
+	SandboxRoot string
+	// TaskID names the sandbox directory.
+	TaskID string
+	// Walltime bounds execution; zero means unlimited.
+	Walltime time.Duration
+	// SnippetLines bounds captured stdout/stderr lines (<=0 selects
+	// DefaultSnippetLines).
+	SnippetLines int
+	// Env adds environment variables to the command.
+	Env map[string]string
+	// Container runs the command inside the named image; requires
+	// Containers.
+	Container string
+	// Containers is the endpoint's container runtime (nil = containers
+	// unsupported).
+	Containers *container.Runtime
+}
+
+// Execute runs command under /bin/sh -c with opts and returns its
+// ShellResult. A non-zero return code is not an error; errors indicate the
+// execution machinery itself failed (bad sandbox, missing shell).
+func Execute(ctx context.Context, command string, opts Options) (protocol.ShellResult, error) {
+	res := protocol.ShellResult{Cmd: command}
+	lines := opts.SnippetLines
+	if lines <= 0 {
+		lines = DefaultSnippetLines
+	}
+
+	dir := opts.RunDir
+	if opts.Sandbox {
+		root := opts.SandboxRoot
+		if root == "" {
+			root = opts.RunDir
+		}
+		if root == "" {
+			root = "."
+		}
+		name := opts.TaskID
+		if name == "" {
+			name = string(protocol.NewUUID())
+		}
+		dir = filepath.Join(root, name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return res, fmt.Errorf("shellfn: create sandbox: %w", err)
+		}
+	}
+
+	if opts.Walltime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Walltime)
+		defer cancel()
+	}
+
+	// Container execution: ensure the image (cold pull on first use) and
+	// fold the container context into the command environment.
+	if opts.Container != "" {
+		if opts.Containers == nil {
+			return res, fmt.Errorf("shellfn: task requests container %q but the endpoint has no container runtime", opts.Container)
+		}
+		cenv, err := opts.Containers.Invoke(ctx, opts.Container)
+		if err != nil {
+			if ctx.Err() != nil {
+				res.ReturnCode = WalltimeReturnCode
+				return res, nil
+			}
+			return res, err
+		}
+		merged := make(map[string]string, len(opts.Env)+len(cenv))
+		for k, v := range cenv {
+			merged[k] = v
+		}
+		for k, v := range opts.Env {
+			merged[k] = v
+		}
+		opts.Env = merged
+	}
+
+	stdout := NewTailWriter(lines)
+	stderr := NewTailWriter(lines)
+	cmd := exec.CommandContext(ctx, "/bin/sh", "-c", command)
+	cmd.Dir = dir
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	if len(opts.Env) > 0 {
+		env := os.Environ()
+		for k, v := range opts.Env {
+			env = append(env, k+"="+v)
+		}
+		cmd.Env = env
+	}
+	// Kill the whole process group on cancellation so children (which
+	// inherit the output pipes) die with the shell; WaitDelay is the
+	// backstop if the group kill is not possible.
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	cmd.Cancel = func() error {
+		if cmd.Process == nil {
+			return os.ErrProcessDone
+		}
+		return syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+	}
+	cmd.WaitDelay = time.Second
+
+	err := cmd.Run()
+	res.Stdout, res.Truncated = stdout.Snippet()
+	var errTrunc bool
+	res.Stderr, errTrunc = stderr.Snippet()
+	res.Truncated = res.Truncated || errTrunc
+
+	switch {
+	case err == nil:
+		res.ReturnCode = 0
+	case ctx.Err() == context.DeadlineExceeded:
+		res.ReturnCode = WalltimeReturnCode
+	case ctx.Err() == context.Canceled:
+		res.ReturnCode = WalltimeReturnCode
+	default:
+		var exitErr *exec.ExitError
+		if errors.As(err, &exitErr) {
+			res.ReturnCode = exitErr.ExitCode()
+		} else {
+			return res, fmt.Errorf("shellfn: exec: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// ExecuteSpec runs a protocol.ShellSpec (the task payload form) with
+// endpoint-level defaults applied.
+func ExecuteSpec(ctx context.Context, spec protocol.ShellSpec, defaults Options) (protocol.ShellResult, error) {
+	opts := defaults
+	if spec.RunDir != "" {
+		opts.RunDir = spec.RunDir
+	}
+	if spec.Sandbox {
+		opts.Sandbox = true
+	}
+	if spec.WalltimeSec > 0 {
+		opts.Walltime = time.Duration(spec.WalltimeSec * float64(time.Second))
+	}
+	if spec.SnippetLines > 0 {
+		opts.SnippetLines = spec.SnippetLines
+	}
+	if spec.Container != "" {
+		opts.Container = spec.Container
+	}
+	if len(spec.Env) > 0 {
+		merged := make(map[string]string, len(opts.Env)+len(spec.Env))
+		for k, v := range opts.Env {
+			merged[k] = v
+		}
+		for k, v := range spec.Env {
+			merged[k] = v
+		}
+		opts.Env = merged
+	}
+	return Execute(ctx, spec.Command, opts)
+}
+
+// placeholderRE matches {name} placeholders in command templates; {{ and }}
+// escape literal braces, as in Python str.format.
+var placeholderRE = regexp.MustCompile(`\{([A-Za-z_][A-Za-z0-9_]*)\}`)
+
+// FormatCommand substitutes {name} placeholders in a ShellFunction command
+// template with kwargs, mirroring the SDK's invocation-time formatting of
+// e.g. ShellFunction("echo '{message}'"). Unknown placeholders are an
+// error; "{{" and "}}" render literal braces.
+func FormatCommand(template string, kwargs map[string]string) (string, error) {
+	const lbrace, rbrace = "\x00GCLB\x00", "\x00GCRB\x00"
+	s := strings.ReplaceAll(template, "{{", lbrace)
+	s = strings.ReplaceAll(s, "}}", rbrace)
+	var missing []string
+	s = placeholderRE.ReplaceAllStringFunc(s, func(m string) string {
+		name := m[1 : len(m)-1]
+		v, ok := kwargs[name]
+		if !ok {
+			missing = append(missing, name)
+			return m
+		}
+		return v
+	})
+	if len(missing) > 0 {
+		return "", fmt.Errorf("shellfn: unbound placeholders: %s", strings.Join(missing, ", "))
+	}
+	s = strings.ReplaceAll(s, lbrace, "{")
+	s = strings.ReplaceAll(s, rbrace, "}")
+	return s, nil
+}
+
+// TailWriter is an io.Writer that retains only the last N lines written,
+// the mechanism behind ShellResult's bounded stdout/stderr snippets.
+type TailWriter struct {
+	mu      sync.Mutex
+	max     int
+	lines   []string // ring of complete lines
+	start   int      // ring head
+	count   int
+	partial bytes.Buffer
+	dropped bool
+}
+
+// NewTailWriter returns a writer retaining the last max lines.
+func NewTailWriter(max int) *TailWriter {
+	if max <= 0 {
+		max = 1
+	}
+	return &TailWriter{max: max, lines: make([]string, max)}
+}
+
+// Write implements io.Writer.
+func (t *TailWriter) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rest := p
+	for {
+		idx := bytes.IndexByte(rest, '\n')
+		if idx < 0 {
+			t.partial.Write(rest)
+			break
+		}
+		t.partial.Write(rest[:idx])
+		t.pushLocked(t.partial.String())
+		t.partial.Reset()
+		rest = rest[idx+1:]
+	}
+	return len(p), nil
+}
+
+func (t *TailWriter) pushLocked(line string) {
+	if t.count == t.max {
+		t.lines[t.start] = line
+		t.start = (t.start + 1) % t.max
+		t.dropped = true
+		return
+	}
+	t.lines[(t.start+t.count)%t.max] = line
+	t.count++
+}
+
+// Snippet returns the retained lines joined by newlines, and whether any
+// lines were dropped.
+func (t *TailWriter) Snippet() (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, t.count+1)
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.lines[(t.start+i)%t.max])
+	}
+	if t.partial.Len() > 0 {
+		out = append(out, t.partial.String())
+	}
+	return strings.Join(out, "\n"), t.dropped
+}

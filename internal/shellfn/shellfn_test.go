@@ -1,0 +1,323 @@
+package shellfn
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"globuscompute/internal/protocol"
+)
+
+func TestEchoCommand(t *testing.T) {
+	res, err := Execute(context.Background(), "echo hello", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReturnCode != 0 {
+		t.Errorf("rc = %d", res.ReturnCode)
+	}
+	if res.Stdout != "hello" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+	if res.Cmd != "echo hello" {
+		t.Errorf("cmd = %q", res.Cmd)
+	}
+}
+
+func TestNonZeroExit(t *testing.T) {
+	res, err := Execute(context.Background(), "exit 3", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReturnCode != 3 {
+		t.Errorf("rc = %d, want 3", res.ReturnCode)
+	}
+}
+
+func TestStderrCaptured(t *testing.T) {
+	res, err := Execute(context.Background(), "echo oops >&2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stderr != "oops" {
+		t.Errorf("stderr = %q", res.Stderr)
+	}
+	if res.Stdout != "" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestWalltime124(t *testing.T) {
+	// The paper's Listing 3: sleep 2 with walltime 1 -> rc 124.
+	start := time.Now()
+	res, err := Execute(context.Background(), "sleep 2", Options{Walltime: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReturnCode != WalltimeReturnCode {
+		t.Errorf("rc = %d, want %d", res.ReturnCode, WalltimeReturnCode)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("walltime not enforced: took %s", elapsed)
+	}
+}
+
+func TestWalltimeNotTriggeredWhenFast(t *testing.T) {
+	res, err := Execute(context.Background(), "true", Options{Walltime: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReturnCode != 0 {
+		t.Errorf("rc = %d", res.ReturnCode)
+	}
+}
+
+func TestContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	res, err := Execute(ctx, "sleep 5", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReturnCode != WalltimeReturnCode {
+		t.Errorf("rc = %d", res.ReturnCode)
+	}
+}
+
+func TestRunDir(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Execute(context.Background(), "pwd", Options{RunDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(res.Stdout); got != dir {
+		// Allow symlink resolution differences (e.g. /tmp -> /private/tmp)
+		if resolved, _ := filepath.EvalSymlinks(dir); got != resolved {
+			t.Errorf("pwd = %q, want %q", got, dir)
+		}
+	}
+}
+
+func TestSandboxCreatesTaskDir(t *testing.T) {
+	root := t.TempDir()
+	res, err := Execute(context.Background(), "pwd && touch marker", Options{
+		Sandbox: true, SandboxRoot: root, TaskID: "task-123",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(root, "task-123")
+	if _, err := os.Stat(filepath.Join(want, "marker")); err != nil {
+		t.Errorf("marker not in sandbox: %v", err)
+	}
+	if res.ReturnCode != 0 {
+		t.Errorf("rc = %d", res.ReturnCode)
+	}
+}
+
+func TestSandboxIsolation(t *testing.T) {
+	// Concurrent ShellFunctions writing the same filename must not
+	// interfere when sandboxed (paper §III-B2).
+	root := t.TempDir()
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("task-%d", i)
+			cmd := fmt.Sprintf("echo %d > out.txt && sleep 0.05 && cat out.txt", i)
+			res, err := Execute(context.Background(), cmd, Options{
+				Sandbox: true, SandboxRoot: root, TaskID: id,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if strings.TrimSpace(res.Stdout) != fmt.Sprint(i) {
+				errs <- fmt.Errorf("task %d read %q", i, res.Stdout)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Each sandbox holds its own out.txt.
+	entries, _ := os.ReadDir(root)
+	if len(entries) != n {
+		t.Errorf("sandboxes = %d, want %d", len(entries), n)
+	}
+}
+
+func TestEnvPassing(t *testing.T) {
+	res, err := Execute(context.Background(), "echo $GC_TEST_VAR", Options{
+		Env: map[string]string{"GC_TEST_VAR": "injected"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != "injected" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestSnippetTruncation(t *testing.T) {
+	res, err := Execute(context.Background(), "seq 1 100", Options{SnippetLines: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(res.Stdout, "\n")
+	if len(lines) != 10 {
+		t.Fatalf("kept %d lines, want 10", len(lines))
+	}
+	if lines[0] != "91" || lines[9] != "100" {
+		t.Errorf("kept %v, want last 10", lines)
+	}
+	if !res.Truncated {
+		t.Error("Truncated flag not set")
+	}
+}
+
+func TestExecuteSpecOverrides(t *testing.T) {
+	root := t.TempDir()
+	spec := protocol.ShellSpec{
+		Command:      "sleep 2",
+		WalltimeSec:  0.1,
+		SnippetLines: 5,
+	}
+	res, err := ExecuteSpec(context.Background(), spec, Options{SandboxRoot: root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReturnCode != WalltimeReturnCode {
+		t.Errorf("rc = %d", res.ReturnCode)
+	}
+}
+
+func TestExecuteSpecEnvMerge(t *testing.T) {
+	spec := protocol.ShellSpec{
+		Command: "echo $A $B",
+		Env:     map[string]string{"B": "spec"},
+	}
+	res, err := ExecuteSpec(context.Background(), spec, Options{Env: map[string]string{"A": "default", "B": "default"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stdout != "default spec" {
+		t.Errorf("stdout = %q, want task env to win", res.Stdout)
+	}
+}
+
+func TestFormatCommand(t *testing.T) {
+	got, err := FormatCommand("echo '{message}'", map[string]string{"message": "hola"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "echo 'hola'" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFormatCommandMissing(t *testing.T) {
+	if _, err := FormatCommand("echo {a} {b}", map[string]string{"a": "x"}); err == nil {
+		t.Error("unbound placeholder accepted")
+	}
+}
+
+func TestFormatCommandEscapes(t *testing.T) {
+	got, err := FormatCommand("awk '{{print $1}}' {file}", map[string]string{"file": "data.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "awk '{print $1}' data.txt" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFormatCommandNoPlaceholders(t *testing.T) {
+	got, err := FormatCommand("ls -la", nil)
+	if err != nil || got != "ls -la" {
+		t.Errorf("got %q, %v", got, err)
+	}
+}
+
+func TestTailWriterBasics(t *testing.T) {
+	w := NewTailWriter(3)
+	fmt.Fprintf(w, "a\nb\nc\n")
+	s, dropped := w.Snippet()
+	if s != "a\nb\nc" || dropped {
+		t.Errorf("snippet = %q dropped=%v", s, dropped)
+	}
+	fmt.Fprintf(w, "d\n")
+	s, dropped = w.Snippet()
+	if s != "b\nc\nd" || !dropped {
+		t.Errorf("snippet = %q dropped=%v", s, dropped)
+	}
+}
+
+func TestTailWriterPartialLine(t *testing.T) {
+	w := NewTailWriter(5)
+	fmt.Fprintf(w, "complete\npart")
+	s, _ := w.Snippet()
+	if s != "complete\npart" {
+		t.Errorf("snippet = %q", s)
+	}
+	fmt.Fprintf(w, "ial\n")
+	s, _ = w.Snippet()
+	if s != "complete\npartial" {
+		t.Errorf("snippet = %q", s)
+	}
+}
+
+func TestTailWriterSplitWrites(t *testing.T) {
+	w := NewTailWriter(10)
+	for _, chunk := range []string{"li", "ne1\nli", "ne2", "\n"} {
+		w.Write([]byte(chunk))
+	}
+	s, _ := w.Snippet()
+	if s != "line1\nline2" {
+		t.Errorf("snippet = %q", s)
+	}
+}
+
+func TestTailWriterProperty(t *testing.T) {
+	// For any sequence of lines, the snippet is exactly the last min(n,max)
+	// lines.
+	f := func(raw []uint8, maxRaw uint8) bool {
+		max := int(maxRaw%20) + 1
+		w := NewTailWriter(max)
+		var all []string
+		for i, b := range raw {
+			line := fmt.Sprintf("l%d-%d", i, b)
+			all = append(all, line)
+			fmt.Fprintln(w, line)
+		}
+		s, dropped := w.Snippet()
+		want := all
+		if len(all) > max {
+			want = all[len(all)-max:]
+		}
+		if dropped != (len(all) > max) {
+			return false
+		}
+		if len(want) == 0 {
+			return s == ""
+		}
+		return s == strings.Join(want, "\n")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

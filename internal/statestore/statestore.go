@@ -1,0 +1,465 @@
+// Package statestore is the relational-database substitute backing the web
+// service: typed tables for registered functions, endpoints, and tasks, with
+// the task state machine enforced at the storage layer so that every task
+// reaches exactly one terminal state. A JSON snapshot/restore pair stands in
+// for database durability.
+package statestore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"globuscompute/internal/protocol"
+)
+
+// Common errors.
+var (
+	ErrNotFound          = errors.New("statestore: record not found")
+	ErrAlreadyExists     = errors.New("statestore: record already exists")
+	ErrIllegalTransition = errors.New("statestore: illegal task state transition")
+)
+
+// FunctionRecord is an immutable registered function. Re-registering the
+// same body yields a new UUID; the MEP allowed-functions feature relies on
+// this immutability.
+type FunctionRecord struct {
+	ID         protocol.UUID         `json:"id"`
+	Owner      string                `json:"owner"`
+	Kind       protocol.FunctionKind `json:"kind"`
+	Definition []byte                `json:"definition"`
+	Registered time.Time             `json:"registered"`
+}
+
+// EndpointStatus is the service's view of an endpoint.
+type EndpointStatus string
+
+const (
+	EndpointOnline  EndpointStatus = "online"
+	EndpointOffline EndpointStatus = "offline"
+)
+
+// EndpointRecord describes a registered endpoint, single- or multi-user.
+type EndpointRecord struct {
+	ID        protocol.UUID `json:"id"`
+	Name      string        `json:"name"`
+	Owner     string        `json:"owner"`
+	MultiUser bool          `json:"multi_user"`
+	// Parent links a user endpoint spawned by a multi-user endpoint to its
+	// MEP, for the usage accounting in the paper's §VI.
+	Parent        protocol.UUID     `json:"parent,omitempty"`
+	Status        EndpointStatus    `json:"status"`
+	Registered    time.Time         `json:"registered"`
+	LastHeartbeat time.Time         `json:"last_heartbeat"`
+	Metadata      map[string]string `json:"metadata,omitempty"`
+	// AllowedFunctions, when non-empty, restricts which function UUIDs the
+	// endpoint will execute (science-gateway deployments).
+	AllowedFunctions []protocol.UUID `json:"allowed_functions,omitempty"`
+	// AuthPolicy names a Globus-Auth-style policy checked at submit time.
+	AuthPolicy string `json:"auth_policy,omitempty"`
+	// Load is the agent's most recent self-reported status.
+	Load *EndpointLoad `json:"load,omitempty"`
+}
+
+// EndpointLoad is the agent-reported utilization carried in heartbeats.
+type EndpointLoad struct {
+	PendingTasks     int   `json:"pending_tasks"`
+	TotalWorkers     int   `json:"total_workers"`
+	FreeWorkers      int   `json:"free_workers"`
+	TasksReceived    int64 `json:"tasks_received"`
+	ResultsPublished int64 `json:"results_published"`
+}
+
+// TaskRecord is the authoritative task row.
+type TaskRecord struct {
+	Task      protocol.Task      `json:"task"`
+	State     protocol.TaskState `json:"state"`
+	Result    []byte             `json:"result,omitempty"`
+	ResultRef string             `json:"result_ref,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	Created   time.Time          `json:"created"`
+	Updated   time.Time          `json:"updated"`
+	Completed time.Time          `json:"completed,omitempty"`
+}
+
+// Store holds all service state. Safe for concurrent use.
+type Store struct {
+	mu        sync.RWMutex
+	functions map[protocol.UUID]*FunctionRecord
+	endpoints map[protocol.UUID]*EndpointRecord
+	tasks     map[protocol.UUID]*TaskRecord
+	// tasksByEndpoint is a secondary index for ListTasks queries.
+	tasksByEndpoint map[protocol.UUID][]protocol.UUID
+	now             func() time.Time
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		functions:       make(map[protocol.UUID]*FunctionRecord),
+		endpoints:       make(map[protocol.UUID]*EndpointRecord),
+		tasks:           make(map[protocol.UUID]*TaskRecord),
+		tasksByEndpoint: make(map[protocol.UUID][]protocol.UUID),
+		now:             time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests).
+func (s *Store) SetClock(now func() time.Time) { s.now = now }
+
+// --- functions ---
+
+// PutFunction registers an immutable function. Registering an existing ID
+// fails.
+func (s *Store) PutFunction(rec FunctionRecord) error {
+	if !rec.ID.Valid() {
+		return fmt.Errorf("statestore: invalid function ID %q", rec.ID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.functions[rec.ID]; ok {
+		return fmt.Errorf("%w: function %s", ErrAlreadyExists, rec.ID)
+	}
+	if rec.Registered.IsZero() {
+		rec.Registered = s.now()
+	}
+	rec.Definition = append([]byte(nil), rec.Definition...)
+	s.functions[rec.ID] = &rec
+	return nil
+}
+
+// GetFunction fetches a function record.
+func (s *Store) GetFunction(id protocol.UUID) (FunctionRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.functions[id]
+	if !ok {
+		return FunctionRecord{}, fmt.Errorf("%w: function %s", ErrNotFound, id)
+	}
+	return *rec, nil
+}
+
+// CountFunctions returns the number of registered functions.
+func (s *Store) CountFunctions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.functions)
+}
+
+// --- endpoints ---
+
+// UpsertEndpoint inserts or replaces an endpoint record.
+func (s *Store) UpsertEndpoint(rec EndpointRecord) error {
+	if !rec.ID.Valid() {
+		return fmt.Errorf("statestore: invalid endpoint ID %q", rec.ID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rec.Registered.IsZero() {
+		if old, ok := s.endpoints[rec.ID]; ok {
+			rec.Registered = old.Registered
+		} else {
+			rec.Registered = s.now()
+		}
+	}
+	s.endpoints[rec.ID] = &rec
+	return nil
+}
+
+// GetEndpoint fetches an endpoint record.
+func (s *Store) GetEndpoint(id protocol.UUID) (EndpointRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.endpoints[id]
+	if !ok {
+		return EndpointRecord{}, fmt.Errorf("%w: endpoint %s", ErrNotFound, id)
+	}
+	return *rec, nil
+}
+
+// SetEndpointStatus updates status and heartbeat time.
+func (s *Store) SetEndpointStatus(id protocol.UUID, status EndpointStatus) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.endpoints[id]
+	if !ok {
+		return fmt.Errorf("%w: endpoint %s", ErrNotFound, id)
+	}
+	rec.Status = status
+	rec.LastHeartbeat = s.now()
+	return nil
+}
+
+// SetEndpointLoad records an agent's self-reported load.
+func (s *Store) SetEndpointLoad(id protocol.UUID, load EndpointLoad) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.endpoints[id]
+	if !ok {
+		return fmt.Errorf("%w: endpoint %s", ErrNotFound, id)
+	}
+	rec.Load = &load
+	return nil
+}
+
+// EndpointFilter selects endpoints in ListEndpoints.
+type EndpointFilter struct {
+	Owner     string
+	MultiUser *bool
+	Parent    protocol.UUID
+	Status    EndpointStatus
+}
+
+// ListEndpoints returns endpoint records matching the filter.
+func (s *Store) ListEndpoints(f EndpointFilter) []EndpointRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []EndpointRecord
+	for _, rec := range s.endpoints {
+		if f.Owner != "" && rec.Owner != f.Owner {
+			continue
+		}
+		if f.MultiUser != nil && rec.MultiUser != *f.MultiUser {
+			continue
+		}
+		if f.Parent != "" && rec.Parent != f.Parent {
+			continue
+		}
+		if f.Status != "" && rec.Status != f.Status {
+			continue
+		}
+		out = append(out, *rec)
+	}
+	return out
+}
+
+// CountEndpoints returns the number of registered endpoints.
+func (s *Store) CountEndpoints() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.endpoints)
+}
+
+// --- tasks ---
+
+// legalNext defines the task state machine. A terminal state has no
+// successors, guaranteeing exactly-one-terminal-state.
+var legalNext = map[protocol.TaskState]map[protocol.TaskState]bool{
+	protocol.StateReceived: {
+		protocol.StateWaiting: true, protocol.StateDelivered: true,
+		protocol.StateCancelled: true, protocol.StateFailed: true,
+	},
+	protocol.StateWaiting: {
+		protocol.StateDelivered: true, protocol.StateCancelled: true,
+		protocol.StateFailed: true,
+	},
+	protocol.StateDelivered: {
+		protocol.StateRunning: true, protocol.StateSuccess: true,
+		protocol.StateFailed: true, protocol.StateCancelled: true,
+	},
+	protocol.StateRunning: {
+		protocol.StateSuccess: true, protocol.StateFailed: true,
+		protocol.StateCancelled: true,
+	},
+}
+
+// CreateTask inserts a new task in StateReceived.
+func (s *Store) CreateTask(task protocol.Task) error {
+	if !task.ID.Valid() {
+		return fmt.Errorf("statestore: invalid task ID %q", task.ID)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tasks[task.ID]; ok {
+		return fmt.Errorf("%w: task %s", ErrAlreadyExists, task.ID)
+	}
+	now := s.now()
+	s.tasks[task.ID] = &TaskRecord{Task: task, State: protocol.StateReceived, Created: now, Updated: now}
+	s.tasksByEndpoint[task.EndpointID] = append(s.tasksByEndpoint[task.EndpointID], task.ID)
+	return nil
+}
+
+// GetTask fetches a task record.
+func (s *Store) GetTask(id protocol.UUID) (TaskRecord, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rec, ok := s.tasks[id]
+	if !ok {
+		return TaskRecord{}, fmt.Errorf("%w: task %s", ErrNotFound, id)
+	}
+	return *rec, nil
+}
+
+// TransitionTask moves a task to state, enforcing the state machine.
+func (s *Store) TransitionTask(id protocol.UUID, state protocol.TaskState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.transitionLocked(id, state)
+}
+
+func (s *Store) transitionLocked(id protocol.UUID, state protocol.TaskState) error {
+	rec, ok := s.tasks[id]
+	if !ok {
+		return fmt.Errorf("%w: task %s", ErrNotFound, id)
+	}
+	if !legalNext[rec.State][state] {
+		return fmt.Errorf("%w: %s -> %s (task %s)", ErrIllegalTransition, rec.State, state, id)
+	}
+	rec.State = state
+	rec.Updated = s.now()
+	if state.Terminal() {
+		rec.Completed = rec.Updated
+	}
+	return nil
+}
+
+// CompleteTask records a result and moves the task to its terminal state in
+// one step (the result processor path).
+func (s *Store) CompleteTask(res protocol.Result) error {
+	if !res.State.Terminal() {
+		return fmt.Errorf("statestore: CompleteTask with non-terminal state %s", res.State)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.tasks[res.TaskID]
+	if !ok {
+		return fmt.Errorf("%w: task %s", ErrNotFound, res.TaskID)
+	}
+	if err := s.transitionLocked(res.TaskID, res.State); err != nil {
+		return err
+	}
+	rec.Result = append([]byte(nil), res.Output...)
+	rec.ResultRef = res.OutputRef
+	rec.Error = res.Error
+	return nil
+}
+
+// ListTasksByEndpoint returns the task IDs submitted to an endpoint in
+// creation order.
+func (s *Store) ListTasksByEndpoint(ep protocol.UUID) []protocol.UUID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.tasksByEndpoint[ep]
+	return append([]protocol.UUID(nil), ids...)
+}
+
+// CountTasksByState tallies tasks per state.
+func (s *Store) CountTasksByState() map[protocol.TaskState]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[protocol.TaskState]int)
+	for _, rec := range s.tasks {
+		out[rec.State]++
+	}
+	return out
+}
+
+// CountTasks returns the total number of tasks.
+func (s *Store) CountTasks() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tasks)
+}
+
+// PurgeTasksBefore deletes terminal task records completed before cutoff,
+// implementing the service's bounded result retention ("results are stored
+// in the cloud for up to two weeks"). It returns the number purged.
+func (s *Store) PurgeTasksBefore(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	purged := 0
+	for id, rec := range s.tasks {
+		if rec.State.Terminal() && !rec.Completed.IsZero() && rec.Completed.Before(cutoff) {
+			delete(s.tasks, id)
+			purged++
+			ids := s.tasksByEndpoint[rec.Task.EndpointID]
+			for i, tid := range ids {
+				if tid == id {
+					s.tasksByEndpoint[rec.Task.EndpointID] = append(ids[:i], ids[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	return purged
+}
+
+// --- durability ---
+
+// snapshot is the JSON image of the full store.
+type snapshot struct {
+	Functions []FunctionRecord `json:"functions"`
+	Endpoints []EndpointRecord `json:"endpoints"`
+	Tasks     []TaskRecord     `json:"tasks"`
+}
+
+// Snapshot serializes the store to JSON.
+func (s *Store) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var snap snapshot
+	for _, f := range s.functions {
+		snap.Functions = append(snap.Functions, *f)
+	}
+	for _, e := range s.endpoints {
+		snap.Endpoints = append(snap.Endpoints, *e)
+	}
+	for _, t := range s.tasks {
+		snap.Tasks = append(snap.Tasks, *t)
+	}
+	return json.Marshal(snap)
+}
+
+// SaveFile writes a snapshot atomically to path (the RDS substitute's
+// durability story: periodic snapshots).
+func (s *Store) SaveFile(path string) error {
+	img, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, img, 0o644); err != nil {
+		return fmt.Errorf("statestore: save: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile restores the store from a SaveFile snapshot.
+func (s *Store) LoadFile(path string) error {
+	img, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("statestore: load: %w", err)
+	}
+	return s.Restore(img)
+}
+
+// Restore replaces the store contents from a Snapshot image.
+func (s *Store) Restore(data []byte) error {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("statestore: restore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.functions = make(map[protocol.UUID]*FunctionRecord, len(snap.Functions))
+	s.endpoints = make(map[protocol.UUID]*EndpointRecord, len(snap.Endpoints))
+	s.tasks = make(map[protocol.UUID]*TaskRecord, len(snap.Tasks))
+	s.tasksByEndpoint = make(map[protocol.UUID][]protocol.UUID)
+	for i := range snap.Functions {
+		f := snap.Functions[i]
+		s.functions[f.ID] = &f
+	}
+	for i := range snap.Endpoints {
+		e := snap.Endpoints[i]
+		s.endpoints[e.ID] = &e
+	}
+	for i := range snap.Tasks {
+		t := snap.Tasks[i]
+		s.tasks[t.Task.ID] = &t
+		s.tasksByEndpoint[t.Task.EndpointID] = append(s.tasksByEndpoint[t.Task.EndpointID], t.Task.ID)
+	}
+	return nil
+}

@@ -1,0 +1,363 @@
+package statestore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"globuscompute/internal/protocol"
+)
+
+func newTask(ep protocol.UUID) protocol.Task {
+	return protocol.Task{ID: protocol.NewUUID(), FunctionID: protocol.NewUUID(), EndpointID: ep, Kind: protocol.KindPython}
+}
+
+func TestFunctionImmutable(t *testing.T) {
+	s := New()
+	id := protocol.NewUUID()
+	rec := FunctionRecord{ID: id, Owner: "alice", Kind: protocol.KindPython, Definition: []byte("def")}
+	if err := s.PutFunction(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutFunction(rec); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("re-register = %v, want ErrAlreadyExists", err)
+	}
+	got, err := s.GetFunction(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Owner != "alice" || string(got.Definition) != "def" {
+		t.Errorf("got %+v", got)
+	}
+	if s.CountFunctions() != 1 {
+		t.Errorf("CountFunctions = %d", s.CountFunctions())
+	}
+}
+
+func TestFunctionInvalidID(t *testing.T) {
+	s := New()
+	if err := s.PutFunction(FunctionRecord{ID: "nope"}); err == nil {
+		t.Error("PutFunction with bad ID succeeded")
+	}
+}
+
+func TestFunctionDefinitionCopied(t *testing.T) {
+	s := New()
+	id := protocol.NewUUID()
+	def := []byte("orig")
+	s.PutFunction(FunctionRecord{ID: id, Definition: def})
+	copy(def, "XXXX")
+	got, _ := s.GetFunction(id)
+	if string(got.Definition) != "orig" {
+		t.Error("definition aliased caller buffer")
+	}
+}
+
+func TestEndpointLifecycle(t *testing.T) {
+	s := New()
+	id := protocol.NewUUID()
+	if err := s.UpsertEndpoint(EndpointRecord{ID: id, Name: "hpc", Owner: "bob", Status: EndpointOffline}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetEndpointStatus(id, EndpointOnline); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetEndpoint(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != EndpointOnline {
+		t.Errorf("status = %s", got.Status)
+	}
+	if got.LastHeartbeat.IsZero() {
+		t.Error("heartbeat not stamped")
+	}
+	if err := s.SetEndpointStatus(protocol.NewUUID(), EndpointOnline); !errors.Is(err, ErrNotFound) {
+		t.Errorf("status of missing endpoint = %v", err)
+	}
+}
+
+func TestEndpointRegisteredPreservedOnUpsert(t *testing.T) {
+	s := New()
+	base := time.Date(2024, 4, 1, 0, 0, 0, 0, time.UTC)
+	s.SetClock(func() time.Time { return base })
+	id := protocol.NewUUID()
+	s.UpsertEndpoint(EndpointRecord{ID: id, Name: "v1"})
+	s.SetClock(func() time.Time { return base.Add(time.Hour) })
+	s.UpsertEndpoint(EndpointRecord{ID: id, Name: "v2"})
+	got, _ := s.GetEndpoint(id)
+	if !got.Registered.Equal(base) {
+		t.Errorf("Registered = %v, want original %v", got.Registered, base)
+	}
+	if got.Name != "v2" {
+		t.Errorf("Name = %s, want v2", got.Name)
+	}
+}
+
+func TestListEndpointsFilters(t *testing.T) {
+	s := New()
+	mep := protocol.NewUUID()
+	s.UpsertEndpoint(EndpointRecord{ID: mep, Owner: "admin", MultiUser: true, Status: EndpointOnline})
+	for i := 0; i < 3; i++ {
+		s.UpsertEndpoint(EndpointRecord{ID: protocol.NewUUID(), Owner: "user", Parent: mep, Status: EndpointOnline})
+	}
+	s.UpsertEndpoint(EndpointRecord{ID: protocol.NewUUID(), Owner: "user", Status: EndpointOffline})
+
+	tr := true
+	if got := s.ListEndpoints(EndpointFilter{MultiUser: &tr}); len(got) != 1 {
+		t.Errorf("multi-user endpoints = %d, want 1", len(got))
+	}
+	if got := s.ListEndpoints(EndpointFilter{Parent: mep}); len(got) != 3 {
+		t.Errorf("children = %d, want 3", len(got))
+	}
+	if got := s.ListEndpoints(EndpointFilter{Status: EndpointOffline}); len(got) != 1 {
+		t.Errorf("offline = %d, want 1", len(got))
+	}
+	if got := s.ListEndpoints(EndpointFilter{Owner: "admin"}); len(got) != 1 {
+		t.Errorf("admin-owned = %d, want 1", len(got))
+	}
+	if s.CountEndpoints() != 5 {
+		t.Errorf("CountEndpoints = %d", s.CountEndpoints())
+	}
+}
+
+func TestTaskHappyPath(t *testing.T) {
+	s := New()
+	ep := protocol.NewUUID()
+	task := newTask(ep)
+	if err := s.CreateTask(task); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []protocol.TaskState{protocol.StateWaiting, protocol.StateDelivered, protocol.StateRunning} {
+		if err := s.TransitionTask(task.ID, st); err != nil {
+			t.Fatalf("to %s: %v", st, err)
+		}
+	}
+	if err := s.CompleteTask(protocol.Result{TaskID: task.ID, State: protocol.StateSuccess, Output: []byte("42")}); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := s.GetTask(task.ID)
+	if rec.State != protocol.StateSuccess || string(rec.Result) != "42" {
+		t.Errorf("record = %+v", rec)
+	}
+	if rec.Completed.IsZero() {
+		t.Error("Completed not stamped")
+	}
+}
+
+func TestTaskIllegalTransitions(t *testing.T) {
+	s := New()
+	task := newTask(protocol.NewUUID())
+	s.CreateTask(task)
+	// received -> running skips delivery
+	if err := s.TransitionTask(task.ID, protocol.StateRunning); !errors.Is(err, ErrIllegalTransition) {
+		t.Errorf("received->running = %v", err)
+	}
+	s.TransitionTask(task.ID, protocol.StateCancelled)
+	// cancelled is terminal: nothing may follow
+	for _, st := range []protocol.TaskState{protocol.StateRunning, protocol.StateSuccess, protocol.StateFailed, protocol.StateWaiting} {
+		if err := s.TransitionTask(task.ID, st); !errors.Is(err, ErrIllegalTransition) {
+			t.Errorf("cancelled->%s = %v, want ErrIllegalTransition", st, err)
+		}
+	}
+}
+
+func TestCompleteTaskRejectsNonTerminal(t *testing.T) {
+	s := New()
+	task := newTask(protocol.NewUUID())
+	s.CreateTask(task)
+	if err := s.CompleteTask(protocol.Result{TaskID: task.ID, State: protocol.StateRunning}); err == nil {
+		t.Error("CompleteTask with running state succeeded")
+	}
+}
+
+func TestCompleteTaskFromDeliveredDirectly(t *testing.T) {
+	// Fast tasks may report success before the service ever saw "running".
+	s := New()
+	task := newTask(protocol.NewUUID())
+	s.CreateTask(task)
+	s.TransitionTask(task.ID, protocol.StateDelivered)
+	if err := s.CompleteTask(protocol.Result{TaskID: task.ID, State: protocol.StateSuccess}); err != nil {
+		t.Errorf("delivered->success = %v", err)
+	}
+}
+
+func TestDuplicateTask(t *testing.T) {
+	s := New()
+	task := newTask(protocol.NewUUID())
+	s.CreateTask(task)
+	if err := s.CreateTask(task); !errors.Is(err, ErrAlreadyExists) {
+		t.Errorf("duplicate = %v", err)
+	}
+}
+
+func TestListTasksByEndpointOrdered(t *testing.T) {
+	s := New()
+	ep := protocol.NewUUID()
+	var ids []protocol.UUID
+	for i := 0; i < 5; i++ {
+		task := newTask(ep)
+		ids = append(ids, task.ID)
+		s.CreateTask(task)
+	}
+	s.CreateTask(newTask(protocol.NewUUID())) // different endpoint
+	got := s.ListTasksByEndpoint(ep)
+	if len(got) != 5 {
+		t.Fatalf("len = %d, want 5", len(got))
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Errorf("order mismatch at %d", i)
+		}
+	}
+}
+
+func TestCountTasksByState(t *testing.T) {
+	s := New()
+	for i := 0; i < 3; i++ {
+		s.CreateTask(newTask(protocol.NewUUID()))
+	}
+	task := newTask(protocol.NewUUID())
+	s.CreateTask(task)
+	s.TransitionTask(task.ID, protocol.StateWaiting)
+	counts := s.CountTasksByState()
+	if counts[protocol.StateReceived] != 3 || counts[protocol.StateWaiting] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if s.CountTasks() != 4 {
+		t.Errorf("CountTasks = %d", s.CountTasks())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New()
+	fid := protocol.NewUUID()
+	s.PutFunction(FunctionRecord{ID: fid, Owner: "o", Definition: []byte("d")})
+	ep := protocol.NewUUID()
+	s.UpsertEndpoint(EndpointRecord{ID: ep, Name: "e"})
+	task := newTask(ep)
+	s.CreateTask(task)
+	s.TransitionTask(task.ID, protocol.StateWaiting)
+
+	img, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.GetFunction(fid); err != nil {
+		t.Errorf("function lost: %v", err)
+	}
+	if _, err := s2.GetEndpoint(ep); err != nil {
+		t.Errorf("endpoint lost: %v", err)
+	}
+	rec, err := s2.GetTask(task.ID)
+	if err != nil {
+		t.Fatalf("task lost: %v", err)
+	}
+	if rec.State != protocol.StateWaiting {
+		t.Errorf("state = %s", rec.State)
+	}
+	if got := s2.ListTasksByEndpoint(ep); len(got) != 1 {
+		t.Errorf("index not rebuilt: %d", len(got))
+	}
+	// State machine still enforced after restore.
+	if err := s2.TransitionTask(task.ID, protocol.StateRunning); !errors.Is(err, ErrIllegalTransition) {
+		t.Errorf("restored store allowed illegal transition: %v", err)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	s := New()
+	fid := protocol.NewUUID()
+	s.PutFunction(FunctionRecord{ID: fid, Owner: "o", Definition: []byte("d")})
+	path := t.TempDir() + "/state.json"
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.GetFunction(fid); err != nil {
+		t.Errorf("function lost across save/load: %v", err)
+	}
+	if err := s2.LoadFile(path + ".missing"); err == nil {
+		t.Error("LoadFile of missing path succeeded")
+	}
+}
+
+func TestRestoreBadData(t *testing.T) {
+	s := New()
+	if err := s.Restore([]byte("{")); err == nil {
+		t.Error("Restore of garbage succeeded")
+	}
+}
+
+func TestConcurrentTransitions(t *testing.T) {
+	// Racing completers: exactly one terminal transition must win.
+	s := New()
+	task := newTask(protocol.NewUUID())
+	s.CreateTask(task)
+	s.TransitionTask(task.ID, protocol.StateDelivered)
+	var wg sync.WaitGroup
+	wins := make(chan protocol.TaskState, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		st := protocol.StateSuccess
+		if i%2 == 1 {
+			st = protocol.StateFailed
+		}
+		go func(st protocol.TaskState) {
+			defer wg.Done()
+			if err := s.CompleteTask(protocol.Result{TaskID: task.ID, State: st}); err == nil {
+				wins <- st
+			}
+		}(st)
+	}
+	wg.Wait()
+	close(wins)
+	n := 0
+	for range wins {
+		n++
+	}
+	if n != 1 {
+		t.Errorf("%d terminal transitions succeeded, want exactly 1", n)
+	}
+}
+
+func TestPropertyExactlyOneTerminal(t *testing.T) {
+	// Random walks through the transition map never escape a terminal
+	// state and always can reach one.
+	states := []protocol.TaskState{
+		protocol.StateWaiting, protocol.StateDelivered, protocol.StateRunning,
+		protocol.StateSuccess, protocol.StateFailed, protocol.StateCancelled,
+	}
+	f := func(moves []uint8) bool {
+		s := New()
+		task := newTask(protocol.NewUUID())
+		s.CreateTask(task)
+		terminal := 0
+		for _, m := range moves {
+			st := states[int(m)%len(states)]
+			if err := s.TransitionTask(task.ID, st); err == nil && st.Terminal() {
+				terminal++
+			}
+		}
+		rec, _ := s.GetTask(task.ID)
+		if terminal > 1 {
+			return false
+		}
+		if terminal == 1 && !rec.State.Terminal() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

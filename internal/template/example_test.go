@@ -1,0 +1,37 @@
+package template_test
+
+import (
+	"fmt"
+
+	"globuscompute/internal/template"
+)
+
+// The multi-user endpoint configuration template from the paper's
+// Listing 9, rendered with a user's values.
+func ExampleRender() {
+	tmpl := `account={{ ACCOUNT_ID }} nodes={{ NODES_PER_BLOCK }} walltime={{ WALLTIME|default("00:30:00") }}`
+	out, err := template.Render(tmpl, map[string]any{
+		"ACCOUNT_ID":      "314159265",
+		"NODES_PER_BLOCK": 64,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(out)
+	// Output: account=314159265 nodes=64 walltime=00:30:00
+}
+
+// Schemas reject out-of-policy user values before rendering.
+func ExampleSchema_Validate() {
+	min, max := 1.0, 64.0
+	schema := template.Schema{Properties: map[string]template.Property{
+		"NODES": {Type: template.TypeInteger, Required: true, Minimum: &min, Maximum: &max},
+	}}
+	fmt.Println(schema.Validate(map[string]any{"NODES": 32}))
+	err := schema.Validate(map[string]any{"NODES": 4096})
+	fmt.Println(err != nil)
+	// Output:
+	// <nil>
+	// true
+}

@@ -1,0 +1,35 @@
+package template
+
+import "testing"
+
+// FuzzRender ensures arbitrary templates and values never panic the
+// renderer; errors are the only acceptable failure mode.
+func FuzzRender(f *testing.F) {
+	f.Add(`{{ A }}`, "v")
+	f.Add(`{{ A|default("x") }}`, "")
+	f.Add(`{{ A|bogus }}`, "v")
+	f.Add(`{{`, "v")
+	f.Add(`}} {{ {{`, "v")
+	f.Add(`{{ A|default("\"") }}`, "v")
+	f.Fuzz(func(t *testing.T, tmpl, val string) {
+		out, err := Render(tmpl, map[string]any{"A": val})
+		if err == nil && out == "" && tmpl != "" && val != "" {
+			// empty output is fine; just exercising the path
+			_ = out
+		}
+	})
+}
+
+// FuzzSchemaValidate hardens property checking against odd values.
+func FuzzSchemaValidate(f *testing.F) {
+	f.Add("value", 10.0, true)
+	f.Add("", -1.0, false)
+	f.Fuzz(func(t *testing.T, s string, n float64, b bool) {
+		schema := Schema{Properties: map[string]Property{
+			"S": {Type: TypeString},
+			"N": {Type: TypeNumber},
+			"B": {Type: TypeBoolean},
+		}}
+		_ = schema.Validate(map[string]any{"S": s, "N": n, "B": b})
+	})
+}

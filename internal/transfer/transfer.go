@@ -1,0 +1,296 @@
+// Package transfer simulates Globus Transfer (§V-A): Connect endpoints
+// rooted at filesystem directories, and a fire-and-forget transfer service
+// that asynchronously and reliably copies batches of files between
+// endpoints, with task status polling, per-item accounting, and retry of
+// transient failures — the out-of-band path for datasets too large for the
+// compute service's payload limit.
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"globuscompute/internal/metrics"
+	"globuscompute/internal/protocol"
+)
+
+// Common errors.
+var (
+	ErrUnknownEndpoint = errors.New("transfer: unknown endpoint")
+	ErrUnknownTask     = errors.New("transfer: unknown task")
+	ErrBadPath         = errors.New("transfer: path escapes endpoint root")
+)
+
+// Endpoint is a Globus Connect endpoint: a named root directory.
+type Endpoint struct {
+	ID   protocol.UUID
+	Name string
+	Root string
+}
+
+// resolve maps an endpoint-relative path to the filesystem, rejecting
+// escapes.
+func (e Endpoint) resolve(rel string) (string, error) {
+	clean := filepath.Clean("/" + rel)
+	full := filepath.Join(e.Root, clean)
+	if !strings.HasPrefix(full, filepath.Clean(e.Root)+string(os.PathSeparator)) && full != filepath.Clean(e.Root) {
+		return "", fmt.Errorf("%w: %q", ErrBadPath, rel)
+	}
+	return full, nil
+}
+
+// TaskStatus is a transfer task state.
+type TaskStatus string
+
+const (
+	StatusActive    TaskStatus = "ACTIVE"
+	StatusSucceeded TaskStatus = "SUCCEEDED"
+	StatusFailed    TaskStatus = "FAILED"
+)
+
+// Item is one file to move.
+type Item struct {
+	SourcePath string `json:"source_path"`
+	DestPath   string `json:"destination_path"`
+}
+
+// Spec is a transfer submission.
+type Spec struct {
+	Source      protocol.UUID `json:"source_endpoint"`
+	Destination protocol.UUID `json:"destination_endpoint"`
+	Items       []Item        `json:"items"`
+	Label       string        `json:"label,omitempty"`
+}
+
+// TaskInfo is a point-in-time task snapshot.
+type TaskInfo struct {
+	ID               protocol.UUID
+	Spec             Spec
+	Status           TaskStatus
+	FilesTransferred int
+	BytesTransferred int64
+	Error            string
+	Submitted        time.Time
+	Completed        time.Time
+}
+
+// Service is the transfer service.
+type Service struct {
+	mu        sync.Mutex
+	endpoints map[protocol.UUID]Endpoint
+	tasks     map[protocol.UUID]*TaskInfo
+	wg        sync.WaitGroup
+	// Throughput simulates link bandwidth in bytes/sec (0 = unlimited).
+	Throughput int64
+	// MaxRetries bounds per-item retry of transient copy failures.
+	MaxRetries int
+
+	Metrics *metrics.Registry
+}
+
+// NewService returns an empty transfer service.
+func NewService() *Service {
+	return &Service{
+		endpoints:  make(map[protocol.UUID]Endpoint),
+		tasks:      make(map[protocol.UUID]*TaskInfo),
+		MaxRetries: 2,
+		Metrics:    metrics.NewRegistry(),
+	}
+}
+
+// CreateEndpoint registers a Connect endpoint rooted at dir.
+func (s *Service) CreateEndpoint(name, dir string) (Endpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Endpoint{}, fmt.Errorf("transfer: endpoint root: %w", err)
+	}
+	ep := Endpoint{ID: protocol.NewUUID(), Name: name, Root: dir}
+	s.mu.Lock()
+	s.endpoints[ep.ID] = ep
+	s.mu.Unlock()
+	return ep, nil
+}
+
+// Endpoints lists registered endpoints.
+func (s *Service) Endpoints() []Endpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Endpoint, 0, len(s.endpoints))
+	for _, ep := range s.endpoints {
+		out = append(out, ep)
+	}
+	return out
+}
+
+// Submit starts an asynchronous transfer and returns its task ID
+// immediately (fire and forget).
+func (s *Service) Submit(spec Spec) (protocol.UUID, error) {
+	if len(spec.Items) == 0 {
+		return "", errors.New("transfer: no items")
+	}
+	s.mu.Lock()
+	src, okSrc := s.endpoints[spec.Source]
+	dst, okDst := s.endpoints[spec.Destination]
+	if !okSrc || !okDst {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: source=%v destination=%v", ErrUnknownEndpoint, okSrc, okDst)
+	}
+	id := protocol.NewUUID()
+	info := &TaskInfo{ID: id, Spec: spec, Status: StatusActive, Submitted: time.Now()}
+	s.tasks[id] = info
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.run(info, src, dst)
+	return id, nil
+}
+
+// run executes a transfer task.
+func (s *Service) run(info *TaskInfo, src, dst Endpoint) {
+	defer s.wg.Done()
+	var firstErr error
+	for _, item := range info.Spec.Items {
+		n, err := s.copyItem(src, dst, item)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		s.mu.Lock()
+		info.FilesTransferred++
+		info.BytesTransferred += n
+		s.mu.Unlock()
+		s.Metrics.Counter("files").Inc()
+		s.Metrics.Counter("bytes").Add(n)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info.Completed = time.Now()
+	if firstErr != nil {
+		info.Status = StatusFailed
+		info.Error = firstErr.Error()
+		s.Metrics.Counter("tasks_failed").Inc()
+		return
+	}
+	info.Status = StatusSucceeded
+	s.Metrics.Counter("tasks_succeeded").Inc()
+}
+
+// copyItem copies one file with retries and simulated bandwidth.
+func (s *Service) copyItem(src, dst Endpoint, item Item) (int64, error) {
+	srcPath, err := src.resolve(item.SourcePath)
+	if err != nil {
+		return 0, err
+	}
+	dstPath, err := dst.resolve(item.DestPath)
+	if err != nil {
+		return 0, err
+	}
+	var lastErr error
+	for attempt := 0; attempt <= s.MaxRetries; attempt++ {
+		n, err := s.copyOnce(srcPath, dstPath)
+		if err == nil {
+			return n, nil
+		}
+		lastErr = err
+		// Missing sources are permanent; IO hiccups retry.
+		if errors.Is(err, os.ErrNotExist) {
+			break
+		}
+		time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
+	}
+	return 0, fmt.Errorf("transfer: %s -> %s: %w", item.SourcePath, item.DestPath, lastErr)
+}
+
+func (s *Service) copyOnce(srcPath, dstPath string) (int64, error) {
+	in, err := os.Open(srcPath)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	if err := os.MkdirAll(filepath.Dir(dstPath), 0o755); err != nil {
+		return 0, err
+	}
+	tmp := dstPath + ".part"
+	out, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	if s.Throughput > 0 {
+		n, err = s.throttledCopy(out, in)
+	} else {
+		n, err = io.Copy(out, in)
+	}
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, dstPath); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return n, nil
+}
+
+// throttledCopy copies in chunks, sleeping to respect Throughput.
+func (s *Service) throttledCopy(dst io.Writer, src io.Reader) (int64, error) {
+	const chunk = 256 << 10
+	buf := make([]byte, chunk)
+	var total int64
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return total, werr
+			}
+			total += int64(n)
+			time.Sleep(time.Duration(float64(n) / float64(s.Throughput) * float64(time.Second)))
+		}
+		if err == io.EOF {
+			return total, nil
+		}
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// Status returns a task snapshot.
+func (s *Service) Status(id protocol.UUID) (TaskInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.tasks[id]
+	if !ok {
+		return TaskInfo{}, fmt.Errorf("%w: %s", ErrUnknownTask, id)
+	}
+	return *info, nil
+}
+
+// Wait blocks until the task completes or timeout elapses.
+func (s *Service) Wait(id protocol.UUID, timeout time.Duration) (TaskInfo, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		info, err := s.Status(id)
+		if err != nil {
+			return TaskInfo{}, err
+		}
+		if info.Status != StatusActive {
+			return info, nil
+		}
+		if time.Now().After(deadline) {
+			return info, fmt.Errorf("transfer: task %s still active after %s", id, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Close waits for in-flight transfers.
+func (s *Service) Close() { s.wg.Wait() }

@@ -1,0 +1,193 @@
+package transfer
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"globuscompute/internal/protocol"
+)
+
+func newPair(t *testing.T) (*Service, Endpoint, Endpoint) {
+	t.Helper()
+	s := NewService()
+	t.Cleanup(s.Close)
+	src, err := s.CreateEndpoint("src", filepath.Join(t.TempDir(), "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := s.CreateEndpoint("dst", filepath.Join(t.TempDir(), "dst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, src, dst
+}
+
+func writeFile(t *testing.T, ep Endpoint, rel, content string) {
+	t.Helper()
+	full := filepath.Join(ep.Root, rel)
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimpleTransfer(t *testing.T) {
+	s, src, dst := newPair(t)
+	writeFile(t, src, "data.bin", "payload-bytes")
+	id, err := s.Submit(Spec{
+		Source: src.ID, Destination: dst.ID,
+		Items: []Item{{SourcePath: "data.bin", DestPath: "incoming/data.bin"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Wait(id, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != StatusSucceeded {
+		t.Fatalf("status = %s err=%s", info.Status, info.Error)
+	}
+	if info.FilesTransferred != 1 || info.BytesTransferred != int64(len("payload-bytes")) {
+		t.Errorf("info = %+v", info)
+	}
+	got, err := os.ReadFile(filepath.Join(dst.Root, "incoming/data.bin"))
+	if err != nil || string(got) != "payload-bytes" {
+		t.Errorf("dest file = %q, %v", got, err)
+	}
+}
+
+func TestBatchTransfer(t *testing.T) {
+	s, src, dst := newPair(t)
+	var items []Item
+	for i := 0; i < 10; i++ {
+		rel := fmt.Sprintf("f%d.txt", i)
+		writeFile(t, src, rel, fmt.Sprintf("content-%d", i))
+		items = append(items, Item{SourcePath: rel, DestPath: rel})
+	}
+	id, _ := s.Submit(Spec{Source: src.ID, Destination: dst.ID, Items: items})
+	info, err := s.Wait(id, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.FilesTransferred != 10 {
+		t.Errorf("files = %d", info.FilesTransferred)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := os.Stat(filepath.Join(dst.Root, fmt.Sprintf("f%d.txt", i))); err != nil {
+			t.Errorf("missing f%d: %v", i, err)
+		}
+	}
+}
+
+func TestMissingSourceFails(t *testing.T) {
+	s, src, dst := newPair(t)
+	id, _ := s.Submit(Spec{
+		Source: src.ID, Destination: dst.ID,
+		Items: []Item{{SourcePath: "ghost.bin", DestPath: "x"}},
+	})
+	info, err := s.Wait(id, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Status != StatusFailed || info.Error == "" {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestPathEscapeRejected(t *testing.T) {
+	s, src, dst := newPair(t)
+	writeFile(t, src, "ok.txt", "x")
+	id, _ := s.Submit(Spec{
+		Source: src.ID, Destination: dst.ID,
+		Items: []Item{{SourcePath: "../../../etc/passwd", DestPath: "stolen"}},
+	})
+	info, _ := s.Wait(id, 5*time.Second)
+	// Cleaned paths stay inside the root; the source simply does not
+	// exist there, so the task fails without touching the outside world.
+	if info.Status != StatusFailed {
+		t.Errorf("status = %s", info.Status)
+	}
+	// Absolute escape on destination is also confined.
+	id2, _ := s.Submit(Spec{
+		Source: src.ID, Destination: dst.ID,
+		Items: []Item{{SourcePath: "ok.txt", DestPath: "../../escape.txt"}},
+	})
+	info2, _ := s.Wait(id2, 5*time.Second)
+	if info2.Status == StatusSucceeded {
+		if _, err := os.Stat(filepath.Join(dst.Root, "escape.txt")); err != nil {
+			t.Error("destination escaped the endpoint root")
+		}
+	}
+}
+
+func TestUnknownEndpoints(t *testing.T) {
+	s := NewService()
+	defer s.Close()
+	_, err := s.Submit(Spec{Source: protocol.NewUUID(), Destination: protocol.NewUUID(), Items: []Item{{SourcePath: "a", DestPath: "b"}}})
+	if !errors.Is(err, ErrUnknownEndpoint) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := s.Status(protocol.NewUUID()); !errors.Is(err, ErrUnknownTask) {
+		t.Errorf("status err = %v", err)
+	}
+	if _, err := s.Submit(Spec{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+}
+
+func TestFireAndForgetReturnsImmediately(t *testing.T) {
+	s, src, dst := newPair(t)
+	// 4 MB at 1 MB/s simulated: Submit must not block for the copy.
+	big := make([]byte, 4<<20)
+	writeFile(t, src, "big.bin", string(big))
+	s.Throughput = 1 << 20
+	start := time.Now()
+	id, err := s.Submit(Spec{
+		Source: src.ID, Destination: dst.ID,
+		Items: []Item{{SourcePath: "big.bin", DestPath: "big.bin"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Errorf("Submit blocked for %s", elapsed)
+	}
+	info, _ := s.Status(id)
+	if info.Status != StatusActive && info.Status != StatusSucceeded {
+		t.Errorf("status = %s", info.Status)
+	}
+	final, err := s.Wait(id, 30*time.Second)
+	if err != nil || final.Status != StatusSucceeded {
+		t.Fatalf("final = %+v, %v", final, err)
+	}
+	if final.Completed.Sub(final.Submitted) < 2*time.Second {
+		t.Errorf("4MB at 1MB/s finished in %s; throttling not applied", final.Completed.Sub(final.Submitted))
+	}
+}
+
+func TestEndpointListing(t *testing.T) {
+	s, _, _ := newPair(t)
+	if got := len(s.Endpoints()); got != 2 {
+		t.Errorf("endpoints = %d", got)
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	s, src, dst := newPair(t)
+	writeFile(t, src, "m.txt", "12345")
+	id, _ := s.Submit(Spec{Source: src.ID, Destination: dst.ID, Items: []Item{{SourcePath: "m.txt", DestPath: "m.txt"}}})
+	s.Wait(id, 5*time.Second)
+	if s.Metrics.Counter("bytes").Value() != 5 {
+		t.Errorf("bytes = %d", s.Metrics.Counter("bytes").Value())
+	}
+	if s.Metrics.Counter("tasks_succeeded").Value() != 1 {
+		t.Errorf("succeeded = %d", s.Metrics.Counter("tasks_succeeded").Value())
+	}
+}

@@ -1,0 +1,81 @@
+package webservice
+
+import (
+	"sync"
+	"time"
+
+	"globuscompute/internal/protocol"
+)
+
+// AuditEvent records one action for the security model's traceability
+// requirement ("every action performed within the system ... is logged with
+// detailed metadata").
+type AuditEvent struct {
+	Time     time.Time `json:"time"`
+	Actor    string    `json:"actor"`
+	Action   string    `json:"action"`
+	Resource string    `json:"resource,omitempty"`
+	Outcome  string    `json:"outcome"` // "ok" or the error string
+	Detail   string    `json:"detail,omitempty"`
+}
+
+// auditLog is a bounded in-memory ring of events.
+type auditLog struct {
+	mu     sync.Mutex
+	events []AuditEvent
+	start  int
+	count  int
+}
+
+func newAuditLog(capacity int) *auditLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &auditLog{events: make([]AuditEvent, capacity)}
+}
+
+func (a *auditLog) record(ev AuditEvent) {
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.count == len(a.events) {
+		a.events[a.start] = ev
+		a.start = (a.start + 1) % len(a.events)
+		return
+	}
+	a.events[(a.start+a.count)%len(a.events)] = ev
+	a.count++
+}
+
+// tail returns the most recent n events, oldest first.
+func (a *auditLog) tail(n int) []AuditEvent {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n <= 0 || n > a.count {
+		n = a.count
+	}
+	out := make([]AuditEvent, 0, n)
+	for i := a.count - n; i < a.count; i++ {
+		out = append(out, a.events[(a.start+i)%len(a.events)])
+	}
+	return out
+}
+
+// audit records an action outcome on the service's log.
+func (s *Service) audit(actor, action string, resource protocol.UUID, err error, detail string) {
+	ev := AuditEvent{
+		Actor: actor, Action: action,
+		Resource: string(resource), Outcome: "ok", Detail: detail,
+	}
+	if err != nil {
+		ev.Outcome = err.Error()
+	}
+	s.auditTrail.record(ev)
+}
+
+// AuditTail returns the most recent n audit events (all when n <= 0).
+func (s *Service) AuditTail(n int) []AuditEvent {
+	return s.auditTrail.tail(n)
+}

@@ -1,0 +1,113 @@
+package webservice
+
+import (
+	"html/template"
+	"net/http"
+	"strconv"
+	"time"
+
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/statestore"
+)
+
+// The dashboard is the substitute for the hosted web application (which
+// more than 4,000 users have accessed per the paper): a read-only HTML view
+// of the fleet, task states, and recent audit activity. Browsers cannot
+// attach bearer headers, so the token rides in the ?token= query parameter.
+
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html><head><title>Globus Compute (Go) — Dashboard</title>
+<style>
+body { font-family: system-ui, sans-serif; margin: 2rem; color: #222; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin-top: .5rem; }
+th, td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: left; font-size: .9rem; }
+th { background: #f2f2f2; }
+.online { color: #0a7d38; font-weight: 600; } .offline { color: #b33; }
+.muted { color: #777; }
+</style></head><body>
+<h1>Globus Compute (Go) — service dashboard</h1>
+<p class="muted">generated {{.Now.Format "2006-01-02 15:04:05 MST"}}</p>
+
+<h2>Fleet</h2>
+<table>
+<tr><th>Name</th><th>ID</th><th>Owner</th><th>Type</th><th>Status</th><th>Workers (free/total)</th><th>Tasks received</th></tr>
+{{range .Endpoints}}<tr>
+  <td>{{.Name}}</td><td class="muted">{{.ShortID}}</td><td>{{.Owner}}</td>
+  <td>{{.Kind}}</td>
+  <td class="{{.Status}}">{{.Status}}</td>
+  <td>{{.Workers}}</td><td>{{.Received}}</td>
+</tr>{{end}}
+</table>
+
+<h2>Tasks</h2>
+<table>
+<tr>{{range .TaskStates}}<th>{{.State}}</th>{{end}}</tr>
+<tr>{{range .TaskStates}}<td>{{.Count}}</td>{{end}}</tr>
+</table>
+
+<h2>Recent activity</h2>
+<table>
+<tr><th>Time</th><th>Actor</th><th>Action</th><th>Resource</th><th>Outcome</th></tr>
+{{range .Audit}}<tr>
+  <td class="muted">{{.Time.Format "15:04:05"}}</td><td>{{.Actor}}</td>
+  <td>{{.Action}}</td><td class="muted">{{.Resource}}</td><td>{{.Outcome}}</td>
+</tr>{{end}}
+</table>
+</body></html>`))
+
+type dashboardEndpoint struct {
+	Name, ShortID, Owner, Kind, Status, Workers string
+	Received                                    int64
+}
+
+type dashboardTaskState struct {
+	State string
+	Count int
+}
+
+type dashboardData struct {
+	Now        time.Time
+	Endpoints  []dashboardEndpoint
+	TaskStates []dashboardTaskState
+	Audit      []AuditEvent
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	token := r.URL.Query().Get("token")
+	if _, err := s.svc.cfg.Auth.Introspect(token); err != nil {
+		http.Error(w, "unauthorized: pass ?token=<bearer token>", http.StatusUnauthorized)
+		return
+	}
+	data := dashboardData{Now: time.Now()}
+	for _, ep := range s.svc.cfg.Store.ListEndpoints(statestore.EndpointFilter{}) {
+		kind := "single-user"
+		if ep.MultiUser {
+			kind = "multi-user"
+		} else if ep.Parent != "" {
+			kind = "user endpoint"
+		}
+		d := dashboardEndpoint{
+			Name: ep.Name, ShortID: string(ep.ID[:8]), Owner: ep.Owner,
+			Kind: kind, Status: string(ep.Status), Workers: "-",
+		}
+		if ep.Load != nil {
+			d.Workers = strconv.Itoa(ep.Load.FreeWorkers) + "/" + strconv.Itoa(ep.Load.TotalWorkers)
+			d.Received = ep.Load.TasksReceived
+		}
+		data.Endpoints = append(data.Endpoints, d)
+	}
+	counts := s.svc.cfg.Store.CountTasksByState()
+	for _, st := range []string{"received", "waiting", "delivered", "running", "success", "failed", "cancelled"} {
+		data.TaskStates = append(data.TaskStates, dashboardTaskState{State: st, Count: counts[protocol.TaskState(st)]})
+	}
+	data.Audit = s.svc.AuditTail(20)
+	// newest first for display
+	for i, j := 0, len(data.Audit)-1; i < j; i, j = i+1, j-1 {
+		data.Audit[i], data.Audit[j] = data.Audit[j], data.Audit[i]
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dashboardTmpl.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,307 @@
+package webservice
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"globuscompute/internal/auth"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/statestore"
+)
+
+// Server is the REST front end (the FastAPI substitute). It carries the
+// broker and object-store addresses so registering endpoints learn where to
+// connect, the way the hosted service hands agents their AMQPS URLs.
+type Server struct {
+	svc  *Service
+	http *http.Server
+	ln   net.Listener
+
+	// BrokerAddr and ObjectsAddr are returned in registration responses.
+	BrokerAddr  string
+	ObjectsAddr string
+}
+
+// ServeHTTP starts the REST API on addr.
+func ServeHTTP(svc *Service, addr, brokerAddr, objectsAddr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("webservice: listen: %w", err)
+	}
+	s := &Server{svc: svc, ln: ln, BrokerAddr: brokerAddr, ObjectsAddr: objectsAddr}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v2/functions", s.auth(s.handleRegisterFunction))
+	mux.HandleFunc("GET /v2/functions/{id}", s.auth(s.handleGetFunction))
+	mux.HandleFunc("POST /v2/endpoints", s.auth(s.handleRegisterEndpoint))
+	mux.HandleFunc("GET /v2/endpoints", s.auth(s.handleSearchEndpoints))
+	mux.HandleFunc("GET /v2/endpoints/{id}", s.auth(s.handleGetEndpoint))
+	mux.HandleFunc("POST /v2/endpoints/{id}/heartbeat", s.auth(s.handleHeartbeat))
+	mux.HandleFunc("POST /v2/submit", s.auth(s.handleSubmit))
+	mux.HandleFunc("GET /v2/tasks/{id}", s.auth(s.handleGetTask))
+	mux.HandleFunc("POST /v2/tasks/batch_status", s.auth(s.handleBatchStatus))
+	mux.HandleFunc("POST /v2/tasks/{id}/cancel", s.auth(s.handleCancelTask))
+	mux.HandleFunc("GET /v2/usage", s.auth(s.handleUsage))
+	mux.HandleFunc("GET /v2/audit", s.auth(s.handleAudit))
+	mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go s.http.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the HTTP listener (the service itself is closed separately).
+func (s *Server) Close() { s.http.Close() }
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusFor maps service errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, statestore.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, auth.ErrPolicyDenied), errors.Is(err, ErrFunctionNotAllowed):
+		return http.StatusForbidden
+	case errors.Is(err, auth.ErrInvalidToken), errors.Is(err, auth.ErrMissingScope):
+		return http.StatusUnauthorized
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// auth wraps a handler with bearer-token authentication.
+func (s *Server) auth(h func(http.ResponseWriter, *http.Request, auth.Token)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		header := r.Header.Get("Authorization")
+		value, ok := strings.CutPrefix(header, "Bearer ")
+		if !ok {
+			writeError(w, http.StatusUnauthorized, errors.New("missing bearer token"))
+			return
+		}
+		tok, err := s.svc.cfg.Auth.Authorize(value, auth.ScopeCompute)
+		if err != nil {
+			writeError(w, http.StatusUnauthorized, err)
+			return
+		}
+		h(w, r, tok)
+	}
+}
+
+func decodeBody(r *http.Request, v any) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("webservice: bad request body: %w", err)
+	}
+	return nil
+}
+
+// --- handlers ---
+
+type registerFunctionRequest struct {
+	Kind       protocol.FunctionKind `json:"kind"`
+	Definition []byte                `json:"definition"`
+}
+
+type registerFunctionResponse struct {
+	FunctionID protocol.UUID `json:"function_uuid"`
+}
+
+func (s *Server) handleRegisterFunction(w http.ResponseWriter, r *http.Request, tok auth.Token) {
+	var req registerFunctionRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.svc.RegisterFunction(tok.Identity.Username, req.Kind, req.Definition)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, registerFunctionResponse{FunctionID: id})
+}
+
+func (s *Server) handleGetFunction(w http.ResponseWriter, r *http.Request, _ auth.Token) {
+	rec, err := s.svc.GetFunction(protocol.UUID(r.PathValue("id")))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+// RegisterEndpointResponse tells an agent its identity and where to connect.
+type RegisterEndpointResponse struct {
+	EndpointID   protocol.UUID `json:"endpoint_uuid"`
+	TaskQueue    string        `json:"task_queue"`
+	ResultQueue  string        `json:"result_queue"`
+	CommandQueue string        `json:"command_queue,omitempty"`
+	BrokerAddr   string        `json:"broker_addr"`
+	ObjectsAddr  string        `json:"objectstore_addr,omitempty"`
+}
+
+func (s *Server) handleRegisterEndpoint(w http.ResponseWriter, r *http.Request, tok auth.Token) {
+	var req RegisterEndpointRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.MultiUser && !tok.HasScope(auth.ScopeManage) {
+		writeError(w, http.StatusForbidden, errors.New("multi-user endpoints require the manage scope"))
+		return
+	}
+	req.Owner = tok.Identity.Username
+	id, err := s.svc.RegisterEndpoint(req)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	resp := RegisterEndpointResponse{
+		EndpointID:  id,
+		TaskQueue:   TaskQueue(id),
+		ResultQueue: ResultQueue(id),
+		BrokerAddr:  s.BrokerAddr,
+		ObjectsAddr: s.ObjectsAddr,
+	}
+	if req.MultiUser {
+		resp.CommandQueue = CommandQueue(id)
+	}
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleSearchEndpoints(w http.ResponseWriter, r *http.Request, _ auth.Token) {
+	results := s.svc.SearchEndpoints(r.URL.Query().Get("search"))
+	writeJSON(w, http.StatusOK, map[string]any{"endpoints": results})
+}
+
+func (s *Server) handleGetEndpoint(w http.ResponseWriter, r *http.Request, _ auth.Token) {
+	rec, err := s.svc.GetEndpoint(protocol.UUID(r.PathValue("id")))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+type heartbeatRequest struct {
+	Online bool `json:"online"`
+	// Load is the agent's optional utilization report.
+	Load *statestore.EndpointLoad `json:"load,omitempty"`
+}
+
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request, _ auth.Token) {
+	var req heartbeatRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id := protocol.UUID(r.PathValue("id"))
+	if err := s.svc.SetEndpointStatus(id, req.Online); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if req.Load != nil {
+		if err := s.svc.ReportEndpointLoad(id, *req.Load); err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type submitRequest struct {
+	Tasks []SubmitRequest `json:"tasks"`
+}
+
+type submitResponse struct {
+	TaskIDs []protocol.UUID `json:"task_uuids"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tok auth.Token) {
+	var req submitRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ids, err := s.svc.Submit(tok, req.Tasks)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, submitResponse{TaskIDs: ids})
+}
+
+func (s *Server) handleGetTask(w http.ResponseWriter, r *http.Request, _ auth.Token) {
+	st, err := s.svc.GetTask(protocol.UUID(r.PathValue("id")))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+type batchStatusRequest struct {
+	TaskIDs []protocol.UUID `json:"task_ids"`
+}
+
+type batchStatusResponse struct {
+	Tasks []TaskStatus `json:"tasks"`
+}
+
+func (s *Server) handleBatchStatus(w http.ResponseWriter, r *http.Request, _ auth.Token) {
+	var req batchStatusRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.TaskIDs) > 1024 {
+		writeError(w, http.StatusBadRequest, errors.New("webservice: batch_status limited to 1024 tasks"))
+		return
+	}
+	writeJSON(w, http.StatusOK, batchStatusResponse{Tasks: s.svc.GetTasks(req.TaskIDs)})
+}
+
+func (s *Server) handleCancelTask(w http.ResponseWriter, r *http.Request, tok auth.Token) {
+	if err := s.svc.CancelTask(tok, protocol.UUID(r.PathValue("id"))); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "cancelled"})
+}
+
+func (s *Server) handleUsage(w http.ResponseWriter, _ *http.Request, _ auth.Token) {
+	writeJSON(w, http.StatusOK, s.svc.Usage())
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request, tok auth.Token) {
+	if !tok.HasScope(auth.ScopeManage) {
+		writeError(w, http.StatusForbidden, errors.New("audit access requires the manage scope"))
+		return
+	}
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		fmt.Sscanf(q, "%d", &n)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"events": s.svc.AuditTail(n)})
+}

@@ -1,0 +1,211 @@
+package webservice
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"globuscompute/internal/auth"
+	"globuscompute/internal/protocol"
+)
+
+// httpFixture adds a REST server to the core fixture.
+type httpFixture struct {
+	*fixture
+	srv *Server
+}
+
+func newHTTPFixture(t *testing.T) *httpFixture {
+	t.Helper()
+	f := newFixture(t)
+	srv, err := ServeHTTP(f.svc, "127.0.0.1:0", "broker:0", "objects:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return &httpFixture{fixture: f, srv: srv}
+}
+
+func (h *httpFixture) do(t *testing.T, method, path, token string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, "http://"+h.srv.Addr()+path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func TestHTTPAuthRequired(t *testing.T) {
+	h := newHTTPFixture(t)
+	resp, _ := h.do(t, "POST", "/v2/functions", "", registerFunctionRequest{Kind: protocol.KindPython, Definition: []byte("x")})
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("no token: %d", resp.StatusCode)
+	}
+	resp, _ = h.do(t, "POST", "/v2/functions", "gc_bogus", registerFunctionRequest{Kind: protocol.KindPython, Definition: []byte("x")})
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("bad token: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPFunctionLifecycle(t *testing.T) {
+	h := newHTTPFixture(t)
+	resp, body := h.do(t, "POST", "/v2/functions", h.token.Value,
+		registerFunctionRequest{Kind: protocol.KindPython, Definition: []byte(`{"entrypoint":"identity"}`)})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	var reg registerFunctionResponse
+	json.Unmarshal(body, &reg)
+	if !reg.FunctionID.Valid() {
+		t.Fatalf("function id %q", reg.FunctionID)
+	}
+	resp, body = h.do(t, "GET", "/v2/functions/"+string(reg.FunctionID), h.token.Value, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: %d", resp.StatusCode)
+	}
+	resp, _ = h.do(t, "GET", "/v2/functions/"+string(protocol.NewUUID()), h.token.Value, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing function: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPEndpointAndSubmitFlow(t *testing.T) {
+	h := newHTTPFixture(t)
+	// Register function.
+	_, body := h.do(t, "POST", "/v2/functions", h.token.Value,
+		registerFunctionRequest{Kind: protocol.KindPython, Definition: []byte(`{"entrypoint":"identity"}`)})
+	var reg registerFunctionResponse
+	json.Unmarshal(body, &reg)
+
+	// Register endpoint.
+	resp, body := h.do(t, "POST", "/v2/endpoints", h.token.Value,
+		RegisterEndpointRequest{Name: "laptop"})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register endpoint: %d %s", resp.StatusCode, body)
+	}
+	var epResp RegisterEndpointResponse
+	json.Unmarshal(body, &epResp)
+	if epResp.BrokerAddr != "broker:0" || epResp.TaskQueue == "" {
+		t.Errorf("resp = %+v", epResp)
+	}
+
+	// Heartbeat online.
+	resp, _ = h.do(t, "POST", "/v2/endpoints/"+string(epResp.EndpointID)+"/heartbeat", h.token.Value, heartbeatRequest{Online: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("heartbeat: %d", resp.StatusCode)
+	}
+
+	// Fake agent behind the queues.
+	h.fakeAgent(t, epResp.EndpointID)
+
+	// Submit a batch of 3.
+	var tasks []SubmitRequest
+	for i := 0; i < 3; i++ {
+		tasks = append(tasks, SubmitRequest{
+			EndpointID: epResp.EndpointID, FunctionID: reg.FunctionID,
+			Payload: []byte(fmt.Sprintf("%d", i)),
+		})
+	}
+	resp, body = h.do(t, "POST", "/v2/submit", h.token.Value, submitRequest{Tasks: tasks})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	json.Unmarshal(body, &sub)
+	if len(sub.TaskIDs) != 3 {
+		t.Fatalf("task ids = %v", sub.TaskIDs)
+	}
+
+	// Poll until success.
+	for _, id := range sub.TaskIDs {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			resp, body = h.do(t, "GET", "/v2/tasks/"+string(id), h.token.Value, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("get task: %d", resp.StatusCode)
+			}
+			var st TaskStatus
+			json.Unmarshal(body, &st)
+			if st.State.Terminal() {
+				if st.State != protocol.StateSuccess {
+					t.Errorf("task %s: %s %s", id, st.State, st.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("task %s never finished", id)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Usage endpoint.
+	resp, body = h.do(t, "GET", "/v2/usage", h.token.Value, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("usage: %d", resp.StatusCode)
+	}
+	var usage UsageStats
+	json.Unmarshal(body, &usage)
+	if usage.Tasks != 3 || usage.Endpoints != 1 {
+		t.Errorf("usage = %+v", usage)
+	}
+}
+
+func TestHTTPMultiUserNeedsManageScope(t *testing.T) {
+	h := newHTTPFixture(t)
+	limited, _ := h.authS.Issue(auth.Identity{Username: "user@site.edu", Provider: "site"},
+		[]string{auth.ScopeCompute}, time.Hour, time.Time{})
+	resp, _ := h.do(t, "POST", "/v2/endpoints", limited.Value, RegisterEndpointRequest{Name: "mep", MultiUser: true})
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("mep without manage scope: %d", resp.StatusCode)
+	}
+	resp, _ = h.do(t, "POST", "/v2/endpoints", h.token.Value, RegisterEndpointRequest{Name: "mep", MultiUser: true})
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("mep with manage scope: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPBadBodies(t *testing.T) {
+	h := newHTTPFixture(t)
+	req, _ := http.NewRequest("POST", "http://"+h.srv.Addr()+"/v2/submit", bytes.NewReader([]byte("{nope")))
+	req.Header.Set("Authorization", "Bearer "+h.token.Value)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json: %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	h := newHTTPFixture(t)
+	resp, err := http.Get("http://" + h.srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+}

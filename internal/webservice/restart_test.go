@@ -1,0 +1,100 @@
+package webservice
+
+import (
+	"testing"
+	"time"
+
+	"globuscompute/internal/auth"
+	"globuscompute/internal/broker"
+	"globuscompute/internal/objectstore"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/statestore"
+)
+
+// TestCloudRestartRecovery exercises the reliability claim: tasks buffered
+// for an offline endpoint survive a full web-service restart (state store +
+// broker snapshots) and execute once the endpoint comes online against the
+// restored deployment.
+func TestCloudRestartRecovery(t *testing.T) {
+	// --- first life of the cloud ---
+	f := newFixture(t)
+	fn := f.registerFunction(t)
+	ep := f.registerEndpoint(t, RegisterEndpointRequest{Name: "offline-hpc", Owner: "o"})
+	// No agent attached: tasks buffer in the broker.
+	ids, err := f.svc.Submit(f.token, []SubmitRequest{
+		{EndpointID: ep, FunctionID: fn, Payload: []byte(`"one"`)},
+		{EndpointID: ep, FunctionID: fn, Payload: []byte(`"two"`)},
+		{EndpointID: ep, FunctionID: fn, Payload: []byte(`"three"`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := f.brk.Depth(TaskQueue(ep)); d != 3 {
+		t.Fatalf("buffered depth = %d", d)
+	}
+
+	storeImg, err := f.store.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokerImg, err := f.brk.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash the cloud.
+	f.svc.Close()
+	f.brk.Close()
+
+	// --- second life: restore from snapshots ---
+	store2 := statestore.New()
+	if err := store2.Restore(storeImg); err != nil {
+		t.Fatal(err)
+	}
+	brk2 := broker.New()
+	defer brk2.Close()
+	if err := brk2.Restore(brokerImg); err != nil {
+		t.Fatal(err)
+	}
+	auth2 := auth.NewService()
+	svc2, err := New(Config{Store: store2, Broker: brk2, Objects: objectstore.New(), Auth: auth2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	// The endpoint re-registers with its existing ID (agent restart),
+	// which re-attaches the result processor.
+	if _, err := svc2.RegisterEndpoint(RegisterEndpointRequest{ID: ep, Name: "offline-hpc", Owner: "o"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tasks are still tracked and still buffered.
+	for _, id := range ids {
+		st, err := svc2.GetTask(id)
+		if err != nil {
+			t.Fatalf("task %s lost across restart: %v", id, err)
+		}
+		if st.State.Terminal() {
+			t.Fatalf("task %s already terminal: %s", id, st.State)
+		}
+	}
+	if d, _ := brk2.Depth(TaskQueue(ep)); d != 3 {
+		t.Fatalf("restored depth = %d", d)
+	}
+
+	// The endpoint comes online and drains the backlog.
+	f2 := &fixture{svc: svc2, store: store2, brk: brk2, objs: objectstore.New(), authS: auth2}
+	f2.fakeAgent(t, ep)
+	for _, id := range ids {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			st, _ := svc2.GetTask(id)
+			if st.State == protocol.StateSuccess {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("task %s never completed after restart (state %s)", id, st.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package webservice
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetentionSweeper(t *testing.T) {
+	f := newFixture(t)
+	fn := f.registerFunction(t)
+	ep := f.registerEndpoint(t, RegisterEndpointRequest{Name: "e", Owner: "o"})
+	f.fakeAgent(t, ep)
+	ids, err := f.svc.Submit(f.token, []SubmitRequest{
+		{EndpointID: ep, FunctionID: fn, Payload: []byte(`1`)},
+		{EndpointID: ep, FunctionID: fn, Payload: []byte(`2`)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTask(t, f.svc, ids[0], 5*time.Second)
+	waitTask(t, f.svc, ids[1], 5*time.Second)
+
+	// Retention of 1ns: everything terminal is immediately stale.
+	stop := f.svc.StartRetentionSweeper(time.Nanosecond, 10*time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for f.store.CountTasks() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("tasks not purged: %d remain", f.store.CountTasks())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := f.svc.GetTask(ids[0]); err == nil {
+		t.Error("purged task still retrievable")
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestRetentionKeepsActiveTasks(t *testing.T) {
+	f := newFixture(t)
+	fn := f.registerFunction(t)
+	ep := f.registerEndpoint(t, RegisterEndpointRequest{Name: "e", Owner: "o"})
+	// No agent: task stays non-terminal and must survive the sweeper.
+	ids, _ := f.svc.Submit(f.token, []SubmitRequest{{EndpointID: ep, FunctionID: fn, Payload: []byte(`1`)}})
+	if n := f.store.PurgeTasksBefore(time.Now().Add(time.Hour)); n != 0 {
+		t.Errorf("purged %d active tasks", n)
+	}
+	st, err := f.svc.GetTask(ids[0])
+	if err != nil || st.State.Terminal() {
+		t.Errorf("active task affected: %+v, %v", st, err)
+	}
+}

@@ -1,0 +1,66 @@
+package webservice
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestSearchEndpoints(t *testing.T) {
+	f := newFixture(t)
+	f.registerEndpoint(t, RegisterEndpointRequest{Name: "polaris-gpu", Owner: "admin",
+		Metadata: map[string]string{"site": "ALCF"}})
+	f.registerEndpoint(t, RegisterEndpointRequest{Name: "midway-cpu", Owner: "rcc"})
+	mep := f.registerEndpoint(t, RegisterEndpointRequest{Name: "delta-mep", Owner: "admin", MultiUser: true})
+	// A spawned child must not appear in discovery.
+	childID, err := f.svc.RegisterEndpoint(RegisterEndpointRequest{Name: "delta-mep/uep", Owner: "u", Parent: mep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = childID
+
+	all := f.svc.SearchEndpoints("")
+	if len(all) != 3 {
+		t.Fatalf("all = %d, want 3 (children excluded)", len(all))
+	}
+	// Sorted by name.
+	if all[0].Name != "delta-mep" || all[2].Name != "polaris-gpu" {
+		t.Errorf("order = %s..%s", all[0].Name, all[2].Name)
+	}
+
+	byName := f.svc.SearchEndpoints("POLARIS")
+	if len(byName) != 1 || byName[0].Name != "polaris-gpu" {
+		t.Errorf("byName = %+v", byName)
+	}
+	byMeta := f.svc.SearchEndpoints("alcf")
+	if len(byMeta) != 1 || byMeta[0].Name != "polaris-gpu" {
+		t.Errorf("byMeta = %+v", byMeta)
+	}
+	if got := f.svc.SearchEndpoints("nonexistent"); len(got) != 0 {
+		t.Errorf("miss = %+v", got)
+	}
+	// MEPs are flagged so users know to pass a user config.
+	for _, ep := range all {
+		if ep.Name == "delta-mep" && !ep.MultiUser {
+			t.Error("MEP not flagged multi-user")
+		}
+	}
+}
+
+func TestSearchEndpointsHTTP(t *testing.T) {
+	h := newHTTPFixture(t)
+	h.do(t, "POST", "/v2/endpoints", h.token.Value, RegisterEndpointRequest{Name: "findme"})
+	resp, body := h.do(t, "GET", "/v2/endpoints?search=findme", h.token.Value, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Endpoints []EndpointSummary `json:"endpoints"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Endpoints) != 1 || out.Endpoints[0].Name != "findme" {
+		t.Errorf("endpoints = %+v", out.Endpoints)
+	}
+}

@@ -1,0 +1,734 @@
+// Package webservice implements the cloud-hosted Globus Compute web service:
+// a REST API for function registration, endpoint registration, batched task
+// submission, and task status; per-endpoint task and result queues on the
+// message broker; a result processor; payload spill to the object store; and
+// enforcement of the 10 MB payload limit, allowed-function lists, and
+// authentication policies. Multi-user endpoints are driven through their
+// command queue (start-user-endpoint requests keyed by configuration hash).
+package webservice
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"globuscompute/internal/auth"
+	"globuscompute/internal/broker"
+	"globuscompute/internal/metrics"
+	"globuscompute/internal/objectstore"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/serialize"
+	"globuscompute/internal/statestore"
+)
+
+// Queue name builders shared with endpoint agents and the SDK.
+func TaskQueue(ep protocol.UUID) string       { return "tasks." + string(ep) }
+func ResultQueue(ep protocol.UUID) string     { return "results." + string(ep) }
+func CommandQueue(ep protocol.UUID) string    { return "mepcmd." + string(ep) }
+func GroupResultQueue(g protocol.UUID) string { return "results.group." + string(g) }
+
+// Common errors.
+var (
+	ErrFunctionNotAllowed = errors.New("webservice: function not in endpoint allowlist")
+	ErrEndpointOffline    = errors.New("webservice: endpoint offline")
+	ErrNeedsUserConfig    = errors.New("webservice: multi-user endpoint requires a user endpoint configuration")
+)
+
+// StartEndpointCommand is the message placed on a multi-user endpoint's
+// command queue (Fig. 1 step 2): spawn (or reuse) a user endpoint for the
+// given identity and configuration.
+type StartEndpointCommand struct {
+	ChildEndpointID protocol.UUID   `json:"child_endpoint_id"`
+	UserIdentity    auth.Identity   `json:"user_identity"`
+	UserConfig      json.RawMessage `json:"user_config"`
+	ConfigHash      string          `json:"config_hash"`
+}
+
+// Config assembles a service from its substrates.
+type Config struct {
+	Store   *statestore.Store
+	Broker  *broker.Broker
+	Objects *objectstore.Store
+	Auth    *auth.Service
+	// InlineThreshold is the payload size above which payloads spill to
+	// the object store (default serialize.DefaultInlineThreshold).
+	InlineThreshold int
+	// PayloadLimit caps task/result payloads (default serialize.MaxPayload,
+	// the paper's 10 MB).
+	PayloadLimit int
+}
+
+// Service is the web service core, independent of its HTTP front end.
+type Service struct {
+	cfg Config
+
+	mu sync.Mutex
+	// resultConsumers tracks per-endpoint result processor goroutines.
+	resultConsumers map[protocol.UUID]*broker.Consumer
+	closed          bool
+
+	wg         sync.WaitGroup
+	auditTrail *auditLog
+	Metrics    *metrics.Registry
+}
+
+// New builds the service, filling config defaults.
+func New(cfg Config) (*Service, error) {
+	if cfg.Store == nil || cfg.Broker == nil || cfg.Objects == nil || cfg.Auth == nil {
+		return nil, errors.New("webservice: store, broker, objects, and auth are all required")
+	}
+	if cfg.InlineThreshold <= 0 {
+		cfg.InlineThreshold = serialize.DefaultInlineThreshold
+	}
+	if cfg.PayloadLimit <= 0 {
+		cfg.PayloadLimit = serialize.MaxPayload
+	}
+	return &Service{
+		cfg:             cfg,
+		resultConsumers: make(map[protocol.UUID]*broker.Consumer),
+		auditTrail:      newAuditLog(0),
+		Metrics:         metrics.NewRegistry(),
+	}, nil
+}
+
+// Close stops result processors.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	consumers := make([]*broker.Consumer, 0, len(s.resultConsumers))
+	for _, c := range s.resultConsumers {
+		consumers = append(consumers, c)
+	}
+	s.mu.Unlock()
+	for _, c := range consumers {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// --- functions ---
+
+// RegisterFunction stores an immutable function and returns its UUID.
+func (s *Service) RegisterFunction(owner string, kind protocol.FunctionKind, definition []byte) (protocol.UUID, error) {
+	if len(definition) == 0 {
+		return "", errors.New("webservice: empty function definition")
+	}
+	switch kind {
+	case protocol.KindPython, protocol.KindShell, protocol.KindMPI:
+	default:
+		return "", fmt.Errorf("webservice: unknown function kind %q", kind)
+	}
+	id := protocol.NewUUID()
+	err := s.cfg.Store.PutFunction(statestore.FunctionRecord{
+		ID: id, Owner: owner, Kind: kind, Definition: definition,
+	})
+	s.audit(owner, "register_function", id, err, string(kind))
+	if err != nil {
+		return "", err
+	}
+	s.Metrics.Counter("functions_registered").Inc()
+	return id, nil
+}
+
+// GetFunction fetches a registered function.
+func (s *Service) GetFunction(id protocol.UUID) (statestore.FunctionRecord, error) {
+	return s.cfg.Store.GetFunction(id)
+}
+
+// --- endpoints ---
+
+// RegisterEndpointRequest registers or re-registers an endpoint.
+type RegisterEndpointRequest struct {
+	ID               protocol.UUID     `json:"endpoint_id,omitempty"` // empty = new
+	Name             string            `json:"name"`
+	Owner            string            `json:"owner"`
+	MultiUser        bool              `json:"multi_user,omitempty"`
+	Parent           protocol.UUID     `json:"parent,omitempty"`
+	Metadata         map[string]string `json:"metadata,omitempty"`
+	AllowedFunctions []protocol.UUID   `json:"allowed_functions,omitempty"`
+	AuthPolicy       string            `json:"auth_policy,omitempty"`
+}
+
+// RegisterEndpoint creates the endpoint record and its queues, and starts
+// the result processor for it. It returns the endpoint ID.
+func (s *Service) RegisterEndpoint(req RegisterEndpointRequest) (protocol.UUID, error) {
+	id := req.ID
+	if id == "" {
+		id = protocol.NewUUID()
+	} else if !id.Valid() {
+		return "", fmt.Errorf("webservice: invalid endpoint ID %q", id)
+	}
+	rec := statestore.EndpointRecord{
+		ID: id, Name: req.Name, Owner: req.Owner,
+		MultiUser: req.MultiUser, Parent: req.Parent,
+		Status: statestore.EndpointOffline, Metadata: req.Metadata,
+		AllowedFunctions: req.AllowedFunctions, AuthPolicy: req.AuthPolicy,
+	}
+	if err := s.cfg.Store.UpsertEndpoint(rec); err != nil {
+		return "", err
+	}
+	if err := s.cfg.Broker.Declare(TaskQueue(id)); err != nil {
+		return "", err
+	}
+	if err := s.cfg.Broker.Declare(ResultQueue(id)); err != nil {
+		return "", err
+	}
+	if req.MultiUser {
+		if err := s.cfg.Broker.Declare(CommandQueue(id)); err != nil {
+			return "", err
+		}
+	}
+	if err := s.startResultProcessor(id); err != nil {
+		return "", err
+	}
+	detail := "single-user"
+	if req.MultiUser {
+		detail = "multi-user"
+	}
+	s.audit(req.Owner, "register_endpoint", id, nil, detail)
+	s.Metrics.Counter("endpoints_registered").Inc()
+	return id, nil
+}
+
+// SetEndpointStatus records an agent heartbeat.
+func (s *Service) SetEndpointStatus(id protocol.UUID, online bool) error {
+	status := statestore.EndpointOffline
+	if online {
+		status = statestore.EndpointOnline
+	}
+	return s.cfg.Store.SetEndpointStatus(id, status)
+}
+
+// ReportEndpointLoad records an agent's self-reported utilization.
+func (s *Service) ReportEndpointLoad(id protocol.UUID, load statestore.EndpointLoad) error {
+	return s.cfg.Store.SetEndpointLoad(id, load)
+}
+
+// GetEndpoint returns the endpoint record.
+func (s *Service) GetEndpoint(id protocol.UUID) (statestore.EndpointRecord, error) {
+	return s.cfg.Store.GetEndpoint(id)
+}
+
+// EndpointSummary is the discovery view of an endpoint (no queue or
+// configuration details).
+type EndpointSummary struct {
+	ID        protocol.UUID             `json:"endpoint_id"`
+	Name      string                    `json:"name"`
+	Owner     string                    `json:"owner"`
+	MultiUser bool                      `json:"multi_user"`
+	Status    statestore.EndpointStatus `json:"status"`
+	Metadata  map[string]string         `json:"metadata,omitempty"`
+}
+
+// SearchEndpoints finds endpoints whose name or metadata contains query
+// (case-insensitive; empty matches all). Spawned user endpoints are
+// excluded — users discover MEPs and single-user endpoints, not the
+// per-user children.
+func (s *Service) SearchEndpoints(query string) []EndpointSummary {
+	q := strings.ToLower(query)
+	var out []EndpointSummary
+	for _, ep := range s.cfg.Store.ListEndpoints(statestore.EndpointFilter{}) {
+		if ep.Parent != "" {
+			continue
+		}
+		if q != "" && !endpointMatches(ep, q) {
+			continue
+		}
+		out = append(out, EndpointSummary{
+			ID: ep.ID, Name: ep.Name, Owner: ep.Owner,
+			MultiUser: ep.MultiUser, Status: ep.Status, Metadata: ep.Metadata,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func endpointMatches(ep statestore.EndpointRecord, q string) bool {
+	if strings.Contains(strings.ToLower(ep.Name), q) {
+		return true
+	}
+	for k, v := range ep.Metadata {
+		if strings.Contains(strings.ToLower(k), q) || strings.Contains(strings.ToLower(v), q) {
+			return true
+		}
+	}
+	return false
+}
+
+// startResultProcessor consumes the endpoint's result queue, records
+// results, and republishes them onto group streams.
+func (s *Service) startResultProcessor(id protocol.UUID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("webservice: closed")
+	}
+	if _, dup := s.resultConsumers[id]; dup {
+		return nil // re-registration; processor already attached
+	}
+	c, err := s.cfg.Broker.Consume(ResultQueue(id), 64)
+	if err != nil {
+		return err
+	}
+	s.resultConsumers[id] = c
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for m := range c.Messages() {
+			if err := s.processResult(m.Body); err != nil {
+				log.Printf("webservice: result processing: %v", err)
+				// Malformed results are acked (dropped) rather than
+				// poison-pilled back onto the queue.
+			}
+			_ = c.Ack(m.Tag)
+		}
+	}()
+	return nil
+}
+
+// processResult records one result message.
+func (s *Service) processResult(body []byte) error {
+	var res protocol.Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		return fmt.Errorf("bad result message: %w", err)
+	}
+	if !res.State.Terminal() {
+		return fmt.Errorf("non-terminal result state %q for task %s", res.State, res.TaskID)
+	}
+	// Spill oversized outputs to the object store before recording.
+	if len(res.Output) > s.cfg.InlineThreshold {
+		key, err := s.cfg.Objects.PutContent(res.Output)
+		if err != nil {
+			return err
+		}
+		res.OutputRef = key
+		res.Output = nil
+	}
+	if err := s.cfg.Store.CompleteTask(res); err != nil {
+		return err
+	}
+	s.Metrics.Counter("results_processed").Inc()
+	// Stream to the submitting executor's group queue, if any.
+	rec, err := s.cfg.Store.GetTask(res.TaskID)
+	if err == nil && rec.Task.GroupID != "" {
+		q := GroupResultQueue(rec.Task.GroupID)
+		if err := s.cfg.Broker.Declare(q); err == nil {
+			if payload, err := json.Marshal(res); err == nil {
+				_ = s.cfg.Broker.Publish(q, payload)
+			}
+		}
+	}
+	return nil
+}
+
+// --- submission ---
+
+// SubmitRequest is one task in a batch submission.
+type SubmitRequest struct {
+	EndpointID protocol.UUID `json:"endpoint_id"`
+	FunctionID protocol.UUID `json:"function_id"`
+	// Payload carries serialized arguments (python) or a rendered
+	// ShellSpec (shell/MPI).
+	Payload   []byte                `json:"payload"`
+	Resources protocol.ResourceSpec `json:"resources,omitempty"`
+	// UserEndpointConfig routes submissions to multi-user endpoints: the
+	// web service hashes it to locate or spawn the user endpoint.
+	UserEndpointConfig json.RawMessage `json:"user_endpoint_config,omitempty"`
+	GroupID            protocol.UUID   `json:"group_id,omitempty"`
+}
+
+// Submit validates and enqueues a batch of tasks under one authenticated
+// identity, returning a task ID per request in order. The whole batch is
+// validated before any task is enqueued.
+func (s *Service) Submit(tok auth.Token, reqs []SubmitRequest) ([]protocol.UUID, error) {
+	if len(reqs) == 0 {
+		return nil, errors.New("webservice: empty batch")
+	}
+	type prepared struct {
+		task   protocol.Task
+		target protocol.UUID
+	}
+	batch := make([]prepared, 0, len(reqs))
+	for i, req := range reqs {
+		fn, err := s.cfg.Store.GetFunction(req.FunctionID)
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", i, err)
+		}
+		ep, err := s.cfg.Store.GetEndpoint(req.EndpointID)
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", i, err)
+		}
+		if err := s.cfg.Auth.EvaluatePolicy(ep.AuthPolicy, tok); err != nil {
+			s.audit(tok.Identity.Username, "submit", ep.ID, err, "auth policy denied")
+			return nil, fmt.Errorf("task %d: %w", i, err)
+		}
+		if len(ep.AllowedFunctions) > 0 && !containsUUID(ep.AllowedFunctions, req.FunctionID) {
+			s.audit(tok.Identity.Username, "submit", ep.ID, ErrFunctionNotAllowed, string(req.FunctionID))
+			return nil, fmt.Errorf("task %d: %w: %s", i, ErrFunctionNotAllowed, req.FunctionID)
+		}
+		if len(req.Payload) > s.cfg.PayloadLimit {
+			return nil, fmt.Errorf("task %d: %w", i, serialize.ErrPayloadTooLarge)
+		}
+
+		target := ep.ID
+		if ep.MultiUser {
+			child, err := s.resolveUserEndpoint(tok, ep, req.UserEndpointConfig)
+			if err != nil {
+				return nil, fmt.Errorf("task %d: %w", i, err)
+			}
+			target = child
+		}
+
+		task := protocol.Task{
+			ID:           protocol.NewUUID(),
+			FunctionID:   req.FunctionID,
+			EndpointID:   target,
+			Kind:         fn.Kind,
+			Payload:      req.Payload,
+			Resources:    req.Resources,
+			UserIdentity: tok.Identity.Username,
+			GroupID:      req.GroupID,
+			Submitted:    time.Now(),
+		}
+		if len(task.Payload) > s.cfg.InlineThreshold {
+			key, err := s.cfg.Objects.PutContent(task.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("task %d: %w", i, err)
+			}
+			task.PayloadRef = key
+			task.Payload = nil
+		}
+		batch = append(batch, prepared{task: task, target: target})
+	}
+
+	ids := make([]protocol.UUID, 0, len(batch))
+	for _, p := range batch {
+		if err := s.cfg.Store.CreateTask(p.task); err != nil {
+			return nil, err
+		}
+		if err := s.cfg.Store.TransitionTask(p.task.ID, protocol.StateWaiting); err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(p.task)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.cfg.Broker.Publish(TaskQueue(p.target), body); err != nil {
+			return nil, err
+		}
+		if err := s.cfg.Store.TransitionTask(p.task.ID, protocol.StateDelivered); err != nil {
+			return nil, err
+		}
+		ids = append(ids, p.task.ID)
+		s.Metrics.Counter("tasks_submitted").Inc()
+	}
+	s.audit(tok.Identity.Username, "submit", reqs[0].EndpointID, nil,
+		fmt.Sprintf("%d tasks", len(ids)))
+	return ids, nil
+}
+
+// resolveUserEndpoint maps (MEP, identity, config hash) to a user endpoint,
+// creating the child record and issuing a start command on first use —
+// the Fig. 1 flow.
+func (s *Service) resolveUserEndpoint(tok auth.Token, mep statestore.EndpointRecord, userConfig json.RawMessage) (protocol.UUID, error) {
+	if len(userConfig) == 0 {
+		return "", ErrNeedsUserConfig
+	}
+	hash, err := HashConfig(userConfig)
+	if err != nil {
+		return "", err
+	}
+	// Reuse an existing child with the same owner and config hash.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, child := range s.cfg.Store.ListEndpoints(statestore.EndpointFilter{Parent: mep.ID, Owner: tok.Identity.Username}) {
+		if child.Metadata["config_hash"] == hash {
+			s.Metrics.Counter("uep_reused").Inc()
+			return child.ID, nil
+		}
+	}
+	childID := protocol.NewUUID()
+	rec := statestore.EndpointRecord{
+		ID: childID, Name: mep.Name + "/uep", Owner: tok.Identity.Username,
+		Parent: mep.ID, Status: statestore.EndpointOffline,
+		Metadata: map[string]string{"config_hash": hash},
+		// Children inherit the MEP's function allowlist.
+		AllowedFunctions: mep.AllowedFunctions,
+	}
+	if err := s.cfg.Store.UpsertEndpoint(rec); err != nil {
+		return "", err
+	}
+	if err := s.cfg.Broker.Declare(TaskQueue(childID)); err != nil {
+		return "", err
+	}
+	if err := s.cfg.Broker.Declare(ResultQueue(childID)); err != nil {
+		return "", err
+	}
+	if err := s.startResultProcessorLocked(childID); err != nil {
+		return "", err
+	}
+	cmd := StartEndpointCommand{
+		ChildEndpointID: childID,
+		UserIdentity:    tok.Identity,
+		UserConfig:      userConfig,
+		ConfigHash:      hash,
+	}
+	body, err := json.Marshal(cmd)
+	if err != nil {
+		return "", err
+	}
+	if err := s.cfg.Broker.Publish(CommandQueue(mep.ID), body); err != nil {
+		return "", err
+	}
+	s.audit(tok.Identity.Username, "start_user_endpoint", childID, nil, "mep="+string(mep.ID)+" hash="+hash)
+	s.Metrics.Counter("uep_spawn_requested").Inc()
+	return childID, nil
+}
+
+// startResultProcessorLocked is startResultProcessor for callers already
+// holding s.mu.
+func (s *Service) startResultProcessorLocked(id protocol.UUID) error {
+	if s.closed {
+		return errors.New("webservice: closed")
+	}
+	if _, dup := s.resultConsumers[id]; dup {
+		return nil
+	}
+	c, err := s.cfg.Broker.Consume(ResultQueue(id), 64)
+	if err != nil {
+		return err
+	}
+	s.resultConsumers[id] = c
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for m := range c.Messages() {
+			if err := s.processResult(m.Body); err != nil {
+				log.Printf("webservice: result processing: %v", err)
+			}
+			_ = c.Ack(m.Tag)
+		}
+	}()
+	return nil
+}
+
+// HashConfig canonicalizes a JSON user configuration (sorted keys) and
+// hashes it, so semantically identical configs reuse one user endpoint.
+func HashConfig(raw json.RawMessage) (string, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return "", fmt.Errorf("webservice: invalid user endpoint config: %w", err)
+	}
+	canon := canonicalize(v)
+	b, err := json.Marshal(canon)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+// canonicalize rewrites maps into sorted key/value pair lists so hashing is
+// order-independent.
+func canonicalize(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		pairs := make([][2]any, 0, len(keys))
+		for _, k := range keys {
+			pairs = append(pairs, [2]any{k, canonicalize(x[k])})
+		}
+		return pairs
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = canonicalize(e)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+// --- task status ---
+
+// TaskStatus is the polling view of a task.
+type TaskStatus struct {
+	TaskID protocol.UUID      `json:"task_id"`
+	State  protocol.TaskState `json:"state"`
+	Result []byte             `json:"result,omitempty"`
+	// ResultRef points into the object store for large outputs.
+	ResultRef string `json:"result_ref,omitempty"`
+	Error     string `json:"error,omitempty"`
+}
+
+// GetTask returns the status (and result if terminal) of a task.
+func (s *Service) GetTask(id protocol.UUID) (TaskStatus, error) {
+	rec, err := s.cfg.Store.GetTask(id)
+	if err != nil {
+		return TaskStatus{}, err
+	}
+	return TaskStatus{
+		TaskID: rec.Task.ID, State: rec.State,
+		Result: rec.Result, ResultRef: rec.ResultRef, Error: rec.Error,
+	}, nil
+}
+
+// GetTasks returns the status of many tasks at once (the batch_status API).
+// Unknown IDs are reported with an empty state rather than failing the
+// whole batch.
+func (s *Service) GetTasks(ids []protocol.UUID) []TaskStatus {
+	out := make([]TaskStatus, len(ids))
+	for i, id := range ids {
+		st, err := s.GetTask(id)
+		if err != nil {
+			out[i] = TaskStatus{TaskID: id, Error: err.Error()}
+			continue
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// CancelTask cancels a task that has not reached a terminal state. Tasks
+// already executing may still produce a result; the first terminal
+// transition wins (the state machine guarantees exactly one).
+func (s *Service) CancelTask(tok auth.Token, id protocol.UUID) error {
+	rec, err := s.cfg.Store.GetTask(id)
+	if err != nil {
+		return err
+	}
+	if rec.Task.UserIdentity != tok.Identity.Username {
+		return fmt.Errorf("%w: task %s belongs to %s", auth.ErrPolicyDenied, id, rec.Task.UserIdentity)
+	}
+	err = s.cfg.Store.TransitionTask(id, protocol.StateCancelled)
+	s.audit(tok.Identity.Username, "cancel_task", id, err, "")
+	if err != nil {
+		return err
+	}
+	s.Metrics.Counter("tasks_cancelled").Inc()
+	// Stream the cancellation to the executor's group queue so futures
+	// resolve promptly.
+	if rec.Task.GroupID != "" {
+		q := GroupResultQueue(rec.Task.GroupID)
+		if err := s.cfg.Broker.Declare(q); err == nil {
+			res := protocol.Result{TaskID: id, State: protocol.StateCancelled, Error: "cancelled by user"}
+			if payload, err := json.Marshal(res); err == nil {
+				_ = s.cfg.Broker.Publish(q, payload)
+			}
+		}
+	}
+	return nil
+}
+
+// MonitorHeartbeats starts a watchdog that marks endpoints offline when
+// their heartbeats stop arriving for more than timeout. It returns a stop
+// function.
+func (s *Service) MonitorHeartbeats(timeout, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			cutoff := time.Now().Add(-timeout)
+			for _, ep := range s.cfg.Store.ListEndpoints(statestore.EndpointFilter{Status: statestore.EndpointOnline}) {
+				if ep.LastHeartbeat.Before(cutoff) {
+					_ = s.cfg.Store.SetEndpointStatus(ep.ID, statestore.EndpointOffline)
+					s.Metrics.Counter("endpoints_marked_offline").Inc()
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// ResultRetention is the documented result lifetime ("results ... are
+// stored in the cloud for up to two weeks").
+const ResultRetention = 14 * 24 * time.Hour
+
+// StartRetentionSweeper purges terminal tasks older than retention
+// (<=0 selects ResultRetention) every interval. It returns a stop function.
+func (s *Service) StartRetentionSweeper(retention, interval time.Duration) (stop func()) {
+	if retention <= 0 {
+		retention = ResultRetention
+	}
+	done := make(chan struct{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			if n := s.cfg.Store.PurgeTasksBefore(time.Now().Add(-retention)); n > 0 {
+				s.Metrics.Counter("tasks_purged").Add(int64(n))
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// UsageStats aggregates deployment statistics (paper §VI).
+type UsageStats struct {
+	Functions     int                        `json:"functions"`
+	Endpoints     int                        `json:"endpoints"`
+	MultiUserEPs  int                        `json:"multi_user_endpoints"`
+	UserEndpoints int                        `json:"user_endpoints"` // spawned by MEPs
+	Tasks         int                        `json:"tasks"`
+	TasksByState  map[protocol.TaskState]int `json:"tasks_by_state"`
+}
+
+// Usage reports aggregate statistics.
+func (s *Service) Usage() UsageStats {
+	tr := true
+	meps := s.cfg.Store.ListEndpoints(statestore.EndpointFilter{MultiUser: &tr})
+	ueps := 0
+	for _, mep := range meps {
+		ueps += len(s.cfg.Store.ListEndpoints(statestore.EndpointFilter{Parent: mep.ID}))
+	}
+	return UsageStats{
+		Functions:     s.cfg.Store.CountFunctions(),
+		Endpoints:     s.cfg.Store.CountEndpoints(),
+		MultiUserEPs:  len(meps),
+		UserEndpoints: ueps,
+		Tasks:         s.cfg.Store.CountTasks(),
+		TasksByState:  s.cfg.Store.CountTasksByState(),
+	}
+}
+
+func containsUUID(list []protocol.UUID, id protocol.UUID) bool {
+	for _, x := range list {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
