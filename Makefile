@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench examples experiments fuzz clean
+.PHONY: all build vet test race trace-race trace-bench bench examples experiments fuzz clean
 
-all: build vet test
+all: build vet test trace-race
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,16 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The tracing subsystem and the packages it instruments, under the race
+# detector: the trace hot paths run concurrently in every component.
+trace-race:
+	$(GO) test -race ./internal/trace/ ./internal/broker/ ./internal/webservice/ \
+		./internal/endpoint/ ./internal/engine/ ./internal/sdk/
+
+# Span creation/collection overhead (the per-task cost of tracing).
+trace-bench:
+	$(GO) test -bench=. -benchmem ./internal/trace/
 
 # Regenerates every table/figure as testing.B measurements.
 bench:

@@ -18,6 +18,7 @@ import (
 	"globuscompute/internal/broker"
 	"globuscompute/internal/objectstore"
 	"globuscompute/internal/statestore"
+	"globuscompute/internal/trace"
 	"globuscompute/internal/webservice"
 )
 
@@ -38,8 +39,15 @@ func main() {
 	brk := broker.New()
 	objects := objectstore.New()
 
+	// Cloud-side task tracing: the service and broker share one collector,
+	// browsable at /debug/traces. Agent-side spans live in the agent
+	// processes; merge their JSONL exports for full-lifecycle traces.
+	traces := trace.NewCollector(0)
+	brk.Tracer = trace.NewTracer("broker", traces)
+
 	svc, err := webservice.New(webservice.Config{
 		Store: store, Broker: brk, Objects: objects, Auth: authSvc,
+		Tracer: trace.NewTracer("webservice", traces),
 	})
 	if err != nil {
 		log.Fatalf("gc-webservice: %v", err)
@@ -97,6 +105,8 @@ func main() {
 	fmt.Printf("  object store: %s\n", objectsSrv.Addr())
 	fmt.Printf("  bootstrap token (%s): %s\n", *user, tok.Value)
 	fmt.Printf("  dashboard:    http://%s/dashboard?token=%s\n", httpSrv.Addr(), tok.Value)
+	fmt.Printf("  traces:       http://%s/debug/traces?token=%s\n", httpSrv.Addr(), tok.Value)
+	fmt.Printf("  metrics:      http://%s/metrics?token=%s\n", httpSrv.Addr(), tok.Value)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

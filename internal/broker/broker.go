@@ -16,8 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"globuscompute/internal/metrics"
+	"globuscompute/internal/trace"
 )
 
 // Common errors.
@@ -35,6 +37,10 @@ type Message struct {
 	Tag         uint64
 	Body        []byte
 	Redelivered bool
+	// Trace is the delivery's trace context: the broker-transit span when
+	// the broker traces, otherwise the publisher's context, otherwise nil.
+	// Consumers continue the task's trace by parenting on it.
+	Trace *trace.Context
 }
 
 // Broker is an in-process message broker. The zero value is not usable; use
@@ -44,6 +50,10 @@ type Broker struct {
 	queues  map[string]*queue
 	closed  bool
 	Metrics *metrics.Registry
+	// Tracer, when set before use, records a "broker.deliver" span per
+	// traced message (publish -> delivery, the queue-transit time) and a
+	// "requeue" span per nack/disconnect requeue.
+	Tracer *trace.Tracer
 }
 
 // New returns an empty broker.
@@ -62,7 +72,7 @@ func (b *Broker) Declare(name string) error {
 	if _, ok := b.queues[name]; ok {
 		return nil
 	}
-	b.queues[name] = newQueue(name, b.Metrics)
+	b.queues[name] = newQueue(b, name)
 	return nil
 }
 
@@ -84,11 +94,18 @@ func (b *Broker) Delete(name string) error {
 
 // Publish appends body to the named queue.
 func (b *Broker) Publish(name string, body []byte) error {
+	return b.PublishTraced(name, body, nil)
+}
+
+// PublishTraced is Publish with a trace context: the context rides with the
+// message to its consumer, and queue transit is recorded as a child
+// "broker.deliver" span when the broker has a Tracer.
+func (b *Broker) PublishTraced(name string, body []byte, tc *trace.Context) error {
 	q, err := b.lookup(name)
 	if err != nil {
 		return err
 	}
-	return q.publish(body)
+	return q.publish(body, tc)
 }
 
 // Depth returns the number of messages waiting (not yet delivered) in the
@@ -169,6 +186,7 @@ func (b *Broker) lookup(name string) (*queue, error) {
 // honoring each consumer's prefetch credit.
 type queue struct {
 	mu           sync.Mutex
+	b            *Broker
 	name         string
 	ready        *list.List // of *entry
 	consumers    []*Consumer
@@ -185,10 +203,18 @@ type queue struct {
 type entry struct {
 	body        []byte
 	redelivered bool
+	// tc is the publisher's trace context; it survives requeues so a
+	// redelivered message keeps its original trace ID.
+	tc *trace.Context
+	// enqueued stamps when the entry (re)entered the ready list, bounding
+	// the broker-transit span.
+	enqueued time.Time
 }
 
-func newQueue(name string, reg *metrics.Registry) *queue {
+func newQueue(b *Broker, name string) *queue {
+	reg := b.Metrics
 	return &queue{
+		b:            b,
 		name:         name,
 		ready:        list.New(),
 		published:    reg.Counter("published." + name),
@@ -199,14 +225,14 @@ func newQueue(name string, reg *metrics.Registry) *queue {
 	}
 }
 
-func (q *queue) publish(body []byte) error {
+func (q *queue) publish(body []byte, tc *trace.Context) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrClosed
 	}
 	// Copy so callers may reuse their buffer.
-	e := &entry{body: append([]byte(nil), body...)}
+	e := &entry{body: append([]byte(nil), body...), tc: tc, enqueued: time.Now()}
 	q.ready.PushBack(e)
 	q.published.Inc()
 	q.dispatchLocked()
@@ -269,9 +295,16 @@ func (q *queue) dispatchLocked() {
 		tag := q.nextTag
 		c.unacked[tag] = e
 		q.delivered.Inc()
+		// Queue-transit span: publish (or requeue) to delivery. The
+		// delivered context becomes the consumer's parent so downstream
+		// stages chain off the transit span.
+		tc := e.tc
+		if tc.Valid() {
+			tc = q.b.Tracer.Record(tc, "broker.deliver", e.enqueued, time.Now(), "queue", q.name)
+		}
 		// The channel has capacity == prefetch and credit was checked,
 		// so this send cannot block.
-		c.ch <- Message{Tag: tag, Body: e.body, Redelivered: e.redelivered}
+		c.ch <- Message{Tag: tag, Body: e.body, Redelivered: e.redelivered, Trace: tc}
 	}
 }
 
@@ -319,10 +352,12 @@ func (q *queue) reject(b *Broker, c *Consumer, tag uint64) error {
 	if err := b.Declare(dlq); err != nil {
 		return err
 	}
-	return b.Publish(dlq, e.body)
+	return b.PublishTraced(dlq, e.body, e.tc)
 }
 
-// nack returns a message to the front of the queue for redelivery.
+// nack returns a message to the front of the queue for redelivery. The
+// entry keeps its original trace context, and the requeue itself is
+// recorded as a "requeue" span so redeliveries are visible in the trace.
 func (q *queue) nack(c *Consumer, tag uint64) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -332,10 +367,22 @@ func (q *queue) nack(c *Consumer, tag uint64) error {
 	}
 	delete(c.unacked, tag)
 	e.redelivered = true
-	q.ready.PushFront(e)
-	q.requeued.Inc()
+	q.requeueLocked(e, "nack")
 	q.dispatchLocked()
 	return nil
+}
+
+// requeueLocked returns e to the front of the ready list, re-stamping its
+// transit clock and recording a "requeue" span under the message's original
+// trace. Caller holds q.mu.
+func (q *queue) requeueLocked(e *entry, reason string) {
+	if e.tc.Valid() {
+		now := time.Now()
+		q.b.Tracer.Record(e.tc, "requeue", now, now, "queue", q.name, "reason", reason)
+	}
+	e.enqueued = time.Now()
+	q.ready.PushFront(e)
+	q.requeued.Inc()
 }
 
 // removeConsumer detaches c, requeueing everything it had not acked.
@@ -355,8 +402,7 @@ func (q *queue) removeConsumer(c *Consumer) {
 	for tag, e := range c.unacked {
 		delete(c.unacked, tag)
 		e.redelivered = true
-		q.ready.PushFront(e)
-		q.requeued.Inc()
+		q.requeueLocked(e, "disconnect")
 	}
 	close(c.ch)
 	q.dispatchLocked()

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"globuscompute/internal/protocol"
+	"globuscompute/internal/trace"
 )
 
 // Client is a TCP connection to a broker Server. It multiplexes
@@ -87,7 +88,7 @@ func (c *Client) readLoop() {
 			// server's delivery window, so the send never blocks.
 			c.mu.Lock()
 			if rc := c.streams[body.Queue]; rc != nil {
-				rc.ch <- Message{Tag: body.Tag, Body: body.Body, Redelivered: body.Redelivered}
+				rc.ch <- Message{Tag: body.Tag, Body: body.Body, Redelivered: body.Redelivered, Trace: env.Trace}
 			}
 			c.mu.Unlock()
 		}
@@ -120,6 +121,11 @@ func (c *Client) complete(id string, err error) {
 
 // call sends a request and waits for its ok/error reply.
 func (c *Client) call(typ string, body any) error {
+	return c.callTraced(typ, body, nil)
+}
+
+// callTraced is call with a trace context attached to the request envelope.
+func (c *Client) callTraced(typ string, body any, tc *trace.Context) error {
 	id := c.ids.next()
 	ch := make(chan error, 1)
 	c.mu.Lock()
@@ -135,6 +141,7 @@ func (c *Client) call(typ string, body any) error {
 		c.complete(id, nil)
 		return err
 	}
+	env.Trace = tc
 	if err := c.w.Write(env); err != nil {
 		c.complete(id, nil)
 		return fmt.Errorf("broker: send %s: %w", typ, err)
@@ -155,6 +162,12 @@ func (c *Client) Declare(queue string) error {
 // Publish appends body to the remote queue.
 func (c *Client) Publish(queue string, body []byte) error {
 	return c.call(protocol.EnvPublish, publishBody{Queue: queue, Body: body})
+}
+
+// PublishTraced appends body to the remote queue with a trace context on
+// the publish envelope; the server propagates it to the delivery.
+func (c *Client) PublishTraced(queue string, body []byte, tc *trace.Context) error {
+	return c.callTraced(protocol.EnvPublish, publishBody{Queue: queue, Body: body}, tc)
 }
 
 // Ping round-trips a heartbeat.

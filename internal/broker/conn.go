@@ -1,6 +1,10 @@
 package broker
 
-import "fmt"
+import (
+	"fmt"
+
+	"globuscompute/internal/trace"
+)
 
 // Conn abstracts a broker connection so components (endpoint agents, the
 // MEP, the SDK result stream) work identically against an in-process Broker
@@ -8,6 +12,10 @@ import "fmt"
 type Conn interface {
 	Declare(queue string) error
 	Publish(queue string, body []byte) error
+	// PublishTraced is Publish carrying a trace context with the message
+	// (on the envelope for TCP connections), so consumers can continue the
+	// publisher's trace. A nil context is equivalent to Publish.
+	PublishTraced(queue string, body []byte, tc *trace.Context) error
 	Subscribe(queue string, prefetch int) (Subscription, error)
 	// Delete removes a queue, dropping pending messages (used to clean up
 	// per-executor group queues and deregistered endpoints).
@@ -34,6 +42,10 @@ func LocalConn(b *Broker) Conn { return localConn{b} }
 func (l localConn) Declare(queue string) error              { return l.b.Declare(queue) }
 func (l localConn) Publish(queue string, body []byte) error { return l.b.Publish(queue, body) }
 func (l localConn) Delete(queue string) error               { return l.b.Delete(queue) }
+
+func (l localConn) PublishTraced(queue string, body []byte, tc *trace.Context) error {
+	return l.b.PublishTraced(queue, body, tc)
+}
 
 func (l localConn) Subscribe(queue string, prefetch int) (Subscription, error) {
 	c, err := l.b.Consume(queue, prefetch)
@@ -69,6 +81,10 @@ func (c *Client) AsConn() Conn { return clientConn{c} }
 func (cc clientConn) Declare(queue string) error              { return cc.c.Declare(queue) }
 func (cc clientConn) Publish(queue string, body []byte) error { return cc.c.Publish(queue, body) }
 func (cc clientConn) Delete(queue string) error               { return cc.c.DeleteQueue(queue) }
+
+func (cc clientConn) PublishTraced(queue string, body []byte, tc *trace.Context) error {
+	return cc.c.PublishTraced(queue, body, tc)
+}
 
 func (cc clientConn) Subscribe(queue string, prefetch int) (Subscription, error) {
 	rc, err := cc.c.Consume(queue, prefetch)

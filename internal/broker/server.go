@@ -161,7 +161,7 @@ func (s *Server) handle(conn net.Conn) {
 				reply(env.ID, err)
 				continue
 			}
-			reply(env.ID, s.B.Publish(body.Queue, body.Body))
+			reply(env.ID, s.B.PublishTraced(body.Queue, body.Body, env.Trace))
 
 		case protocol.EnvConsume:
 			var body consumeBody
@@ -187,6 +187,7 @@ func (s *Server) handle(conn net.Conn) {
 					e := protocol.MustEnvelope(protocol.EnvDelivery, "", deliveryBody{
 						Queue: queue, Tag: m.Tag, Body: m.Body, Redelivered: m.Redelivered,
 					})
+					e.Trace = m.Trace
 					if err := w.Write(e); err != nil {
 						c.Close()
 						return

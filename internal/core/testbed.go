@@ -24,6 +24,7 @@ import (
 	"globuscompute/internal/scheduler"
 	"globuscompute/internal/shellfn"
 	"globuscompute/internal/statestore"
+	"globuscompute/internal/trace"
 	"globuscompute/internal/webservice"
 )
 
@@ -37,6 +38,9 @@ type Options struct {
 	ClusterNodes int
 	// InlineThreshold overrides the service spill threshold.
 	InlineThreshold int
+	// TraceCapacity sizes the shared span collector ring
+	// (default trace.DefaultCapacity).
+	TraceCapacity int
 }
 
 // Testbed is a running deployment.
@@ -47,6 +51,11 @@ type Testbed struct {
 	Objects *objectstore.Store
 	Service *webservice.Service
 	Sched   *scheduler.Scheduler
+
+	// Traces collects every component's spans; one collector serves the
+	// whole single-process deployment, as a tracing backend would in
+	// production.
+	Traces *trace.Collector
 
 	// HTTP front ends (nil when DisableHTTP).
 	HTTP       *webservice.Server
@@ -69,10 +78,13 @@ func NewTestbed(opts Options) (*Testbed, error) {
 		Broker:  broker.New(),
 		Objects: objectstore.New(),
 		Sched:   scheduler.SimpleCluster(opts.ClusterNodes),
+		Traces:  trace.NewCollector(opts.TraceCapacity),
 	}
+	tb.Broker.Tracer = trace.NewTracer("broker", tb.Traces)
 	svc, err := webservice.New(webservice.Config{
 		Store: tb.Store, Broker: tb.Broker, Objects: tb.Objects, Auth: tb.Auth,
 		InlineThreshold: opts.InlineThreshold,
+		Tracer:          trace.NewTracer("webservice", tb.Traces),
 	})
 	if err != nil {
 		return nil, err
@@ -245,6 +257,7 @@ func (tb *Testbed) buildAgent(epID protocol.UUID, opts EndpointOptions) (*endpoi
 		InitBlocks:     1, MinBlocks: 1, MaxBlocks: maxBlocks,
 		ScalingInterval: 20 * time.Millisecond,
 		Transport:       opts.Transport,
+		Tracer:          trace.NewTracer("engine", tb.Traces),
 	})
 	if err != nil {
 		return nil, err
@@ -269,6 +282,7 @@ func (tb *Testbed) buildAgent(epID protocol.UUID, opts EndpointOptions) (*endpoi
 			}
 		},
 		HeartbeatInterval: time.Second,
+		Tracer:            trace.NewTracer("endpoint", tb.Traces),
 	}
 	if opts.WithMPI {
 		blockNodes := opts.MPIBlockNodes

@@ -1,0 +1,145 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"globuscompute/internal/core"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/sdk"
+	"globuscompute/internal/trace"
+)
+
+// TestEndToEndTrace is the tracing acceptance test: one SDK submission on
+// the full testbed must leave a single trace whose spans cover the entire
+// lifecycle — SDK submit, service ingestion, broker delivery, endpoint
+// dispatch, engine execution, and result return — with intact parent links
+// from every span back to the root.
+func TestEndToEndTrace(t *testing.T) {
+	s := newStack(t)
+	epID, err := s.tb.StartEndpoint(core.EndpointOptions{
+		Name: "trace-ep", Owner: "alice@uchicago.edu", Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := sdk.NewExecutor(sdk.ExecutorConfig{
+		Client: s.client, EndpointID: epID, Conn: s.conn, Objects: s.objs,
+		Tracer: trace.NewTracer("sdk", s.tb.Traces),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ex.Close)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fut, err := ex.Submit(&sdk.PythonFunction{Entrypoint: "identity"}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fut.Raw(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != protocol.StateSuccess {
+		t.Fatalf("task state = %s (%s)", res.State, res.Error)
+	}
+	if !res.Trace.Valid() {
+		t.Fatal("result carries no trace context")
+	}
+	id := res.Trace.TraceID
+
+	// The final sdk.resolve span ends just after the future resolves; wait
+	// for it to land before reading the collector.
+	want := map[string]bool{
+		"sdk.submit":        false, // SDK-side submission (root)
+		"submit":            false, // web service ingestion
+		"broker.deliver":    false, // queue transit (tasks and results)
+		"endpoint.dispatch": false, // agent pulls and dispatches
+		"engine.execute":    false, // worker execution
+		"result.process":    false, // result pipeline
+		"sdk.resolve":       false, // future resolution
+	}
+	var spans []trace.Span
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		spans = s.tb.Traces.Trace(id)
+		have := make(map[string]bool, len(spans))
+		for _, sp := range spans {
+			have[sp.Name] = true
+		}
+		all := true
+		for name := range want {
+			if !have[name] {
+				all = false
+			}
+		}
+		if all || time.Now().After(deadline) {
+			for name := range want {
+				want[name] = have[name]
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for name, ok := range want {
+		if !ok {
+			t.Errorf("trace %s missing span %q (have %d spans)", id, name, len(spans))
+		}
+	}
+	if t.Failed() {
+		for _, sp := range spans {
+			t.Logf("span %-20s %-12s parent=%s", sp.Name, sp.Process, sp.Parent)
+		}
+		t.FailNow()
+	}
+
+	// Every span must belong to the one trace, be finished, and (except the
+	// root) link to another span in the same trace.
+	byID := make(map[trace.SpanID]trace.Span, len(spans))
+	roots := 0
+	for _, sp := range spans {
+		if sp.TraceID != id {
+			t.Errorf("span %s has trace %s", sp.Name, sp.TraceID)
+		}
+		if sp.EndTime.IsZero() {
+			t.Errorf("span %s never ended", sp.Name)
+		}
+		byID[sp.SpanID] = sp
+		if sp.Parent == "" {
+			roots++
+			if sp.Name != "sdk.submit" {
+				t.Errorf("root span is %q, want sdk.submit", sp.Name)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Errorf("%d root spans, want 1", roots)
+	}
+	for _, sp := range spans {
+		if sp.Parent == "" {
+			continue
+		}
+		if _, ok := byID[sp.Parent]; !ok {
+			t.Errorf("span %s (%s) has dangling parent %s", sp.Name, sp.Process, sp.Parent)
+		}
+	}
+
+	// The analyzer must walk a critical path from the root through the
+	// lifecycle to a leaf, with bounded unattributed time.
+	sum, err := trace.Analyze(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.CriticalPath) < 4 {
+		t.Errorf("critical path has %d stages:\n%s", len(sum.CriticalPath), sum.String())
+	}
+	if sum.CriticalPath[0].Name != "sdk.submit" {
+		t.Errorf("critical path starts at %q", sum.CriticalPath[0].Name)
+	}
+	if sum.Unattributed < 0 || sum.Unattributed > sum.Duration {
+		t.Errorf("unattributed %v out of [0, %v]", sum.Unattributed, sum.Duration)
+	}
+}

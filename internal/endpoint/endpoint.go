@@ -23,6 +23,7 @@ import (
 	"globuscompute/internal/proxystore"
 	"globuscompute/internal/registry"
 	"globuscompute/internal/shellfn"
+	"globuscompute/internal/trace"
 )
 
 // ObjectFetcher resolves payload references spilled to the object store.
@@ -46,6 +47,9 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// Prefetch bounds in-flight task deliveries (default 32).
 	Prefetch int
+	// Tracer, when set, records an endpoint.dispatch span per traced task
+	// and carries trace context on published results. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // Agent is a running endpoint.
@@ -202,26 +206,41 @@ func (a *Agent) taskLoop() {
 			a.Metrics.Counter("dead_lettered").Inc()
 			continue
 		}
+		// Continue the trace: the delivery context (broker transit span) is
+		// preferred; the task body's context covers untraced transports.
+		parent := m.Trace
+		if !parent.Valid() {
+			parent = task.Trace
+		}
+		sp := a.cfg.Tracer.StartSpan(parent, "endpoint.dispatch")
+		sp.SetAttr("endpoint", string(a.cfg.EndpointID))
+		if next := sp.Context(); next != nil {
+			task.Trace = next
+		}
 		var err error
 		if task.Kind == protocol.KindMPI {
 			if a.cfg.MPI == nil {
 				a.publishResult(protocol.Result{
 					TaskID: task.ID, State: protocol.StateFailed,
 					Error: "endpoint has no MPI engine configured",
+					Trace: task.Trace,
 				})
 				_ = a.sub.Ack(m.Tag)
 				a.Metrics.Counter("rejected_mpi").Inc()
+				sp.EndStatus("error")
 				continue
 			}
 			err = a.cfg.MPI.Submit(task)
 		} else {
 			err = a.cfg.Engine.Submit(task)
 		}
+		sp.End()
 		if err != nil {
 			// Invalid tasks fail permanently; transient backlog errors
 			// would also land here — report rather than redeliver forever.
 			a.publishResult(protocol.Result{
 				TaskID: task.ID, State: protocol.StateFailed, Error: err.Error(),
+				Trace: task.Trace,
 			})
 			a.Metrics.Counter("submit_errors").Inc()
 		}
@@ -246,7 +265,7 @@ func (a *Agent) publishResult(res protocol.Result) {
 		log.Printf("endpoint %s: marshal result: %v", a.cfg.EndpointID, err)
 		return
 	}
-	if err := a.cfg.Conn.Publish(resultQueue(a.cfg.EndpointID), body); err != nil {
+	if err := a.cfg.Conn.PublishTraced(resultQueue(a.cfg.EndpointID), body, res.Trace); err != nil {
 		log.Printf("endpoint %s: publish result: %v", a.cfg.EndpointID, err)
 		return
 	}

@@ -18,6 +18,7 @@ import (
 	"globuscompute/internal/metrics"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/provider"
+	"globuscompute/internal/trace"
 )
 
 // Common errors.
@@ -61,6 +62,9 @@ type Config struct {
 	// "channel" (default, in-process) or "tcp" (framed TCP, the real
 	// engine's multiplexed-connection topology).
 	Transport string
+	// Tracer, when set, records engine.queue and engine.execute spans for
+	// traced tasks. Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) fill() error {
@@ -135,6 +139,10 @@ type Engine struct {
 	stopped  bool
 	nextMgr  int
 
+	// qspans holds the open engine.queue span per traced pending task
+	// (guarded by mu); ended at dispatch, or with status "dropped" at Stop.
+	qspans map[protocol.UUID]*trace.ActiveSpan
+
 	results chan protocol.Result
 	wake    chan struct{}
 	done    chan struct{}
@@ -154,6 +162,7 @@ func New(cfg Config) (*Engine, error) {
 		cfg:      cfg,
 		managers: make(map[string]*manager),
 		blocks:   make(map[string]string),
+		qspans:   make(map[protocol.UUID]*trace.ActiveSpan),
 		results:  make(chan protocol.Result, cfg.QueueCapacity),
 		wake:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
@@ -199,10 +208,31 @@ func (e *Engine) Submit(task protocol.Task) error {
 	if len(e.pending) >= e.cfg.QueueCapacity {
 		return fmt.Errorf("engine: backlog full (%d tasks)", len(e.pending))
 	}
+	e.startQueueSpanLocked(&task)
 	e.pending = append(e.pending, task)
 	e.Metrics.Counter("submitted").Inc()
 	e.wakeUp()
 	return nil
+}
+
+// startQueueSpanLocked opens an engine.queue span for a traced task (caller
+// holds e.mu). The task's context is NOT re-pointed: the queue span is a leaf
+// measuring backlog wait, and execute chains off the dispatch-time context.
+func (e *Engine) startQueueSpanLocked(task *protocol.Task) {
+	if e.cfg.Tracer == nil || !task.Trace.Valid() {
+		return
+	}
+	if sp := e.cfg.Tracer.StartSpan(task.Trace, "engine.queue"); sp != nil {
+		e.qspans[task.ID] = sp
+	}
+}
+
+// endQueueSpanLocked closes the task's engine.queue span (caller holds e.mu).
+func (e *Engine) endQueueSpanLocked(id protocol.UUID, status string) {
+	if sp, ok := e.qspans[id]; ok {
+		delete(e.qspans, id)
+		sp.EndStatus(status)
+	}
 }
 
 // Results returns the completed-task stream. It is closed by Stop after all
@@ -258,6 +288,9 @@ func (e *Engine) Stop() {
 	e.stopped = true
 	pending := e.pending
 	e.pending = nil
+	for _, t := range pending {
+		e.endQueueSpanLocked(t.ID, "dropped")
+	}
 	blockIDs := make([]string, 0, len(e.blocks))
 	for id := range e.blocks {
 		blockIDs = append(blockIDs, id)
@@ -390,6 +423,7 @@ func (e *Engine) requeue(t protocol.Task) {
 		}
 		return
 	}
+	e.startQueueSpanLocked(&t)
 	e.pending = append([]protocol.Task{t}, e.pending...)
 	e.mu.Unlock()
 	e.Metrics.Counter("requeued").Inc()
@@ -401,6 +435,9 @@ func (e *Engine) workerLoop(ctx context.Context, m *manager, w WorkerInfo) {
 	defer m.wg.Done()
 	for t := range m.tasks {
 		started := time.Now()
+		sp := e.cfg.Tracer.StartSpanAt(t.Trace, "engine.execute", started)
+		sp.SetAttr("worker", w.ID)
+		sp.SetAttr("block", w.BlockID)
 		res := e.cfg.Run(ctx, t, w)
 		res.TaskID = t.ID
 		res.WorkerID = w.ID
@@ -414,6 +451,16 @@ func (e *Engine) workerLoop(ctx context.Context, m *manager, w WorkerInfo) {
 			res.Completed = time.Now()
 		}
 		res.ExecutionMS = float64(res.Completed.Sub(res.Started)) / float64(time.Millisecond)
+		if res.State == protocol.StateFailed {
+			sp.EndStatus("error")
+		} else {
+			sp.End()
+		}
+		if next := sp.Context(); next != nil {
+			res.Trace = next
+		} else if res.Trace == nil {
+			res.Trace = t.Trace
+		}
 		e.results <- res
 		e.Metrics.Counter("completed").Inc()
 		e.mu.Lock()
@@ -455,6 +502,7 @@ func (e *Engine) dispatchLoop() {
 			}
 			t := e.pending[0]
 			e.pending = e.pending[1:]
+			e.endQueueSpanLocked(t.ID, "")
 			target.freeSlots--
 			target.lastActive = time.Now()
 			// The channel is buffered to capacity and freeSlots accounting

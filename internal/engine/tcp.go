@@ -140,13 +140,22 @@ func (e *Engine) serveManagerConn(conn net.Conn) {
 			if err := env.Decode(&res); err != nil {
 				continue
 			}
-			e.results <- res
-			e.Metrics.Counter("completed").Inc()
 			e.mu.Lock()
+			t, inflight := m.inflight[res.TaskID]
 			delete(m.inflight, res.TaskID)
 			m.freeSlots++
 			m.lastActive = time.Now()
 			e.mu.Unlock()
+			// The remote pool has no tracer; record its execution span here
+			// from the result's timestamps, on behalf of the worker.
+			if inflight && t.Trace.Valid() && !res.Started.IsZero() {
+				res.Trace = e.cfg.Tracer.Record(t.Trace, "engine.execute",
+					res.Started, res.Completed, "worker", res.WorkerID, "block", m.blockID)
+			} else if res.Trace == nil && inflight {
+				res.Trace = t.Trace
+			}
+			e.results <- res
+			e.Metrics.Counter("completed").Inc()
 			e.wakeUp()
 		case protocol.EnvHeartbeat:
 			e.mu.Lock()

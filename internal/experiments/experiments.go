@@ -17,6 +17,7 @@ import (
 	"globuscompute/internal/objectstore"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/sdk"
+	"globuscompute/internal/trace"
 )
 
 // Report is a printable experiment result.
@@ -87,6 +88,7 @@ func (e *env) close() {
 func (e *env) executor(ep protocol.UUID) (*sdk.Executor, error) {
 	return sdk.NewExecutor(sdk.ExecutorConfig{
 		Client: e.client, EndpointID: ep, Conn: e.conn, Objects: e.objs,
+		Tracer: trace.NewTracer("sdk", e.tb.Traces),
 	})
 }
 

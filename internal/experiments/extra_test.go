@@ -10,10 +10,13 @@ func TestLatencyReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 4 {
-		t.Fatalf("rows = %d", len(r.Rows))
+	if len(r.Rows) < 6 {
+		t.Fatalf("rows = %d: %v", len(r.Rows), r.Rows)
 	}
-	for _, want := range []string{"submit->worker-start", "execution", "result-return", "total"} {
+	for _, want := range []string{
+		"sdk.submit", "submit", "endpoint.dispatch", "engine.execute",
+		"result.process", "sdk.resolve", "unattributed", "total (client-observed)",
+	} {
 		found := false
 		for _, row := range r.Rows {
 			if strings.HasPrefix(row, want+",") {

@@ -131,12 +131,22 @@ func (h *Histogram) Min() time.Duration {
 func (h *Histogram) Percentile(p float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
+	return percentileSorted(h.sortedSamplesLocked(), p)
+}
+
+// sortedSamplesLocked copies and sorts the reservoir (caller holds h.mu).
+func (h *Histogram) sortedSamplesLocked() []time.Duration {
 	sorted := make([]time.Duration, len(h.samples))
 	copy(sorted, h.samples)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted
+}
+
+// percentileSorted interpolates the p-th percentile over pre-sorted samples.
+func percentileSorted(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -153,10 +163,45 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
 }
 
-// Summary renders count/mean/p50/p95/p99/max on one line.
+// HistogramStats is a consistent point-in-time histogram snapshot.
+type HistogramStats struct {
+	Count int64
+	Sum   time.Duration
+	Mean  time.Duration
+	Min   time.Duration
+	Max   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Stats computes every summary field under one lock acquisition, so the
+// fields are mutually consistent even while observations stream in
+// concurrently (repeated single-field getters could mix epochs: e.g. a count
+// from before an observation with a max from after it).
+func (h *Histogram) Stats() HistogramStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramStats{Count: h.count, Sum: h.sum}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.sum / time.Duration(h.count)
+	s.Min = h.min
+	s.Max = h.max
+	sorted := h.sortedSamplesLocked()
+	s.P50 = percentileSorted(sorted, 50)
+	s.P95 = percentileSorted(sorted, 95)
+	s.P99 = percentileSorted(sorted, 99)
+	return s
+}
+
+// Summary renders count/mean/p50/p95/p99/max on one line, from one
+// consistent snapshot.
 func (h *Histogram) Summary() string {
+	s := h.Stats()
 	return fmt.Sprintf("n=%d mean=%s p50=%s p95=%s p99=%s max=%s",
-		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99), h.Max())
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
 }
 
 // Registry is a named collection of metrics, one per subsystem instance.

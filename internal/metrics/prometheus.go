@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms as
+// summaries with p50/p95/p99 quantiles plus _sum and _count, durations in
+// seconds. Metric names are sanitized to [a-zA-Z0-9_:] and optionally
+// prefixed (prefix is sanitized the same way, e.g. "gc_webservice").
+func (r *Registry) WriteText(w io.Writer, prefix string) error {
+	if prefix != "" {
+		prefix = sanitizeMetricName(prefix) + "_"
+	}
+
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		histograms[name] = h
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedKeys(counters) {
+		mn := prefix + sanitizeMetricName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", mn, mn, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		mn := prefix + sanitizeMetricName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", mn, mn, gauges[name]); err != nil {
+			return err
+		}
+	}
+	hnames := make([]string, 0, len(histograms))
+	for name := range histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		s := histograms[name].Stats()
+		mn := prefix + sanitizeMetricName(name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", mn); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			q string
+			v time.Duration
+		}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", mn, q.q, q.v.Seconds()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", mn, s.Sum.Seconds(), mn, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeMetricName maps arbitrary registry names onto the Prometheus
+// metric-name alphabet; invalid runes become underscores and a leading digit
+// gains one.
+func sanitizeMetricName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -7,14 +7,22 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"globuscompute/internal/trace"
 )
 
 // Envelope is the unit of transmission on every framed connection: a type
-// tag, an optional correlation ID, and a JSON body.
+// tag, an optional correlation ID, an optional trace context, and a JSON
+// body.
 type Envelope struct {
-	Type string          `json:"type"`
-	ID   string          `json:"id,omitempty"`
-	Body json.RawMessage `json:"body,omitempty"`
+	Type string `json:"type"`
+	ID   string `json:"id,omitempty"`
+	// Trace propagates distributed-trace context across the connection
+	// (publish -> delivery, task -> result). Absent on untraced traffic;
+	// receivers must treat a missing field as "no trace" (the pre-trace
+	// wire format is decodable unchanged).
+	Trace *trace.Context  `json:"trace,omitempty"`
+	Body  json.RawMessage `json:"body,omitempty"`
 }
 
 // Envelope type tags used across the system.

@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"globuscompute/internal/trace"
 )
 
 // UUID is a 128-bit random identifier rendered in canonical 8-4-4-4-12 form.
@@ -156,6 +158,10 @@ type Task struct {
 	// results can be streamed back over the group result queue.
 	GroupID   UUID      `json:"group_id,omitempty"`
 	Submitted time.Time `json:"submitted"`
+	// Trace carries the task's distributed-trace context across process
+	// boundaries; each component continues the trace by starting child
+	// spans off it. Omitted when tracing is disabled.
+	Trace *trace.Context `json:"trace,omitempty"`
 }
 
 // Result is the record a worker produces for a completed task.
@@ -175,6 +181,9 @@ type Result struct {
 	Completed   time.Time     `json:"completed"`
 	ExecutionMS float64       `json:"execution_ms"`
 	QueueDelay  time.Duration `json:"queue_delay,omitempty"`
+	// Trace continues the submitting task's trace through the result path
+	// (worker -> broker -> result processor -> client future).
+	Trace *trace.Context `json:"trace,omitempty"`
 }
 
 // ShellSpec is the payload body for KindShell and KindMPI tasks.

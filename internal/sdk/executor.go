@@ -11,6 +11,7 @@ import (
 
 	"globuscompute/internal/broker"
 	"globuscompute/internal/protocol"
+	"globuscompute/internal/trace"
 	"globuscompute/internal/webservice"
 )
 
@@ -44,6 +45,9 @@ type ExecutorConfig struct {
 	MaxBatch int
 	// Objects resolves large results spilled to the object store.
 	Objects ObjectFetcher
+	// Tracer, when set, roots a trace per submission (sdk.submit) and
+	// records result resolution (sdk.resolve). Nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 // Executor mirrors concurrent.futures.Executor over Globus Compute: Submit
@@ -72,8 +76,9 @@ type Executor struct {
 }
 
 type pendingSub struct {
-	req webservice.SubmitRequest
-	fut *Future
+	req  webservice.SubmitRequest
+	fut  *Future
+	span *trace.ActiveSpan // open sdk.submit root span (nil when untraced)
 }
 
 // NewExecutor builds and starts an executor.
@@ -245,12 +250,17 @@ func (ex *Executor) enqueue(fnID protocol.UUID, payload []byte, res protocol.Res
 		req.UserEndpointConfig = raw
 	}
 	fut := newFuture()
+	// Each submission roots its own trace; the span covers batching wait
+	// plus the REST round trip.
+	sp := ex.cfg.Tracer.StartSpan(nil, "sdk.submit")
+	sp.SetAttr("endpoint", string(ex.cfg.EndpointID))
+	req.Trace = sp.Context()
 	ex.mu.Lock()
 	if ex.closed {
 		ex.mu.Unlock()
 		return nil, ErrExecutorClosed
 	}
-	ex.pending = append(ex.pending, pendingSub{req: req, fut: fut})
+	ex.pending = append(ex.pending, pendingSub{req: req, fut: fut, span: sp})
 	n := len(ex.pending)
 	if n >= ex.cfg.MaxBatch {
 		batch := ex.takeBatchLocked()
@@ -294,9 +304,13 @@ func (ex *Executor) flush(batch []pendingSub) {
 	ids, err := ex.cfg.Client.SubmitBatch(reqs)
 	if err != nil {
 		for _, p := range batch {
+			p.span.EndStatus("error")
 			p.fut.resolve(protocol.Result{}, fmt.Errorf("sdk: submission failed: %w", err))
 		}
 		return
+	}
+	for _, p := range batch {
+		p.span.End()
 	}
 	ex.mu.Lock()
 	for i, p := range batch {
@@ -305,7 +319,7 @@ func (ex *Executor) flush(batch []pendingSub) {
 		if res, ok := ex.orphans[id]; ok {
 			delete(ex.orphans, id)
 			ex.mu.Unlock()
-			ex.deliver(p.fut, res)
+			ex.resolveTraced(p.fut, res, nil)
 			ex.mu.Lock()
 			continue
 		}
@@ -336,10 +350,25 @@ func (ex *Executor) streamLoop() {
 		}
 		ex.mu.Unlock()
 		if ok {
-			ex.deliver(fut, res)
+			ex.resolveTraced(fut, res, m.Trace)
 		}
 		_ = ex.sub.Ack(m.Tag)
 	}
+}
+
+// resolveTraced resolves a future under an sdk.resolve span. parent is the
+// delivery's trace context when available (the broker's deliver span);
+// otherwise the result's own carried context is used. Results that raced
+// ahead of the submit response (the orphan path) resolve here too, so every
+// traced task gets a resolution span.
+func (ex *Executor) resolveTraced(fut *Future, res protocol.Result, parent *trace.Context) {
+	if !parent.Valid() {
+		parent = res.Trace
+	}
+	sp := ex.cfg.Tracer.StartSpan(parent, "sdk.resolve")
+	sp.SetAttr("task", string(res.TaskID))
+	ex.deliver(fut, res)
+	sp.End()
 }
 
 // deliver resolves a future, fetching spilled outputs first.

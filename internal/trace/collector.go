@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// DefaultCapacity is the collector ring size when unspecified: enough for
+// ~1k traces of 8 spans without rolling over mid-benchmark.
+const DefaultCapacity = 8192
+
+// Collector is a bounded in-memory sink for finished spans. It keeps the
+// most recent capacity spans in a ring buffer and is safe for concurrent
+// use from every instrumented hot path.
+type Collector struct {
+	mu      sync.Mutex
+	buf     []Span
+	next    int    // ring write cursor
+	filled  bool   // true once the ring has wrapped
+	total   uint64 // spans ever added
+	dropped uint64 // spans overwritten by the ring
+}
+
+// NewCollector returns a collector retaining up to capacity spans
+// (<=0 selects DefaultCapacity).
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Collector{buf: make([]Span, 0, capacity)}
+}
+
+// Add records one finished span.
+func (c *Collector) Add(s Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	if !c.filled && len(c.buf) < cap(c.buf) {
+		c.buf = append(c.buf, s)
+		return
+	}
+	c.filled = true
+	c.buf[c.next] = s
+	c.next = (c.next + 1) % cap(c.buf)
+	c.dropped++
+}
+
+// Len reports the number of retained spans.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buf)
+}
+
+// Total reports spans ever added; Dropped reports how many the ring
+// overwrote (Total - Dropped are retained or were retained longest).
+func (c *Collector) Total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Dropped reports spans lost to ring overwrite.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Snapshot returns retained spans oldest-first.
+func (c *Collector) Snapshot() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Span, 0, len(c.buf))
+	if c.filled {
+		out = append(out, c.buf[c.next:]...)
+		out = append(out, c.buf[:c.next]...)
+	} else {
+		out = append(out, c.buf...)
+	}
+	return out
+}
+
+// Trace returns the retained spans of one trace, ordered by start time.
+func (c *Collector) Trace(id TraceID) []Span {
+	c.mu.Lock()
+	var out []Span
+	for i := range c.buf {
+		if c.buf[i].TraceID == id {
+			out = append(out, c.buf[i])
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// TraceIDs lists the distinct retained trace IDs, most recently added last.
+func (c *Collector) TraceIDs() []TraceID {
+	spans := c.Snapshot()
+	seen := make(map[TraceID]bool, len(spans))
+	var out []TraceID
+	for _, s := range spans {
+		if !seen[s.TraceID] {
+			seen[s.TraceID] = true
+			out = append(out, s.TraceID)
+		}
+	}
+	return out
+}
+
+// Reset discards all retained spans (counters keep accumulating).
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = c.buf[:0]
+	c.next = 0
+	c.filled = false
+}
+
+// WriteJSONL exports retained spans oldest-first, one JSON object per line
+// — loadable by any trace tooling and by ReadJSONL.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range c.Snapshot() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadJSONL loads spans exported by WriteJSONL, e.g. to merge collections
+// from several processes before analysis.
+func ReadJSONL(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var out []Span
+	for {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, s)
+	}
+}

@@ -1,0 +1,272 @@
+// Package trace is a stdlib-only distributed tracing subsystem for the
+// task lifecycle: spans with trace/span IDs and parent links, a bounded
+// concurrent-safe Collector, a JSONL exporter, and a per-trace critical-path
+// analyzer. It underpins the paper's per-stage latency decomposition
+// (submit -> broker -> endpoint -> engine -> worker -> result) with real
+// per-task measurements instead of hand-placed timers.
+//
+// Trace context crosses process boundaries as a Context value carried on
+// protocol.Envelope, protocol.Task, and protocol.Result; each component
+// continues the trace by starting child spans off the carried context. A nil
+// *Tracer (and the nil *ActiveSpan it hands out) is a safe no-op, so tracing is
+// strictly opt-in and adds no overhead when unconfigured.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end task lifecycle (16 random bytes, hex).
+type TraceID string
+
+// SpanID identifies one stage within a trace (8 random bytes, hex).
+type SpanID string
+
+// Context is the propagated trace context: which trace an operation belongs
+// to and which span is its parent. It is the only type that travels on the
+// wire (JSON, embedded in envelopes, tasks, and results).
+type Context struct {
+	TraceID TraceID `json:"trace_id"`
+	SpanID  SpanID  `json:"span_id,omitempty"`
+}
+
+// Valid reports whether c carries a usable trace ID.
+func (c *Context) Valid() bool { return c != nil && c.TraceID != "" }
+
+// idSource is a cheap concurrent ID generator: a crypto-seeded counter
+// split into trace and span halves. IDs need uniqueness, not secrecy.
+var idSource atomic.Uint64
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		idSource.Store(binary.BigEndian.Uint64(b[:]))
+	} else {
+		idSource.Store(uint64(time.Now().UnixNano()))
+	}
+}
+
+// NewTraceID returns a fresh trace identifier.
+func NewTraceID() TraceID {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], idSource.Add(1))
+	binary.BigEndian.PutUint64(b[8:], idSource.Add(1)*0x9e3779b97f4a7c15)
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+// NewSpanID returns a fresh span identifier.
+func NewSpanID() SpanID {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], idSource.Add(1)*0xbf58476d1ce4e5b9)
+	return SpanID(hex.EncodeToString(b[:]))
+}
+
+// Span is one recorded stage of a trace: pure data, safe to copy, store,
+// and marshal. Live in-progress spans are *ActiveSpan handles; they snapshot
+// into a Span at End.
+type Span struct {
+	TraceID TraceID           `json:"trace_id"`
+	SpanID  SpanID            `json:"span_id"`
+	Parent  SpanID            `json:"parent_span_id,omitempty"`
+	Name    string            `json:"name"`
+	Process string            `json:"process,omitempty"`
+	Start   time.Time         `json:"start"`
+	EndTime time.Time         `json:"end"`
+	Status  string            `json:"status,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall time (zero until ended).
+func (s Span) Duration() time.Duration {
+	if s.EndTime.IsZero() {
+		return 0
+	}
+	return s.EndTime.Sub(s.Start)
+}
+
+// ActiveSpan is a live span created by Tracer.StartSpan. All methods are
+// safe on a nil receiver (the no-op span a nil tracer hands out) and safe
+// for concurrent use.
+type ActiveSpan struct {
+	tracer *Tracer
+	mu     sync.Mutex
+	span   Span
+	ended  bool
+}
+
+// Context returns the span's propagation context, for handing to the next
+// stage. Nil receiver yields nil (propagates "no tracing").
+func (s *ActiveSpan) Context() *Context {
+	if s == nil {
+		return nil
+	}
+	return &Context{TraceID: s.span.TraceID, SpanID: s.span.SpanID}
+}
+
+// SetAttr attaches a key/value attribute. Safe on nil and ended spans.
+func (s *ActiveSpan) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.span.Attrs == nil {
+		s.span.Attrs = make(map[string]string, 4)
+	}
+	s.span.Attrs[k] = v
+}
+
+// EndStatus finishes the span with an explicit status ("" = ok) and records
+// it in the collector. Only the first End wins; nil is a no-op.
+func (s *ActiveSpan) EndStatus(status string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.span.EndTime = time.Now()
+	s.span.Status = status
+	snap := s.span
+	if len(snap.Attrs) > 0 {
+		attrs := make(map[string]string, len(snap.Attrs))
+		for k, v := range snap.Attrs {
+			attrs[k] = v
+		}
+		snap.Attrs = attrs
+	}
+	t := s.tracer
+	s.mu.Unlock()
+	if t != nil && t.collector != nil {
+		t.collector.Add(snap)
+	}
+}
+
+// End finishes the span successfully.
+func (s *ActiveSpan) End() { s.EndStatus("") }
+
+// Tracer creates spans for one component (process). The zero of *Tracer
+// (nil) is a valid no-op tracer.
+type Tracer struct {
+	process   string
+	collector *Collector
+}
+
+// NewTracer builds a tracer that records ended spans into c under the given
+// process name (e.g. "webservice", "broker", "endpoint", "engine", "sdk").
+func NewTracer(process string, c *Collector) *Tracer {
+	return &Tracer{process: process, collector: c}
+}
+
+// Collector returns the tracer's span sink (nil for a nil tracer).
+func (t *Tracer) Collector() *Collector {
+	if t == nil {
+		return nil
+	}
+	return t.collector
+}
+
+// StartSpan begins a span now. A nil or invalid parent starts a new trace
+// (the span becomes a root); otherwise the span joins the parent's trace
+// with a parent link. Nil tracer returns nil.
+func (t *Tracer) StartSpan(parent *Context, name string) *ActiveSpan {
+	return t.StartSpanAt(parent, name, time.Now())
+}
+
+// StartSpanAt is StartSpan with an explicit start time, for stages whose
+// beginning predates the instrumentation point (e.g. service time measured
+// from request arrival).
+func (t *Tracer) StartSpanAt(parent *Context, name string, start time.Time) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	s := &ActiveSpan{tracer: t}
+	s.span = Span{
+		Name:    name,
+		Process: t.process,
+		Start:   start,
+		SpanID:  NewSpanID(),
+	}
+	if parent.Valid() {
+		s.span.TraceID = parent.TraceID
+		s.span.Parent = parent.SpanID
+	} else {
+		s.span.TraceID = NewTraceID()
+	}
+	return s
+}
+
+// Record registers an already-completed stage (start..end) and returns its
+// context, for components that learn about a stage after the fact (e.g. the
+// interchange recording a remote worker's execution from the result's
+// timestamps). Trailing arguments are attribute key/value pairs. Nil tracer
+// returns the parent unchanged.
+func (t *Tracer) Record(parent *Context, name string, start, end time.Time, attrs ...string) *Context {
+	if t == nil || t.collector == nil {
+		return parent
+	}
+	s := Span{
+		Name:    name,
+		Process: t.process,
+		Start:   start,
+		EndTime: end,
+		SpanID:  NewSpanID(),
+	}
+	for i := 0; i+1 < len(attrs); i += 2 {
+		if s.Attrs == nil {
+			s.Attrs = make(map[string]string, len(attrs)/2)
+		}
+		s.Attrs[attrs[i]] = attrs[i+1]
+	}
+	if parent.Valid() {
+		s.TraceID = parent.TraceID
+		s.Parent = parent.SpanID
+	} else {
+		s.TraceID = NewTraceID()
+	}
+	t.collector.Add(s)
+	return &Context{TraceID: s.TraceID, SpanID: s.SpanID}
+}
+
+// ctxKey keys the span context inside a context.Context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the given trace context.
+func NewContext(ctx context.Context, tc *Context) context.Context {
+	if tc == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tc)
+}
+
+// FromContext extracts the trace context from ctx (nil if absent).
+func FromContext(ctx context.Context) *Context {
+	if ctx == nil {
+		return nil
+	}
+	tc, _ := ctx.Value(ctxKey{}).(*Context)
+	return tc
+}
+
+// Start begins a span as a child of the context carried in ctx (a new root
+// when ctx carries none) and returns a derived context carrying the new
+// span. This is the in-process idiom: trace.Start-style stage scoping.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	s := t.StartSpan(FromContext(ctx), name)
+	if s == nil {
+		return ctx, nil
+	}
+	return NewContext(ctx, s.Context()), s
+}

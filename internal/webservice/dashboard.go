@@ -54,6 +54,9 @@ th { background: #f2f2f2; }
   <td>{{.Action}}</td><td class="muted">{{.Resource}}</td><td>{{.Outcome}}</td>
 </tr>{{end}}
 </table>
+
+<p class="muted">observability: <a href="/debug/traces?token={{.Token}}">task traces</a> ·
+<a href="/metrics?token={{.Token}}">prometheus metrics</a></p>
 </body></html>`))
 
 type dashboardEndpoint struct {
@@ -68,6 +71,7 @@ type dashboardTaskState struct {
 
 type dashboardData struct {
 	Now        time.Time
+	Token      string
 	Endpoints  []dashboardEndpoint
 	TaskStates []dashboardTaskState
 	Audit      []AuditEvent
@@ -79,7 +83,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unauthorized: pass ?token=<bearer token>", http.StatusUnauthorized)
 		return
 	}
-	data := dashboardData{Now: time.Now()}
+	data := dashboardData{Now: time.Now(), Token: token}
 	for _, ep := range s.svc.cfg.Store.ListEndpoints(statestore.EndpointFilter{}) {
 		kind := "single-user"
 		if ep.MultiUser {

@@ -1,0 +1,129 @@
+package webservice
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"globuscompute/internal/trace"
+)
+
+// Observability endpoints: GET /debug/traces renders collected task
+// lifecycle traces (list, per-trace stage breakdown, or JSONL export) and
+// GET /metrics exposes the service and broker registries in the Prometheus
+// text format. Both use the dashboard's ?token= authentication since they
+// serve browsers and scrapers that cannot attach bearer headers.
+
+// TraceCollector returns the span collector behind the service's tracer
+// (nil when tracing is disabled).
+func (s *Service) TraceCollector() *trace.Collector {
+	return s.cfg.Tracer.Collector()
+}
+
+func (s *Server) debugAuth(w http.ResponseWriter, r *http.Request) bool {
+	token := r.URL.Query().Get("token")
+	if _, err := s.svc.cfg.Auth.Introspect(token); err != nil {
+		http.Error(w, "unauthorized: pass ?token=<bearer token>", http.StatusUnauthorized)
+		return false
+	}
+	return true
+}
+
+// handleDebugTraces serves the trace explorer:
+//
+//	/debug/traces            — recent traces, one line each
+//	/debug/traces?id=<tid>   — stage breakdown and critical path of one trace
+//	/debug/traces?format=jsonl — raw span export (all retained spans)
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	if !s.debugAuth(w, r) {
+		return
+	}
+	col := s.svc.TraceCollector()
+	if col == nil {
+		http.Error(w, "tracing disabled (no tracer configured)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+
+	if r.URL.Query().Get("format") == "jsonl" {
+		_ = col.WriteJSONL(w)
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		spans := col.Trace(trace.TraceID(id))
+		sum, err := trace.Analyze(spans)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		fmt.Fprint(w, sum.String())
+		return
+	}
+
+	ids := col.TraceIDs()
+	fmt.Fprintf(w, "%d traces retained (%d spans, %d total, %d dropped)\n\n",
+		len(ids), col.Len(), col.Total(), col.Dropped())
+	// Most recent first, capped for readability.
+	const maxList = 200
+	shown := 0
+	for i := len(ids) - 1; i >= 0 && shown < maxList; i-- {
+		spans := col.Trace(ids[i])
+		sum, err := trace.Analyze(spans)
+		if err != nil {
+			continue
+		}
+		names := make([]string, 0, len(spans))
+		for _, sp := range spans {
+			names = append(names, sp.Name)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "%s  %8s  %2d spans  [%s]\n",
+			sum.TraceID, sum.Duration.Round(1000), len(spans), joinMax(names, 8))
+		shown++
+	}
+	if shown == 0 {
+		fmt.Fprintln(w, "no complete traces yet")
+	}
+}
+
+func joinMax(names []string, max int) string {
+	if len(names) > max {
+		names = append(names[:max:max], "...")
+	}
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += n
+	}
+	return out
+}
+
+// handleMetrics writes the service and broker registries in the Prometheus
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !s.debugAuth(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.svc.Metrics.WriteText(w, "gc_webservice"); err != nil {
+		return
+	}
+	if s.svc.cfg.Broker != nil {
+		_ = s.svc.cfg.Broker.Metrics.WriteText(w, "gc_broker")
+	}
+}
+
+var errTracingDisabled = errors.New("webservice: tracing disabled")
+
+// AnalyzeTrace is the programmatic counterpart of /debug/traces?id=: it
+// analyzes one retained trace by ID.
+func (s *Service) AnalyzeTrace(id trace.TraceID) (trace.Summary, error) {
+	col := s.TraceCollector()
+	if col == nil {
+		return trace.Summary{}, errTracingDisabled
+	}
+	return trace.Analyze(col.Trace(id))
+}

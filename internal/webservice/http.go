@@ -48,6 +48,8 @@ func ServeHTTP(svc *Service, addr, brokerAddr, objectsAddr string) (*Server, err
 	mux.HandleFunc("GET /v2/usage", s.auth(s.handleUsage))
 	mux.HandleFunc("GET /v2/audit", s.auth(s.handleAudit))
 	mux.HandleFunc("GET /dashboard", s.handleDashboard)
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})

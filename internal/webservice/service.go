@@ -26,6 +26,7 @@ import (
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/serialize"
 	"globuscompute/internal/statestore"
+	"globuscompute/internal/trace"
 )
 
 // Queue name builders shared with endpoint agents and the SDK.
@@ -63,6 +64,10 @@ type Config struct {
 	// PayloadLimit caps task/result payloads (default serialize.MaxPayload,
 	// the paper's 10 MB).
 	PayloadLimit int
+	// Tracer, when set, records submit and result-processing spans and
+	// propagates trace context onto published tasks and results. Nil
+	// disables tracing.
+	Tracer *trace.Tracer
 }
 
 // Service is the web service core, independent of its HTTP front end.
@@ -286,7 +291,7 @@ func (s *Service) startResultProcessor(id protocol.UUID) error {
 	go func() {
 		defer s.wg.Done()
 		for m := range c.Messages() {
-			if err := s.processResult(m.Body); err != nil {
+			if err := s.processResult(m.Body, m.Trace); err != nil {
 				log.Printf("webservice: result processing: %v", err)
 				// Malformed results are acked (dropped) rather than
 				// poison-pilled back onto the queue.
@@ -297,13 +302,22 @@ func (s *Service) startResultProcessor(id protocol.UUID) error {
 	return nil
 }
 
-// processResult records one result message.
-func (s *Service) processResult(body []byte) error {
+// processResult records one result message. tc is the trace context
+// delivered with the message (the broker transit span); the result body's
+// own context is the fallback for untraced transports.
+func (s *Service) processResult(body []byte, tc *trace.Context) error {
 	var res protocol.Result
 	if err := json.Unmarshal(body, &res); err != nil {
 		return fmt.Errorf("bad result message: %w", err)
 	}
+	if !tc.Valid() {
+		tc = res.Trace
+	}
+	sp := s.cfg.Tracer.StartSpan(tc, "result.process")
+	sp.SetAttr("task", string(res.TaskID))
+	defer sp.End()
 	if !res.State.Terminal() {
+		sp.SetAttr("error", "non-terminal state")
 		return fmt.Errorf("non-terminal result state %q for task %s", res.State, res.TaskID)
 	}
 	// Spill oversized outputs to the object store before recording.
@@ -324,8 +338,13 @@ func (s *Service) processResult(body []byte) error {
 	if err == nil && rec.Task.GroupID != "" {
 		q := GroupResultQueue(rec.Task.GroupID)
 		if err := s.cfg.Broker.Declare(q); err == nil {
+			// Re-point the result's context at the processing span so the
+			// SDK's resolution span chains off it.
+			if next := sp.Context(); next != nil {
+				res.Trace = next
+			}
 			if payload, err := json.Marshal(res); err == nil {
-				_ = s.cfg.Broker.Publish(q, payload)
+				_ = s.cfg.Broker.PublishTraced(q, payload, res.Trace)
 			}
 		}
 	}
@@ -346,6 +365,10 @@ type SubmitRequest struct {
 	// web service hashes it to locate or spawn the user endpoint.
 	UserEndpointConfig json.RawMessage `json:"user_endpoint_config,omitempty"`
 	GroupID            protocol.UUID   `json:"group_id,omitempty"`
+	// Trace joins the submission to a trace begun by the client (the SDK's
+	// per-task root span). Absent means the service starts a new trace if
+	// tracing is enabled.
+	Trace *trace.Context `json:"trace,omitempty"`
 }
 
 // Submit validates and enqueues a batch of tasks under one authenticated
@@ -355,9 +378,11 @@ func (s *Service) Submit(tok auth.Token, reqs []SubmitRequest) ([]protocol.UUID,
 	if len(reqs) == 0 {
 		return nil, errors.New("webservice: empty batch")
 	}
+	arrived := time.Now()
 	type prepared struct {
 		task   protocol.Task
 		target protocol.UUID
+		tc     *trace.Context
 	}
 	batch := make([]prepared, 0, len(reqs))
 	for i, req := range reqs {
@@ -409,27 +434,42 @@ func (s *Service) Submit(tok auth.Token, reqs []SubmitRequest) ([]protocol.UUID,
 			task.PayloadRef = key
 			task.Payload = nil
 		}
-		batch = append(batch, prepared{task: task, target: target})
+		batch = append(batch, prepared{task: task, target: target, tc: req.Trace})
 	}
 
 	ids := make([]protocol.UUID, 0, len(batch))
-	for _, p := range batch {
+	for i := range batch {
+		p := &batch[i]
+		// The submit span covers validation through enqueue; with a batch,
+		// each task's span shares the batch arrival time.
+		sp := s.cfg.Tracer.StartSpanAt(p.tc, "submit", arrived)
+		sp.SetAttr("endpoint", string(p.target))
+		p.task.Trace = sp.Context()
+		if p.task.Trace == nil {
+			p.task.Trace = p.tc // propagate the client's context even untraced
+		}
 		if err := s.cfg.Store.CreateTask(p.task); err != nil {
+			sp.EndStatus("error")
 			return nil, err
 		}
 		if err := s.cfg.Store.TransitionTask(p.task.ID, protocol.StateWaiting); err != nil {
+			sp.EndStatus("error")
 			return nil, err
 		}
 		body, err := json.Marshal(p.task)
 		if err != nil {
+			sp.EndStatus("error")
 			return nil, err
 		}
-		if err := s.cfg.Broker.Publish(TaskQueue(p.target), body); err != nil {
+		if err := s.cfg.Broker.PublishTraced(TaskQueue(p.target), body, p.task.Trace); err != nil {
+			sp.EndStatus("error")
 			return nil, err
 		}
 		if err := s.cfg.Store.TransitionTask(p.task.ID, protocol.StateDelivered); err != nil {
+			sp.EndStatus("error")
 			return nil, err
 		}
+		sp.End()
 		ids = append(ids, p.task.ID)
 		s.Metrics.Counter("tasks_submitted").Inc()
 	}
@@ -514,7 +554,7 @@ func (s *Service) startResultProcessorLocked(id protocol.UUID) error {
 	go func() {
 		defer s.wg.Done()
 		for m := range c.Messages() {
-			if err := s.processResult(m.Body); err != nil {
+			if err := s.processResult(m.Body, m.Trace); err != nil {
 				log.Printf("webservice: result processing: %v", err)
 			}
 			_ = c.Ack(m.Tag)
