@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race trace-race trace-bench bench examples experiments fuzz clean
+.PHONY: all build vet test race trace-race trace-bench bench chaos examples experiments fuzz clean
 
-all: build vet test trace-race
+all: build vet test trace-race chaos
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,16 @@ race:
 trace-race:
 	$(GO) test -race ./internal/trace/ ./internal/broker/ ./internal/webservice/ \
 		./internal/endpoint/ ./internal/engine/ ./internal/sdk/
+
+# Fault-injection suite under the race detector: seeded chaos (connection
+# drops, worker kills, publish failures) against the full stack, plus the
+# chaos/reconnect/lease/retry unit tests. Fixed seeds make failures
+# reproducible (see docs/ROBUSTNESS.md).
+chaos:
+	$(GO) test -race ./internal/chaos/
+	$(GO) test -race -run 'TestChaos|TestReconnecting|TestWatchdog|TestHeartbeats|TestLease|TestPoison|TestWorkerCrash|TestDo' \
+		./internal/core/ ./internal/broker/ \
+		./internal/webservice/ ./internal/engine/ ./internal/sdk/
 
 # Span creation/collection overhead (the per-task cost of tracing).
 trace-bench:

@@ -53,11 +53,22 @@ func main() {
 	fmt.Printf("  task queue:   %s\n", reg.TaskQueue)
 	fmt.Printf("  result queue: %s\n", reg.ResultQueue)
 
-	bc, err := dialBroker(reg.BrokerAddr, *brokerCA)
+	// The broker connection auto-reconnects with backoff so a webservice
+	// restart or network blip does not take the endpoint down; consumers
+	// resubscribe and unacked deliveries are redelivered (at-least-once).
+	conn, err := broker.NewReconnecting(broker.ReconnectConfig{
+		Dial: func() (broker.Conn, error) {
+			bc, err := dialBroker(reg.BrokerAddr, *brokerCA)
+			if err != nil {
+				return nil, err
+			}
+			return bc.AsConn(), nil
+		},
+	})
 	if err != nil {
 		log.Fatalf("gc-endpoint: broker: %v", err)
 	}
-	defer bc.Close()
+	defer conn.Close()
 	objects := objectstore.NewClient(reg.ObjectsAddr)
 
 	runner := endpoint.NewRunner(registry.Builtins(), shellfn.Options{SandboxRoot: *sandbox}, objects)
@@ -72,7 +83,7 @@ func main() {
 	var agentRef *endpoint.Agent
 	cfg := endpoint.Config{
 		EndpointID: reg.EndpointID,
-		Conn:       bc.AsConn(),
+		Conn:       conn,
 		Engine:     eng,
 		Objects:    objects,
 		Heartbeat: func(online bool) {

@@ -31,6 +31,7 @@ func main() {
 		tokenTTL    = flag.Duration("token-ttl", 24*time.Hour, "bootstrap token lifetime")
 		brokerTLS   = flag.Bool("broker-tls", false, "serve the broker over TLS (AMQPS equivalent)")
 		caOut       = flag.String("broker-ca-out", "broker-ca.pem", "where to write the broker CA certificate with -broker-tls")
+		taskLease   = flag.Duration("task-lease", 0, "fail non-terminal tasks stuck this long on offline endpoints (0 = buffer forever)")
 	)
 	flag.Parse()
 
@@ -85,11 +86,16 @@ func main() {
 	if err != nil {
 		log.Fatalf("gc-webservice: http: %v", err)
 	}
-	// Production housekeeping: two-week result retention and offline
-	// detection for silent endpoints.
+	// Production housekeeping: two-week result retention, offline detection
+	// for silent endpoints, and (when -task-lease is set) bounded in-flight
+	// leases so tasks on dead endpoints fail instead of pending forever.
 	stopSweeper := svc.StartRetentionSweeper(webservice.ResultRetention, time.Hour)
 	defer stopSweeper()
-	stopWatchdog := svc.MonitorHeartbeats(30*time.Second, 10*time.Second)
+	stopWatchdog := svc.StartWatchdog(webservice.WatchdogConfig{
+		HeartbeatTimeout: 30 * time.Second,
+		Interval:         10 * time.Second,
+		TaskLease:        *taskLease,
+	})
 	defer stopWatchdog()
 
 	tok, err := authSvc.Issue(

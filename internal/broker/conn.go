@@ -82,6 +82,10 @@ func (cc clientConn) Declare(queue string) error              { return cc.c.Decl
 func (cc clientConn) Publish(queue string, body []byte) error { return cc.c.Publish(queue, body) }
 func (cc clientConn) Delete(queue string) error               { return cc.c.DeleteQueue(queue) }
 
+// Close tears down the underlying TCP client (ReconnectingConn discards
+// stale connections through this).
+func (cc clientConn) Close() error { return cc.c.Close() }
+
 func (cc clientConn) PublishTraced(queue string, body []byte, tc *trace.Context) error {
 	return cc.c.PublishTraced(queue, body, tc)
 }

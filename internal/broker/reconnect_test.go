@@ -1,0 +1,192 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// dialConn adapts Dial to a ReconnectConfig.Dial function.
+func dialConn(addr string) func() (Conn, error) {
+	return func() (Conn, error) {
+		c, err := Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		return c.AsConn(), nil
+	}
+}
+
+func TestReconnectingConnSurvivesServerRestart(t *testing.T) {
+	b := New()
+	defer b.Close()
+	s, err := Serve(b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := s.Addr()
+
+	rc, err := NewReconnecting(ReconnectConfig{Dial: dialConn(addr)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if err := rc.Declare("q"); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := rc.Subscribe("q", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Normal delivery before the fault.
+	if err := rc.Publish("q", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-sub.Messages():
+		if string(m.Body) != "before" {
+			t.Fatalf("message = %q", m.Body)
+		}
+		_ = sub.Ack(m.Tag)
+	case <-time.After(2 * time.Second):
+		t.Fatal("no delivery before restart")
+	}
+
+	// Kill the TCP front end and bring it back on the same address. The
+	// in-process broker (and its queues) survives; only connections die.
+	s.Close()
+	var s2 *Server
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s2, err = Serve(b, addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restart listener: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer s2.Close()
+
+	// Publishing retries through the redial; the consumer resubscribes and
+	// delivery continues on the same Messages channel.
+	if err := rc.Publish("q", []byte("after")); err != nil {
+		t.Fatalf("publish after restart: %v", err)
+	}
+	select {
+	case m, ok := <-sub.Messages():
+		if !ok {
+			t.Fatal("subscription channel closed across restart")
+		}
+		if string(m.Body) != "after" {
+			t.Fatalf("message = %q", m.Body)
+		}
+		_ = sub.Ack(m.Tag)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery after restart")
+	}
+
+	if v := rc.Metrics.Counter("reconnects").Value(); v < 1 {
+		t.Errorf("reconnects = %d, want >= 1", v)
+	}
+	if v := rc.Metrics.Counter("resubscribes").Value(); v < 1 {
+		t.Errorf("resubscribes = %d, want >= 1", v)
+	}
+}
+
+func TestReconnectingConnPublishGivesUp(t *testing.T) {
+	// Dead dial target: bounded publish attempts must fail, not hang.
+	rc, err := NewReconnecting(ReconnectConfig{
+		Dial:            func() (Conn, error) { return nil, errors.New("connection refused") },
+		BaseDelay:       time.Millisecond,
+		MaxDelay:        2 * time.Millisecond,
+		PublishAttempts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	done := make(chan error, 1)
+	go func() { done <- rc.Publish("q", []byte("x")) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("publish succeeded with no reachable broker")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish never returned")
+	}
+	if v := rc.Metrics.Counter("publish_retries").Value(); v != 2 {
+		t.Errorf("publish_retries = %d, want 2", v)
+	}
+}
+
+func TestReconnectingConnNonTransientErrorNotRetried(t *testing.T) {
+	b := New()
+	defer b.Close()
+	rc, err := NewReconnecting(ReconnectConfig{
+		Dial: func() (Conn, error) { return LocalConn(b), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	// Publishing to an undeclared queue is a broker-level rejection, not a
+	// connection fault: it must fail immediately without burning retries.
+	if err := rc.Publish("no-such-queue", []byte("x")); err == nil {
+		t.Fatal("publish to missing queue succeeded")
+	}
+	if v := rc.Metrics.Counter("publish_retries").Value(); v != 0 {
+		t.Errorf("publish_retries = %d, want 0 for non-transient error", v)
+	}
+}
+
+func TestReconnectingConnCloseUnblocks(t *testing.T) {
+	rc, err := NewReconnecting(ReconnectConfig{
+		Dial:      func() (Conn, error) { return nil, fmt.Errorf("connection refused") },
+		BaseDelay: 50 * time.Millisecond,
+		MaxDelay:  time.Second,
+		// High attempt count: without Close the publish would spin for a
+		// long while.
+		PublishAttempts: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- rc.Publish("q", []byte("x")) }()
+	time.Sleep(20 * time.Millisecond)
+	rc.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("publish not unblocked by Close")
+	}
+}
+
+func TestTransientBrokerErrClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrClosed, true},
+		{ErrConsumerClosed, true},
+		{errors.New("broker: connection lost"), true},
+		{errors.New("dial tcp: connection refused"), true},
+		{errors.New("read: connection reset by peer"), true},
+		{errors.New("broker: unknown queue \"q\""), false},
+		{errors.New("broker: queue exists"), false},
+	}
+	for _, c := range cases {
+		if got := transientBrokerErr(c.err); got != c.want {
+			t.Errorf("transientBrokerErr(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

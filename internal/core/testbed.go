@@ -156,6 +156,18 @@ type EndpointOptions struct {
 	AllowedFunctions []protocol.UUID
 	// AuthPolicy names an auth policy enforced at submit.
 	AuthPolicy string
+	// WrapRunner, when set, wraps the engine's task runner (fault injection:
+	// worker kills, execution delays).
+	WrapRunner func(engine.TaskRunner) engine.TaskRunner
+	// WrapConn, when set, wraps the agent's broker connection (fault
+	// injection: publish failures, connection drops; or a reconnecting
+	// wrapper).
+	WrapConn func(broker.Conn) broker.Conn
+	// MaxAttempts overrides the engine's per-task attempt budget
+	// (default: engine's own default).
+	MaxAttempts int
+	// HeartbeatInterval overrides the agent heartbeat period (default 1s).
+	HeartbeatInterval time.Duration
 }
 
 // StartEndpoint registers and starts a single-user endpoint agent wired to
@@ -250,11 +262,15 @@ func (tb *Testbed) buildAgent(epID protocol.UUID, opts EndpointOptions) (*endpoi
 		rc.ProxyStore = opts.ProxyStore
 		rc.ProxyPolicy = opts.ProxyPolicy
 	}
-	runner := endpoint.NewRunnerFrom(rc)
+	var runner engine.TaskRunner = endpoint.NewRunnerFrom(rc)
+	if opts.WrapRunner != nil {
+		runner = opts.WrapRunner(runner)
+	}
 	eng, err := engine.New(engine.Config{
 		Provider: prov, Run: runner,
 		WorkersPerNode: workersPerNode(opts),
 		InitBlocks:     1, MinBlocks: 1, MaxBlocks: maxBlocks,
+		MaxAttempts:     opts.MaxAttempts,
 		ScalingInterval: 20 * time.Millisecond,
 		Transport:       opts.Transport,
 		Tracer:          trace.NewTracer("engine", tb.Traces),
@@ -265,9 +281,17 @@ func (tb *Testbed) buildAgent(epID protocol.UUID, opts EndpointOptions) (*endpoi
 	// The heartbeat closure reports status plus the agent's utilization;
 	// agentRef is assigned before Start launches the heartbeat loop.
 	var agentRef *endpoint.Agent
+	conn := broker.Conn(broker.LocalConn(tb.Broker))
+	if opts.WrapConn != nil {
+		conn = opts.WrapConn(conn)
+	}
+	hbInterval := opts.HeartbeatInterval
+	if hbInterval <= 0 {
+		hbInterval = time.Second
+	}
 	cfg := endpoint.Config{
 		EndpointID: epID,
-		Conn:       broker.LocalConn(tb.Broker),
+		Conn:       conn,
 		Engine:     eng,
 		Objects:    tb.Objects,
 		Heartbeat: func(online bool) {
@@ -281,7 +305,7 @@ func (tb *Testbed) buildAgent(epID protocol.UUID, opts EndpointOptions) (*endpoi
 				})
 			}
 		},
-		HeartbeatInterval: time.Second,
+		HeartbeatInterval: hbInterval,
 		Tracer:            trace.NewTracer("endpoint", tb.Traces),
 	}
 	if opts.WithMPI {

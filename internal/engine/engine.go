@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"sync"
 	"time"
 
@@ -37,6 +38,10 @@ type WorkerInfo struct {
 // TaskRunner executes one task on a worker and produces its result. The
 // context is cancelled when the hosting block is released (walltime or
 // scale-in); runners should produce a result promptly in that case.
+// Returning a zero Result (empty State) signals that the worker died
+// mid-task without producing an outcome: the engine retries the task under
+// its attempt budget (see Config.MaxAttempts) — the seam fault-injection
+// harnesses use to simulate worker kills.
 type TaskRunner func(ctx context.Context, task protocol.Task, w WorkerInfo) protocol.Result
 
 // Config configures an engine.
@@ -58,6 +63,12 @@ type Config struct {
 	IdleTimeout time.Duration
 	// QueueCapacity bounds the interchange backlog (default 65536).
 	QueueCapacity int
+	// MaxAttempts bounds how many times one task may be (re)delivered to a
+	// worker before the engine gives up and emits a dead-lettered failed
+	// result (default 5; the poison-task escape hatch). Requeues caused by
+	// worker crashes, dying managers, and dropped interchange connections
+	// all consume attempts.
+	MaxAttempts int
 	// Transport selects how managers attach to the interchange:
 	// "channel" (default, in-process) or "tcp" (framed TCP, the real
 	// engine's multiplexed-connection topology).
@@ -97,6 +108,9 @@ func (c *Config) fill() error {
 	}
 	if c.QueueCapacity <= 0 {
 		c.QueueCapacity = 65536
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
 	}
 	switch c.Transport {
 	case "", "channel":
@@ -411,8 +425,11 @@ func (e *Engine) runManager(ctx context.Context, blk provider.BlockInfo) error {
 	return nil
 }
 
-// requeue returns an undispatched task to the interchange (or fails it when
-// the engine is stopping).
+// requeue returns an undispatched or crashed task to the interchange,
+// consuming one delivery attempt. A task that exhausts cfg.MaxAttempts is
+// dead-lettered — a failed Result marked DeadLettered is emitted instead of
+// requeueing — so a poison task cannot cycle forever. When the engine is
+// stopping the task fails immediately.
 func (e *Engine) requeue(t protocol.Task) {
 	e.mu.Lock()
 	if e.stopped {
@@ -423,11 +440,33 @@ func (e *Engine) requeue(t protocol.Task) {
 		}
 		return
 	}
+	t.Attempts++
+	if t.Attempts >= e.cfg.MaxAttempts {
+		e.mu.Unlock()
+		e.deadLetter(t)
+		return
+	}
+	now := time.Now()
+	e.cfg.Tracer.Record(t.Trace, "engine.requeue", now, now, "attempt", strconv.Itoa(t.Attempts))
 	e.startQueueSpanLocked(&t)
 	e.pending = append([]protocol.Task{t}, e.pending...)
 	e.mu.Unlock()
 	e.Metrics.Counter("requeued").Inc()
 	e.wakeUp()
+}
+
+// deadLetter emits the terminal failure for a task that exceeded its
+// delivery-attempt budget.
+func (e *Engine) deadLetter(t protocol.Task) {
+	now := time.Now()
+	e.cfg.Tracer.Record(t.Trace, "engine.deadletter", now, now, "attempts", strconv.Itoa(t.Attempts))
+	e.results <- protocol.Result{
+		TaskID: t.ID, State: protocol.StateFailed, DeadLettered: true,
+		Error: fmt.Sprintf("engine: task exceeded %d delivery attempts", e.cfg.MaxAttempts),
+		Trace: t.Trace,
+	}
+	e.Metrics.Counter("deadlettered_tasks").Inc()
+	e.Metrics.Counter("completed").Inc()
 }
 
 // workerLoop is one worker: take a task, run it, report the result.
@@ -439,6 +478,20 @@ func (e *Engine) workerLoop(ctx context.Context, m *manager, w WorkerInfo) {
 		sp.SetAttr("worker", w.ID)
 		sp.SetAttr("block", w.BlockID)
 		res := e.cfg.Run(ctx, t, w)
+		if res.State == "" {
+			// No result produced: the worker died mid-task (a chaos kill or
+			// a crashed runner). Free the slot and retry the task under its
+			// attempt budget rather than losing it.
+			sp.EndStatus("killed")
+			e.Metrics.Counter("worker_crashes").Inc()
+			e.mu.Lock()
+			m.freeSlots++
+			m.lastActive = time.Now()
+			e.mu.Unlock()
+			e.requeue(t)
+			e.wakeUp()
+			continue
+		}
 		res.TaskID = t.ID
 		res.WorkerID = w.ID
 		if !t.Submitted.IsZero() {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -379,5 +380,90 @@ func TestConcurrentSubmitters(t *testing.T) {
 		case <-timeout:
 			t.Fatalf("results = %d of %d", got, total)
 		}
+	}
+}
+
+func TestPoisonTaskDeadLetters(t *testing.T) {
+	// A task that crashes its worker on every attempt must consume exactly
+	// MaxAttempts tries and then surface as a dead-lettered failure.
+	var invocations atomic.Int64
+	crashRunner := func(ctx context.Context, task protocol.Task, w WorkerInfo) protocol.Result {
+		invocations.Add(1)
+		return protocol.Result{} // zero Result = worker died mid-task
+	}
+	eng, _ := New(Config{
+		Provider:   provider.NewLocal(1),
+		Run:        crashRunner,
+		InitBlocks: 1, MinBlocks: 1, MaxBlocks: 1,
+		MaxAttempts: 3,
+	})
+	eng.Start()
+	defer eng.Stop()
+	task := newTask("poison")
+	if err := eng.Submit(task); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-eng.Results():
+		if r.State != protocol.StateFailed {
+			t.Errorf("state = %s, want failed", r.State)
+		}
+		if !r.DeadLettered {
+			t.Errorf("result not marked dead-lettered: %+v", r)
+		}
+		if r.TaskID != task.ID {
+			t.Errorf("task ID = %s", r.TaskID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result for poison task")
+	}
+	if n := invocations.Load(); n != 3 {
+		t.Errorf("runner invoked %d times, want exactly MaxAttempts=3", n)
+	}
+	if v := eng.Metrics.Counter("deadlettered_tasks").Value(); v != 1 {
+		t.Errorf("deadlettered_tasks = %d, want 1", v)
+	}
+	if v := eng.Metrics.Counter("worker_crashes").Value(); v != 3 {
+		t.Errorf("worker_crashes = %d, want 3", v)
+	}
+}
+
+func TestWorkerCrashRetriesThenSucceeds(t *testing.T) {
+	// Crash the worker on the first two attempts; the third succeeds inside
+	// the default attempt budget.
+	var invocations atomic.Int64
+	flaky := func(ctx context.Context, task protocol.Task, w WorkerInfo) protocol.Result {
+		if invocations.Add(1) <= 2 {
+			return protocol.Result{}
+		}
+		return protocol.Result{State: protocol.StateSuccess, Output: task.Payload}
+	}
+	eng, _ := New(Config{
+		Provider:   provider.NewLocal(2),
+		Run:        flaky,
+		InitBlocks: 1, MinBlocks: 1, MaxBlocks: 1,
+		WorkersPerNode: 2,
+	})
+	eng.Start()
+	defer eng.Stop()
+	if err := eng.Submit(newTask("flaky")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-eng.Results():
+		if r.State != protocol.StateSuccess {
+			t.Errorf("result %+v, want success after retries", r)
+		}
+		if r.DeadLettered {
+			t.Error("successful retry marked dead-lettered")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result for flaky task")
+	}
+	if n := invocations.Load(); n != 3 {
+		t.Errorf("runner invoked %d times, want 3", n)
+	}
+	if v := eng.Metrics.Counter("requeued").Value(); v != 2 {
+		t.Errorf("requeued = %d, want 2", v)
 	}
 }

@@ -158,6 +158,11 @@ type Task struct {
 	// results can be streamed back over the group result queue.
 	GroupID   UUID      `json:"group_id,omitempty"`
 	Submitted time.Time `json:"submitted"`
+	// Attempts counts delivery/execution attempts consumed so far. It rides
+	// on the task across requeues (engine interchange, broker redelivery of
+	// the engine's making) so a poison task can be dead-lettered after a
+	// bounded number of tries instead of cycling forever.
+	Attempts int `json:"attempts,omitempty"`
 	// Trace carries the task's distributed-trace context across process
 	// boundaries; each component continues the trace by starting child
 	// spans off it. Omitted when tracing is disabled.
@@ -181,6 +186,10 @@ type Result struct {
 	Completed   time.Time     `json:"completed"`
 	ExecutionMS float64       `json:"execution_ms"`
 	QueueDelay  time.Duration `json:"queue_delay,omitempty"`
+	// DeadLettered marks a synthetic failure emitted after the task
+	// exhausted its attempt budget (the poison-task escape hatch); the web
+	// service counts these separately from ordinary execution failures.
+	DeadLettered bool `json:"dead_lettered,omitempty"`
 	// Trace continues the submitting task's trace through the result path
 	// (worker -> broker -> result processor -> client future).
 	Trace *trace.Context `json:"trace,omitempty"`

@@ -11,8 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -30,11 +33,28 @@ type Client struct {
 	// HTTP is the underlying client (default: 30s timeout).
 	HTTP *http.Client
 
+	// MaxRetries bounds extra attempts after the first for transient
+	// failures — transport errors, 429, and 5xx responses (default 4;
+	// negative disables retries). Each retry waits a jittered exponential
+	// backoff starting at RetryBaseDelay (default 50ms) capped at
+	// RetryMaxDelay (default 2s), or the server's Retry-After when given.
+	MaxRetries     int
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+
 	// Wire accounting, used by the streaming-vs-polling and batching
 	// experiments to compare REST traffic.
 	Requests      atomic.Int64
 	BytesSent     atomic.Int64
 	BytesReceived atomic.Int64
+	// Retries counts retried attempts (the robustness dashboards read it).
+	Retries atomic.Int64
+
+	// sleep and jitter are test seams (nil selects time.Sleep and a
+	// seeded source).
+	sleep  func(time.Duration)
+	jitter *rand.Rand
+	mu     sync.Mutex // guards jitter
 }
 
 // NewClient builds a client for the service at addr (host:port) using the
@@ -57,8 +77,13 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("sdk: api error %d: %s", e.Status, e.Message)
 }
 
-// do performs a JSON request/response round trip. Idempotent GETs retry
-// transient transport failures with a short backoff.
+// do performs a JSON request/response round trip. Transient failures —
+// transport errors, 429, and 5xx — retry with jittered exponential backoff
+// under the client's retry budget, honoring Retry-After when the server
+// sends one. Note the at-least-once caveat: a retried submit whose first
+// attempt was processed but whose response was lost enqueues fresh task IDs
+// the client never learns; the service's task state machine still guarantees
+// exactly one terminal state per known task.
 func (c *Client) do(method, path string, body, out any) error {
 	var encoded []byte
 	if body != nil {
@@ -72,15 +97,11 @@ func (c *Client) do(method, path string, body, out any) error {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	attempts := 1
-	if method == http.MethodGet {
-		attempts = 3
-	}
-	var resp *http.Response
+	attempts := 1 + c.retryBudget()
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(time.Duration(attempt) * 50 * time.Millisecond)
+			c.Retries.Add(1)
 		}
 		buf := bytes.NewReader(encoded)
 		req, err := http.NewRequest(method, c.BaseURL+path, buf)
@@ -91,36 +112,110 @@ func (c *Client) do(method, path string, body, out any) error {
 		req.Header.Set("Content-Type", "application/json")
 		c.Requests.Add(1)
 		c.BytesSent.Add(int64(len(encoded)))
-		resp, lastErr = hc.Do(req)
-		if lastErr == nil {
-			break
+		resp, err := hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("sdk: %s %s: %w", method, path, err)
+			if attempt+1 < attempts {
+				c.backoff(attempt, 0)
+			}
+			continue
 		}
-	}
-	if lastErr != nil {
-		return fmt.Errorf("sdk: %s %s: %w", method, path, lastErr)
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		return err
-	}
-	c.BytesReceived.Add(int64(len(data)))
-	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		var apiErr struct {
-			Error string `json:"error"`
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			if attempt+1 < attempts {
+				c.backoff(attempt, 0)
+			}
+			continue
 		}
-		msg := string(data)
-		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			msg = apiErr.Error
+		c.BytesReceived.Add(int64(len(data)))
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+			var apiErr struct {
+				Error string `json:"error"`
+			}
+			msg := string(data)
+			if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+				msg = apiErr.Error
+			}
+			lastErr = &APIError{Status: resp.StatusCode, Message: msg}
+			if retryableStatus(resp.StatusCode) && attempt+1 < attempts {
+				c.backoff(attempt, retryAfter(resp))
+				continue
+			}
+			return lastErr
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
-	}
-	if out != nil {
-		if err := json.Unmarshal(data, out); err != nil {
-			return fmt.Errorf("sdk: decode response: %w", err)
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("sdk: decode response: %w", err)
+			}
 		}
+		return nil
 	}
-	return nil
+	return lastErr
+}
+
+// retryBudget returns the number of extra attempts allowed.
+func (c *Client) retryBudget() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 4
+	}
+	return c.MaxRetries
+}
+
+// retryableStatus reports whether a response status merits a retry: rate
+// limiting and server-side failures, never other client errors.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// retryAfter parses a Retry-After header in whole seconds (0 when absent or
+// malformed; the HTTP-date form is not used by this service).
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// backoff sleeps a jittered exponential delay before retry attempt+1. A
+// server-provided Retry-After overrides the computed delay.
+func (c *Client) backoff(attempt int, after time.Duration) {
+	base := c.RetryBaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := c.RetryMaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	// Full jitter in [d/2, d] so synchronized clients spread out.
+	c.mu.Lock()
+	if c.jitter == nil {
+		c.jitter = rand.New(rand.NewSource(1))
+	}
+	d = d/2 + time.Duration(c.jitter.Int63n(int64(d)/2+1))
+	c.mu.Unlock()
+	if after > 0 {
+		d = after
+	}
+	sleep := c.sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	sleep(d)
 }
 
 // RegisterFunction registers an immutable function definition and returns

@@ -1,0 +1,163 @@
+package sdk
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newRetryClient points a client at srv with instant (recorded) sleeps.
+func newRetryClient(srv *httptest.Server, sleeps *[]time.Duration) *Client {
+	c := NewClient(srv.Listener.Addr().String(), "tok")
+	c.HTTP = srv.Client()
+	c.sleep = func(d time.Duration) { *sleeps = append(*sleeps, d) }
+	return c
+}
+
+func TestDoRetriesServerErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"flaky"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer srv.Close()
+	var sleeps []time.Duration
+	c := newRetryClient(srv, &sleeps)
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.do("GET", "/", nil, &out); err != nil {
+		t.Fatalf("do = %v, want success after retries", err)
+	}
+	if !out.OK {
+		t.Error("response not decoded")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	if got := c.Retries.Load(); got != 2 {
+		t.Errorf("Retries = %d, want 2", got)
+	}
+	if len(sleeps) != 2 {
+		t.Fatalf("slept %d times, want 2", len(sleeps))
+	}
+	// Jittered exponential: each delay in [base/2, cap], second >= first/2
+	// by construction of the doubling base.
+	for i, d := range sleeps {
+		if d < 25*time.Millisecond || d > 2*time.Second {
+			t.Errorf("sleep %d = %v outside [base/2, max]", i, d)
+		}
+	}
+}
+
+func TestDoHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, `{"error":"slow down"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	var sleeps []time.Duration
+	c := newRetryClient(srv, &sleeps)
+	if err := c.do("POST", "/", map[string]int{"x": 1}, nil); err != nil {
+		t.Fatalf("do = %v", err)
+	}
+	if len(sleeps) != 1 || sleeps[0] != 2*time.Second {
+		t.Errorf("sleeps = %v, want exactly [2s] from Retry-After", sleeps)
+	}
+}
+
+func TestDoDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	var sleeps []time.Duration
+	c := newRetryClient(srv, &sleeps)
+	err := c.do("POST", "/", nil, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("400 retried: %d calls", calls.Load())
+	}
+	if len(sleeps) != 0 {
+		t.Errorf("slept %v on non-retryable error", sleeps)
+	}
+}
+
+func TestDoRetriesTransportErrors(t *testing.T) {
+	// A server that is immediately closed: every attempt fails at the
+	// transport layer, exhausting the budget.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	addr := srv.Listener.Addr().String()
+	srv.Close()
+	var sleeps []time.Duration
+	c := NewClient(addr, "tok")
+	c.MaxRetries = 2
+	c.sleep = func(d time.Duration) { sleeps = append(sleeps, d) }
+	if err := c.do("GET", "/", nil, nil); err == nil {
+		t.Fatal("do succeeded against closed server")
+	}
+	if got := c.Retries.Load(); got != 2 {
+		t.Errorf("Retries = %d, want 2", got)
+	}
+	if len(sleeps) != 2 {
+		t.Errorf("slept %d times, want 2", len(sleeps))
+	}
+}
+
+func TestDoNegativeMaxRetriesDisables(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	var sleeps []time.Duration
+	c := newRetryClient(srv, &sleeps)
+	c.MaxRetries = -1
+	if err := c.do("GET", "/", nil, nil); err == nil {
+		t.Fatal("do succeeded")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want 1 with retries disabled", calls.Load())
+	}
+}
+
+func TestDoResendsBodyOnRetry(t *testing.T) {
+	var calls atomic.Int64
+	var bodies []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		buf := make([]byte, 1024)
+		n, _ := r.Body.Read(buf)
+		bodies = append(bodies, string(buf[:n]))
+		if calls.Add(1) == 1 {
+			http.Error(w, `{"error":"retry me"}`, http.StatusBadGateway)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	var sleeps []time.Duration
+	c := newRetryClient(srv, &sleeps)
+	if err := c.do("POST", "/", map[string]string{"k": "v"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(bodies) != 2 || bodies[0] != bodies[1] || bodies[0] == "" {
+		t.Errorf("bodies = %q, want identical non-empty payloads on both attempts", bodies)
+	}
+}

@@ -46,6 +46,12 @@ th { background: #f2f2f2; }
 <tr>{{range .TaskStates}}<td>{{.Count}}</td>{{end}}</tr>
 </table>
 
+<h2>Robustness</h2>
+<table>
+<tr><th>Results processed</th><th>Dead-lettered tasks</th><th>Expired leases</th><th>Endpoints marked offline</th></tr>
+<tr><td>{{.Robustness.ResultsProcessed}}</td><td>{{.Robustness.DeadLettered}}</td><td>{{.Robustness.LeaseExpired}}</td><td>{{.Robustness.MarkedOffline}}</td></tr>
+</table>
+
 <h2>Recent activity</h2>
 <table>
 <tr><th>Time</th><th>Actor</th><th>Action</th><th>Resource</th><th>Outcome</th></tr>
@@ -69,11 +75,19 @@ type dashboardTaskState struct {
 	Count int
 }
 
+type dashboardRobustness struct {
+	ResultsProcessed int64
+	DeadLettered     int64
+	LeaseExpired     int64
+	MarkedOffline    int64
+}
+
 type dashboardData struct {
 	Now        time.Time
 	Token      string
 	Endpoints  []dashboardEndpoint
 	TaskStates []dashboardTaskState
+	Robustness dashboardRobustness
 	Audit      []AuditEvent
 }
 
@@ -104,6 +118,12 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	counts := s.svc.cfg.Store.CountTasksByState()
 	for _, st := range []string{"received", "waiting", "delivered", "running", "success", "failed", "cancelled"} {
 		data.TaskStates = append(data.TaskStates, dashboardTaskState{State: st, Count: counts[protocol.TaskState(st)]})
+	}
+	data.Robustness = dashboardRobustness{
+		ResultsProcessed: s.svc.Metrics.Counter("results_processed").Value(),
+		DeadLettered:     s.svc.Metrics.Counter("deadlettered_tasks").Value(),
+		LeaseExpired:     s.svc.Metrics.Counter("lease_expired").Value(),
+		MarkedOffline:    s.svc.Metrics.Counter("endpoints_marked_offline").Value(),
 	}
 	data.Audit = s.svc.AuditTail(20)
 	// newest first for display

@@ -333,6 +333,11 @@ func (s *Service) processResult(body []byte, tc *trace.Context) error {
 		return err
 	}
 	s.Metrics.Counter("results_processed").Inc()
+	if res.DeadLettered {
+		// The engine gave up on this task after its attempt budget; surface
+		// the count so operators can spot poison tasks.
+		s.Metrics.Counter("deadlettered_tasks").Inc()
+	}
 	// Stream to the submitting executor's group queue, if any.
 	rec, err := s.cfg.Store.GetTask(res.TaskID)
 	if err == nil && rec.Task.GroupID != "" {
@@ -678,13 +683,37 @@ func (s *Service) CancelTask(tok auth.Token, id protocol.UUID) error {
 
 // MonitorHeartbeats starts a watchdog that marks endpoints offline when
 // their heartbeats stop arriving for more than timeout. It returns a stop
-// function.
+// function. Tasks on offline endpoints keep buffering indefinitely; use
+// StartWatchdog with a TaskLease to bound how long they may sit in flight.
 func (s *Service) MonitorHeartbeats(timeout, interval time.Duration) (stop func()) {
+	return s.StartWatchdog(WatchdogConfig{HeartbeatTimeout: timeout, Interval: interval})
+}
+
+// WatchdogConfig configures the combined heartbeat and task-lease watchdog.
+type WatchdogConfig struct {
+	// HeartbeatTimeout marks an endpoint offline when its heartbeats stop
+	// arriving for longer than this.
+	HeartbeatTimeout time.Duration
+	// Interval is the sweep period.
+	Interval time.Duration
+	// TaskLease, when > 0, bounds how long a non-terminal task may sit on an
+	// endpoint that has been marked offline: tasks whose last state change is
+	// older than the lease are failed so client futures resolve instead of
+	// waiting forever on a dead endpoint. Zero keeps the pre-lease behavior
+	// (tasks buffer until the endpoint returns). If the endpoint does come
+	// back and completes a lease-expired task, the late result is rejected by
+	// the task state machine — exactly one terminal state wins.
+	TaskLease time.Duration
+}
+
+// StartWatchdog starts the heartbeat/lease watchdog and returns a stop
+// function.
+func (s *Service) StartWatchdog(cfg WatchdogConfig) (stop func()) {
 	done := make(chan struct{})
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
-		ticker := time.NewTicker(interval)
+		ticker := time.NewTicker(cfg.Interval)
 		defer ticker.Stop()
 		for {
 			select {
@@ -692,17 +721,53 @@ func (s *Service) MonitorHeartbeats(timeout, interval time.Duration) (stop func(
 				return
 			case <-ticker.C:
 			}
-			cutoff := time.Now().Add(-timeout)
+			cutoff := time.Now().Add(-cfg.HeartbeatTimeout)
 			for _, ep := range s.cfg.Store.ListEndpoints(statestore.EndpointFilter{Status: statestore.EndpointOnline}) {
 				if ep.LastHeartbeat.Before(cutoff) {
 					_ = s.cfg.Store.SetEndpointStatus(ep.ID, statestore.EndpointOffline)
 					s.Metrics.Counter("endpoints_marked_offline").Inc()
 				}
 			}
+			if cfg.TaskLease > 0 {
+				s.expireLeases(cfg.TaskLease)
+			}
 		}
 	}()
 	var once sync.Once
 	return func() { once.Do(func() { close(done) }) }
+}
+
+// expireLeases fails non-terminal tasks stranded on offline endpoints whose
+// last state change is older than the lease, streaming the failure to the
+// submitting executor's group queue so futures resolve.
+func (s *Service) expireLeases(lease time.Duration) {
+	cutoff := time.Now().Add(-lease)
+	for _, ep := range s.cfg.Store.ListEndpoints(statestore.EndpointFilter{Status: statestore.EndpointOffline}) {
+		for _, id := range s.cfg.Store.ListTasksByEndpoint(ep.ID) {
+			rec, err := s.cfg.Store.GetTask(id)
+			if err != nil || rec.State.Terminal() || rec.Updated.After(cutoff) {
+				continue
+			}
+			res := protocol.Result{
+				TaskID:     id,
+				State:      protocol.StateFailed,
+				EndpointID: ep.ID,
+				Error:      fmt.Sprintf("webservice: task lease expired after %s on offline endpoint %s", lease, ep.ID),
+			}
+			if err := s.cfg.Store.CompleteTask(res); err != nil {
+				continue // lost the race to a real terminal result
+			}
+			s.Metrics.Counter("lease_expired").Inc()
+			if rec.Task.GroupID != "" {
+				q := GroupResultQueue(rec.Task.GroupID)
+				if err := s.cfg.Broker.Declare(q); err == nil {
+					if payload, err := json.Marshal(res); err == nil {
+						_ = s.cfg.Broker.Publish(q, payload)
+					}
+				}
+			}
+		}
+	}
 }
 
 // ResultRetention is the documented result lifetime ("results ... are
