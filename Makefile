@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race trace-race trace-bench bench chaos examples experiments fuzz clean
+.PHONY: all build vet test race trace-race trace-bench bench bench-smoke chaos examples experiments fuzz clean
 
-all: build vet test trace-race chaos
+all: build vet test trace-race chaos bench-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,12 @@ trace-bench:
 # Regenerates every table/figure as testing.B measurements.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fast saturation run recording the PR-3 task-path baseline (batched vs
+# unbatched broker throughput and latency) into BENCH_pr3.json — see
+# docs/PERFORMANCE.md for how to read it.
+bench-smoke:
+	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr3.json
 
 examples:
 	$(GO) run ./examples/quickstart

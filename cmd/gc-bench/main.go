@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,14 +27,17 @@ type runner struct {
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment ID (or 'all')")
-		list   = flag.Bool("list", false, "list experiment IDs")
-		n      = flag.Int("n", 200, "task count for load experiments")
-		seed   = flag.Int64("seed", 42, "workload seed")
-		full   = flag.Bool("full", false, "print full per-day series for fig2")
-		csvDir = flag.String("csv", "", "also write each report's rows to <dir>/<id>.csv")
+		exp     = flag.String("exp", "", "experiment ID (or 'all')")
+		list    = flag.Bool("list", false, "list experiment IDs")
+		n       = flag.Int("n", 200, "task count for load experiments")
+		seed    = flag.Int64("seed", 42, "workload seed")
+		full    = flag.Bool("full", false, "print full per-day series for fig2")
+		csvDir  = flag.String("csv", "", "also write each report's rows to <dir>/<id>.csv")
+		jsonOut = flag.String("json", "", "write the saturation experiment's structured result to this file")
 	)
 	flag.Parse()
+
+	var satResult *experiments.SaturationResult
 
 	runners := []runner{
 		{"fig2", "task invocations per day (Fig. 2)", func() (experiments.Report, error) {
@@ -84,6 +88,11 @@ func main() {
 		{"fairshare", "batch fairshare ablation on the scheduler substrate", func() (experiments.Report, error) {
 			return experiments.Fairshare(12)
 		}},
+		{"saturation", "broker saturation: wire batching vs per-task round trips (PR 3)", func() (experiments.Report, error) {
+			rep, data, err := experiments.Saturation(*n)
+			satResult = data
+			return rep, err
+		}},
 	}
 
 	if *list {
@@ -119,6 +128,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "gc-bench: csv %s: %v\n", r.id, werr)
 			}
 		}
+		if *jsonOut != "" && err == nil && satResult != nil {
+			if werr := writeJSON(*jsonOut, satResult); werr != nil {
+				fmt.Fprintf(os.Stderr, "gc-bench: json %s: %v\n", r.id, werr)
+				failed++
+			} else {
+				fmt.Printf("# wrote %s\n", *jsonOut)
+			}
+			satResult = nil
+		}
 		fmt.Println()
 		if *exp == r.id {
 			if failed > 0 {
@@ -134,6 +152,15 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeJSON stores a structured experiment result.
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 // writeCSV stores a report's header and rows as <dir>/<id>.csv.

@@ -11,6 +11,43 @@ import (
 	"globuscompute/internal/trace"
 )
 
+// BatchConfig tunes client-side wire batching (see docs/PERFORMANCE.md).
+// Batching is transparent to callers: Publish/Ack keep their signatures and
+// semantics; concurrent calls are coalesced into publish_batch / ack_batch
+// frames by a group-commit flusher.
+type BatchConfig struct {
+	// MaxBatch bounds messages per batch frame (default 64).
+	MaxBatch int
+	// FlushWindow, when > 0, delays each flush by this much so a burst can
+	// accumulate. Zero (the default) is pure group commit: the first message
+	// flushes immediately and whatever arrives while its reply is in flight
+	// forms the next batch — no added latency at low load, large batches at
+	// saturation.
+	FlushWindow time.Duration
+}
+
+func (bc BatchConfig) withDefaults() BatchConfig {
+	if bc.MaxBatch <= 0 {
+		bc.MaxBatch = 64
+	}
+	return bc
+}
+
+// pendingPub is one Publish waiting inside the flusher queue.
+type pendingPub struct {
+	queue string
+	body  []byte
+	tc    *trace.Context
+	done  chan error
+}
+
+// pendingAck is one Ack waiting inside the flusher queue.
+type pendingAck struct {
+	queue string
+	tag   uint64
+	done  chan error
+}
+
 // Client is a TCP connection to a broker Server. It multiplexes
 // request/reply exchanges and consumer delivery streams over one socket,
 // the way the Globus Compute agent holds a single AMQPS connection.
@@ -24,6 +61,14 @@ type Client struct {
 	streams  map[string]*RemoteConsumer
 	closed   bool
 	closeErr error
+
+	// Wire batching (EnableBatching). pubQ/ackQ are guarded by mu; flushCh
+	// wakes the flusher; done stops it.
+	batch   *BatchConfig
+	pubQ    []pendingPub
+	ackQ    []pendingAck
+	flushCh chan struct{}
+	done    chan struct{}
 }
 
 // newClient wraps an established connection (plain or TLS).
@@ -47,6 +92,36 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// DialBatched is Dial with wire batching enabled.
+func DialBatched(addr string, cfg BatchConfig) (*Client, error) {
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.EnableBatching(cfg)
+	return c, nil
+}
+
+// EnableBatching turns on wire batching for publishes, acks, and deliveries
+// on this client. Call before issuing traffic; enabling twice is a no-op.
+// The server must understand batch envelopes (same-version server); against
+// an old server, leave batching off — every frame the unbatched client sends
+// is unchanged.
+func (c *Client) EnableBatching(cfg BatchConfig) {
+	cfg = cfg.withDefaults()
+	c.mu.Lock()
+	if c.batch != nil || c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.batch = &cfg
+	flushCh := make(chan struct{}, 1)
+	done := make(chan struct{})
+	c.flushCh, c.done = flushCh, done
+	c.mu.Unlock()
+	go c.flusher(cfg, flushCh, done)
+}
+
 // Close disconnects. Server-side, unacked deliveries are requeued.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -56,7 +131,20 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	c.stopFlusher()
 	return c.conn.Close()
+}
+
+// stopFlusher shuts the batching flusher down exactly once (idempotent; a
+// no-op when batching was never enabled).
+func (c *Client) stopFlusher() {
+	c.mu.Lock()
+	done := c.done
+	c.done = nil
+	c.mu.Unlock()
+	if done != nil {
+		close(done)
+	}
 }
 
 func (c *Client) readLoop() {
@@ -91,6 +179,20 @@ func (c *Client) readLoop() {
 				rc.ch <- Message{Tag: body.Tag, Body: body.Body, Redelivered: body.Redelivered, Trace: env.Trace}
 			}
 			c.mu.Unlock()
+		case protocol.EnvDeliveryBatch:
+			var body deliveryBatchBody
+			if derr := env.Decode(&body); derr != nil {
+				continue
+			}
+			// Batched deliveries stay within the consumer's prefetch window,
+			// so like the single-delivery case these sends never block.
+			c.mu.Lock()
+			if rc := c.streams[body.Queue]; rc != nil {
+				for _, it := range body.Items {
+					rc.ch <- Message{Tag: it.Tag, Body: it.Body, Redelivered: it.Redelivered, Trace: it.Trace}
+				}
+			}
+			c.mu.Unlock()
 		}
 	}
 	c.mu.Lock()
@@ -105,6 +207,7 @@ func (c *Client) readLoop() {
 		delete(c.streams, q)
 	}
 	c.mu.Unlock()
+	c.stopFlusher()
 }
 
 func (c *Client) complete(id string, err error) {
@@ -161,13 +264,207 @@ func (c *Client) Declare(queue string) error {
 
 // Publish appends body to the remote queue.
 func (c *Client) Publish(queue string, body []byte) error {
-	return c.call(protocol.EnvPublish, publishBody{Queue: queue, Body: body})
+	return c.PublishTraced(queue, body, nil)
 }
 
 // PublishTraced appends body to the remote queue with a trace context on
-// the publish envelope; the server propagates it to the delivery.
+// the publish envelope; the server propagates it to the delivery. With
+// batching enabled the publish may be coalesced with concurrent ones into a
+// publish_batch frame; the call still blocks until the broker confirms.
 func (c *Client) PublishTraced(queue string, body []byte, tc *trace.Context) error {
+	c.mu.Lock()
+	batching := c.batch != nil && !c.closed
+	c.mu.Unlock()
+	if batching {
+		return c.enqueuePub(queue, body, tc)
+	}
 	return c.callTraced(protocol.EnvPublish, publishBody{Queue: queue, Body: body}, tc)
+}
+
+// PublishBatch sends every body to one queue in a single publish_batch
+// frame and waits for the broker's single confirmation. traces may be nil
+// or parallel to bodies.
+func (c *Client) PublishBatch(queue string, bodies [][]byte, traces []*trace.Context) error {
+	if len(bodies) == 0 {
+		return nil
+	}
+	return c.call(protocol.EnvPublishBatch, publishBatchBody{Queue: queue, Bodies: bodies, Traces: traces})
+}
+
+// enqueuePub hands a publish to the flusher and waits for its completion.
+func (c *Client) enqueuePub(queue string, body []byte, tc *trace.Context) error {
+	p := pendingPub{queue: queue, body: body, tc: tc, done: make(chan error, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.pubQ = append(c.pubQ, p)
+	flushCh := c.flushCh
+	c.mu.Unlock()
+	signalFlush(flushCh)
+	select {
+	case err := <-p.done:
+		return err
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("broker: batched publish timed out")
+	}
+}
+
+// enqueueAck hands an ack to the flusher and waits for its completion.
+func (c *Client) enqueueAck(queue string, tag uint64) error {
+	a := pendingAck{queue: queue, tag: tag, done: make(chan error, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.ackQ = append(c.ackQ, a)
+	flushCh := c.flushCh
+	c.mu.Unlock()
+	signalFlush(flushCh)
+	select {
+	case err := <-a.done:
+		return err
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("broker: batched ack timed out")
+	}
+}
+
+func signalFlush(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default: // a flush is already pending
+	}
+}
+
+// flusher is the group-commit loop: each wakeup drains everything queued,
+// groups it by queue, and sends publish_batch / ack_batch frames (a lone
+// message degrades to a plain publish/ack — identical to the unbatched
+// wire). While a batch's reply is in flight new calls accumulate, so batch
+// size adapts to offered load.
+func (c *Client) flusher(cfg BatchConfig, flushCh chan struct{}, done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			c.failQueued(ErrClosed)
+			return
+		case <-flushCh:
+		}
+		if cfg.FlushWindow > 0 {
+			select {
+			case <-done:
+				c.failQueued(ErrClosed)
+				return
+			case <-time.After(cfg.FlushWindow):
+			}
+		}
+		for {
+			c.mu.Lock()
+			pubs, acks := c.pubQ, c.ackQ
+			c.pubQ, c.ackQ = nil, nil
+			c.mu.Unlock()
+			if len(pubs) == 0 && len(acks) == 0 {
+				break
+			}
+			c.flushPubs(pubs, cfg.MaxBatch)
+			c.flushAcks(acks, cfg.MaxBatch)
+		}
+	}
+}
+
+// failQueued completes every queued-but-unsent operation with err.
+func (c *Client) failQueued(err error) {
+	c.mu.Lock()
+	pubs, acks := c.pubQ, c.ackQ
+	c.pubQ, c.ackQ = nil, nil
+	c.mu.Unlock()
+	for _, p := range pubs {
+		p.done <- err
+	}
+	for _, a := range acks {
+		a.done <- err
+	}
+}
+
+// flushPubs sends queued publishes grouped by queue, chunked at maxBatch,
+// preserving per-queue FIFO order.
+func (c *Client) flushPubs(pubs []pendingPub, maxBatch int) {
+	byQueue := make(map[string][]pendingPub)
+	var order []string
+	for _, p := range pubs {
+		if _, ok := byQueue[p.queue]; !ok {
+			order = append(order, p.queue)
+		}
+		byQueue[p.queue] = append(byQueue[p.queue], p)
+	}
+	for _, q := range order {
+		group := byQueue[q]
+		for len(group) > 0 {
+			n := len(group)
+			if n > maxBatch {
+				n = maxBatch
+			}
+			chunk := group[:n]
+			group = group[n:]
+			if n == 1 {
+				chunk[0].done <- c.callTraced(protocol.EnvPublish, publishBody{Queue: q, Body: chunk[0].body}, chunk[0].tc)
+				continue
+			}
+			bodies := make([][]byte, n)
+			var traces []*trace.Context
+			for i, p := range chunk {
+				bodies[i] = p.body
+				if p.tc != nil && traces == nil {
+					traces = make([]*trace.Context, n)
+				}
+			}
+			if traces != nil {
+				for i, p := range chunk {
+					traces[i] = p.tc
+				}
+			}
+			err := c.call(protocol.EnvPublishBatch, publishBatchBody{Queue: q, Bodies: bodies, Traces: traces})
+			for _, p := range chunk {
+				p.done <- err
+			}
+		}
+	}
+}
+
+// flushAcks sends queued acks grouped by queue, chunked at maxBatch.
+func (c *Client) flushAcks(acks []pendingAck, maxBatch int) {
+	byQueue := make(map[string][]pendingAck)
+	var order []string
+	for _, a := range acks {
+		if _, ok := byQueue[a.queue]; !ok {
+			order = append(order, a.queue)
+		}
+		byQueue[a.queue] = append(byQueue[a.queue], a)
+	}
+	for _, q := range order {
+		group := byQueue[q]
+		for len(group) > 0 {
+			n := len(group)
+			if n > maxBatch {
+				n = maxBatch
+			}
+			chunk := group[:n]
+			group = group[n:]
+			if n == 1 {
+				chunk[0].done <- c.call(protocol.EnvAck, ackBody{Queue: q, Tag: chunk[0].tag})
+				continue
+			}
+			tags := make([]uint64, n)
+			for i, a := range chunk {
+				tags[i] = a.tag
+			}
+			err := c.call(protocol.EnvAckBatch, ackBatchBody{Queue: q, Tags: tags})
+			for _, a := range chunk {
+				a.done <- err
+			}
+		}
+	}
 }
 
 // Ping round-trips a heartbeat.
@@ -190,7 +487,8 @@ type RemoteConsumer struct {
 }
 
 // Consume begins consuming the remote queue. Only one consumer per queue per
-// client connection is permitted (the server enforces this).
+// client connection is permitted (the server enforces this). When batching
+// is enabled the consumer opts into delivery_batch frames from the server.
 func (c *Client) Consume(queue string, prefetch int) (*RemoteConsumer, error) {
 	if prefetch <= 0 {
 		prefetch = 1
@@ -202,8 +500,15 @@ func (c *Client) Consume(queue string, prefetch int) (*RemoteConsumer, error) {
 		return nil, fmt.Errorf("broker: already consuming %q", queue)
 	}
 	c.streams[queue] = rc
+	batch := c.batch
 	c.mu.Unlock()
-	if err := c.call(protocol.EnvConsume, consumeBody{Queue: queue, Prefetch: prefetch}); err != nil {
+	req := consumeBody{Queue: queue, Prefetch: prefetch}
+	if batch != nil {
+		req.Batch = true
+		req.MaxBatch = batch.MaxBatch
+		req.FlushWindowUS = batch.FlushWindow.Microseconds()
+	}
+	if err := c.call(protocol.EnvConsume, req); err != nil {
 		c.mu.Lock()
 		delete(c.streams, queue)
 		c.mu.Unlock()
@@ -216,9 +521,25 @@ func (c *Client) Consume(queue string, prefetch int) (*RemoteConsumer, error) {
 // drops.
 func (rc *RemoteConsumer) Messages() <-chan Message { return rc.ch }
 
-// Ack acknowledges a delivery by tag.
+// Ack acknowledges a delivery by tag. With batching enabled, concurrent
+// acks coalesce into ack_batch frames.
 func (rc *RemoteConsumer) Ack(tag uint64) error {
+	rc.c.mu.Lock()
+	batching := rc.c.batch != nil && !rc.c.closed
+	rc.c.mu.Unlock()
+	if batching {
+		return rc.c.enqueueAck(rc.queue, tag)
+	}
 	return rc.c.call(protocol.EnvAck, ackBody{Queue: rc.queue, Tag: tag})
+}
+
+// AckBatch acknowledges many tags in one ack_batch frame and one broker
+// lock round trip.
+func (rc *RemoteConsumer) AckBatch(tags []uint64) error {
+	if len(tags) == 0 {
+		return nil
+	}
+	return rc.c.call(protocol.EnvAckBatch, ackBatchBody{Queue: rc.queue, Tags: tags})
 }
 
 // Nack rejects a delivery; the server requeues it.

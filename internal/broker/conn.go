@@ -33,6 +33,53 @@ type Subscription interface {
 	Cancel() error
 }
 
+// BatchPublisher is the optional Conn capability of publishing N messages
+// to one queue in a single wire frame / lock round trip. All Conns in this
+// package implement it; third-party wrappers (fault injectors) may not.
+type BatchPublisher interface {
+	PublishBatch(queue string, bodies [][]byte, traces []*trace.Context) error
+}
+
+// BatchAcker is the optional Subscription capability of acknowledging N
+// tags at once.
+type BatchAcker interface {
+	AckBatch(tags []uint64) error
+}
+
+// PublishBatchOn publishes a batch through c's fast path when it has one,
+// falling back to sequential PublishTraced otherwise (wrapped Conns).
+func PublishBatchOn(c Conn, queue string, bodies [][]byte, traces []*trace.Context) error {
+	if bp, ok := c.(BatchPublisher); ok {
+		return bp.PublishBatch(queue, bodies, traces)
+	}
+	for i, body := range bodies {
+		var tc *trace.Context
+		if i < len(traces) {
+			tc = traces[i]
+		}
+		if err := c.PublishTraced(queue, body, tc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AckBatchOn acknowledges tags through s's batch path when it has one,
+// falling back to per-tag Acks (first error wins, remaining tags still
+// acked — the broker requeues whatever stays unacknowledged).
+func AckBatchOn(s Subscription, tags []uint64) error {
+	if ba, ok := s.(BatchAcker); ok {
+		return ba.AckBatch(tags)
+	}
+	var firstErr error
+	for _, tag := range tags {
+		if err := s.Ack(tag); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // localConn adapts *Broker to Conn.
 type localConn struct{ b *Broker }
 
@@ -47,6 +94,10 @@ func (l localConn) PublishTraced(queue string, body []byte, tc *trace.Context) e
 	return l.b.PublishTraced(queue, body, tc)
 }
 
+func (l localConn) PublishBatch(queue string, bodies [][]byte, traces []*trace.Context) error {
+	return l.b.PublishBatch(queue, bodies, traces)
+}
+
 func (l localConn) Subscribe(queue string, prefetch int) (Subscription, error) {
 	c, err := l.b.Consume(queue, prefetch)
 	if err != nil {
@@ -57,20 +108,22 @@ func (l localConn) Subscribe(queue string, prefetch int) (Subscription, error) {
 
 type localSub struct{ c *Consumer }
 
-func (s localSub) Messages() <-chan Message { return s.c.Messages() }
-func (s localSub) Ack(tag uint64) error     { return s.c.Ack(tag) }
-func (s localSub) Nack(tag uint64) error    { return s.c.Nack(tag) }
-func (s localSub) Reject(tag uint64) error  { return s.c.Reject(tag) }
-func (s localSub) Cancel() error            { s.c.Close(); return nil }
+func (s localSub) Messages() <-chan Message     { return s.c.Messages() }
+func (s localSub) Ack(tag uint64) error         { return s.c.Ack(tag) }
+func (s localSub) AckBatch(tags []uint64) error { return s.c.AckBatch(tags) }
+func (s localSub) Nack(tag uint64) error        { return s.c.Nack(tag) }
+func (s localSub) Reject(tag uint64) error      { return s.c.Reject(tag) }
+func (s localSub) Cancel() error                { s.c.Close(); return nil }
 
 // remoteSub adapts *RemoteConsumer to Subscription.
 type remoteSub struct{ rc *RemoteConsumer }
 
-func (s remoteSub) Messages() <-chan Message { return s.rc.Messages() }
-func (s remoteSub) Ack(tag uint64) error     { return s.rc.Ack(tag) }
-func (s remoteSub) Nack(tag uint64) error    { return s.rc.Nack(tag) }
-func (s remoteSub) Reject(tag uint64) error  { return s.rc.Reject(tag) }
-func (s remoteSub) Cancel() error            { return s.rc.Cancel() }
+func (s remoteSub) Messages() <-chan Message     { return s.rc.Messages() }
+func (s remoteSub) Ack(tag uint64) error         { return s.rc.Ack(tag) }
+func (s remoteSub) AckBatch(tags []uint64) error { return s.rc.AckBatch(tags) }
+func (s remoteSub) Nack(tag uint64) error        { return s.rc.Nack(tag) }
+func (s remoteSub) Reject(tag uint64) error      { return s.rc.Reject(tag) }
+func (s remoteSub) Cancel() error                { return s.rc.Cancel() }
 
 // clientConn adapts *Client to Conn.
 type clientConn struct{ c *Client }
@@ -88,6 +141,10 @@ func (cc clientConn) Close() error { return cc.c.Close() }
 
 func (cc clientConn) PublishTraced(queue string, body []byte, tc *trace.Context) error {
 	return cc.c.PublishTraced(queue, body, tc)
+}
+
+func (cc clientConn) PublishBatch(queue string, bodies [][]byte, traces []*trace.Context) error {
+	return cc.c.PublishBatch(queue, bodies, traces)
 }
 
 func (cc clientConn) Subscribe(queue string, prefetch int) (Subscription, error) {

@@ -27,12 +27,15 @@ type brokerImage struct {
 // Snapshot serializes all queues: ready messages plus unacknowledged
 // deliveries (folded to the front, as a broker restart would requeue them).
 func (b *Broker) Snapshot() ([]byte, error) {
-	b.mu.Lock()
-	queues := make([]*queue, 0, len(b.queues))
-	for _, q := range b.queues {
-		queues = append(queues, q)
+	var queues []*queue
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for _, q := range sh.m {
+			queues = append(queues, q)
+		}
+		sh.mu.RUnlock()
 	}
-	b.mu.Unlock()
 
 	var img brokerImage
 	for _, q := range queues {

@@ -258,6 +258,13 @@ func (r *ReconnectingConn) PublishTraced(queue string, body []byte, tc *trace.Co
 	return r.op("publish", func(c Conn) error { return c.PublishTraced(queue, body, tc) })
 }
 
+// PublishBatch publishes a batch with reconnect-and-retry. Like Publish it
+// is at-least-once: a retry after a mid-batch connection loss may duplicate
+// messages that already landed, which consumers must tolerate anyway.
+func (r *ReconnectingConn) PublishBatch(queue string, bodies [][]byte, traces []*trace.Context) error {
+	return r.op("publish_batch", func(c Conn) error { return PublishBatchOn(c, queue, bodies, traces) })
+}
+
 func (r *ReconnectingConn) Delete(queue string) error {
 	return r.op("delete", func(c Conn) error { return c.Delete(queue) })
 }
@@ -383,6 +390,10 @@ func (s *resilientSub) current() Subscription {
 func (s *resilientSub) Ack(tag uint64) error    { return s.current().Ack(tag) }
 func (s *resilientSub) Nack(tag uint64) error   { return s.current().Nack(tag) }
 func (s *resilientSub) Reject(tag uint64) error { return s.current().Reject(tag) }
+
+// AckBatch acknowledges a batch of tags on the current stream. Stale tags
+// (from before a reconnect) fail and their messages simply redeliver.
+func (s *resilientSub) AckBatch(tags []uint64) error { return AckBatchOn(s.current(), tags) }
 
 // Cancel permanently detaches the consumer; unacked deliveries requeue on
 // the broker.

@@ -8,8 +8,10 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
 	"globuscompute/internal/protocol"
+	"globuscompute/internal/trace"
 )
 
 // Wire bodies for the framed-TCP broker protocol. Byte slices marshal as
@@ -24,9 +26,26 @@ type publishBody struct {
 	Body  []byte `json:"body"`
 }
 
+// publishBatchBody carries N messages for one queue in a single frame.
+// Traces, when present, is parallel to Bodies (nil entries = untraced).
+type publishBatchBody struct {
+	Queue  string           `json:"queue"`
+	Bodies [][]byte         `json:"bodies"`
+	Traces []*trace.Context `json:"traces,omitempty"`
+}
+
 type consumeBody struct {
 	Queue    string `json:"queue"`
 	Prefetch int    `json:"prefetch"`
+	// Batch opts this consumer into delivery_batch frames. Old servers
+	// ignore the field and keep sending plain deliveries; old clients never
+	// set it, so they keep receiving plain deliveries from new servers.
+	Batch bool `json:"batch,omitempty"`
+	// MaxBatch bounds deliveries per delivery_batch frame (default 64).
+	MaxBatch int `json:"max_batch,omitempty"`
+	// FlushWindowUS, when > 0, lets the server wait up to this many
+	// microseconds for more deliveries before flushing a partial batch.
+	FlushWindowUS int64 `json:"flush_window_us,omitempty"`
 }
 
 type ackBody struct {
@@ -36,11 +55,31 @@ type ackBody struct {
 	DeadLetter bool `json:"dead_letter,omitempty"`
 }
 
+// ackBatchBody acknowledges N tags on one queue in a single frame.
+type ackBatchBody struct {
+	Queue string   `json:"queue"`
+	Tags  []uint64 `json:"tags"`
+}
+
 type deliveryBody struct {
 	Queue       string `json:"queue"`
 	Tag         uint64 `json:"tag"`
 	Body        []byte `json:"body"`
 	Redelivered bool   `json:"redelivered,omitempty"`
+}
+
+// deliveryItem is one delivery inside a delivery_batch frame.
+type deliveryItem struct {
+	Tag         uint64         `json:"tag"`
+	Body        []byte         `json:"body"`
+	Redelivered bool           `json:"redelivered,omitempty"`
+	Trace       *trace.Context `json:"trace,omitempty"`
+}
+
+// deliveryBatchBody carries N deliveries for one queue in a single frame.
+type deliveryBatchBody struct {
+	Queue string         `json:"queue"`
+	Items []deliveryItem `json:"items"`
 }
 
 type errorBody struct {
@@ -163,6 +202,14 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			reply(env.ID, s.B.PublishTraced(body.Queue, body.Body, env.Trace))
 
+		case protocol.EnvPublishBatch:
+			var body publishBatchBody
+			if err := env.Decode(&body); err != nil {
+				reply(env.ID, err)
+				continue
+			}
+			reply(env.ID, s.B.PublishBatch(body.Queue, body.Bodies, body.Traces))
+
 		case protocol.EnvConsume:
 			var body consumeBody
 			if err := env.Decode(&body); err != nil {
@@ -181,19 +228,20 @@ func (s *Server) handle(conn net.Conn) {
 			consumers[body.Queue] = c
 			reply(env.ID, nil)
 			wg.Add(1)
-			go func(queue string, c *Consumer) {
-				defer wg.Done()
-				for m := range c.Messages() {
-					e := protocol.MustEnvelope(protocol.EnvDelivery, "", deliveryBody{
-						Queue: queue, Tag: m.Tag, Body: m.Body, Redelivered: m.Redelivered,
-					})
-					e.Trace = m.Trace
-					if err := w.Write(e); err != nil {
-						c.Close()
-						return
-					}
-				}
-			}(body.Queue, c)
+			go s.deliveryPump(&wg, w, body, c)
+
+		case protocol.EnvAckBatch:
+			var body ackBatchBody
+			if err := env.Decode(&body); err != nil {
+				reply(env.ID, err)
+				continue
+			}
+			c, ok := consumers[body.Queue]
+			if !ok {
+				reply(env.ID, fmt.Errorf("broker: not consuming %q", body.Queue))
+				continue
+			}
+			reply(env.ID, c.AckBatch(body.Tags))
 
 		case protocol.EnvAck, protocol.EnvNack:
 			var body ackBody
@@ -248,6 +296,84 @@ func (s *Server) handle(conn net.Conn) {
 			reply(env.ID, fmt.Errorf("broker: unknown request %q", env.Type))
 		}
 	}
+}
+
+// deliveryPump forwards a consumer's messages onto the connection. For
+// batch-enabled consumers it coalesces whatever is already buffered (bounded
+// by max_batch, optionally waiting out a flush window) into one
+// delivery_batch frame; a lone message still goes out as a plain delivery,
+// so the batched wire path degrades to the classic one at low load.
+func (s *Server) deliveryPump(wg *sync.WaitGroup, w *protocol.FrameWriter, opts consumeBody, c *Consumer) {
+	defer wg.Done()
+	maxBatch := opts.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	window := time.Duration(opts.FlushWindowUS) * time.Microsecond
+	for m := range c.Messages() {
+		if !opts.Batch {
+			e := protocol.MustEnvelope(protocol.EnvDelivery, "", deliveryBody{
+				Queue: opts.Queue, Tag: m.Tag, Body: m.Body, Redelivered: m.Redelivered,
+			})
+			e.Trace = m.Trace
+			if err := w.Write(e); err != nil {
+				c.Close()
+				return
+			}
+			continue
+		}
+		items := []deliveryItem{{Tag: m.Tag, Body: m.Body, Redelivered: m.Redelivered, Trace: m.Trace}}
+		items = drainDeliveries(c, items, maxBatch, window)
+		var e protocol.Envelope
+		if len(items) == 1 {
+			e = protocol.MustEnvelope(protocol.EnvDelivery, "", deliveryBody{
+				Queue: opts.Queue, Tag: m.Tag, Body: m.Body, Redelivered: m.Redelivered,
+			})
+			e.Trace = m.Trace
+		} else {
+			e = protocol.MustEnvelope(protocol.EnvDeliveryBatch, "", deliveryBatchBody{
+				Queue: opts.Queue, Items: items,
+			})
+		}
+		if err := w.Write(e); err != nil {
+			c.Close()
+			return
+		}
+	}
+}
+
+// drainDeliveries appends already-buffered messages to items up to maxBatch,
+// waiting at most window (0 = don't wait) for stragglers.
+func drainDeliveries(c *Consumer, items []deliveryItem, maxBatch int, window time.Duration) []deliveryItem {
+	var deadline <-chan time.Time
+	for len(items) < maxBatch {
+		select {
+		case m, ok := <-c.Messages():
+			if !ok {
+				return items
+			}
+			items = append(items, deliveryItem{Tag: m.Tag, Body: m.Body, Redelivered: m.Redelivered, Trace: m.Trace})
+		default:
+			if window <= 0 {
+				return items
+			}
+			if deadline == nil {
+				t := time.NewTimer(window)
+				defer t.Stop()
+				deadline = t.C
+			}
+			select {
+			case m, ok := <-c.Messages():
+				if !ok {
+					return items
+				}
+				items = append(items, deliveryItem{Tag: m.Tag, Body: m.Body, Redelivered: m.Redelivered, Trace: m.Trace})
+			case <-deadline:
+				return items
+			}
+		}
+	}
+	return items
 }
 
 // requestID generates connection-local correlation IDs for the client.

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -42,6 +43,13 @@ const (
 	EnvOK        = "ok"        // generic success reply
 	EnvDrain     = "drain"     // manager: stop accepting, finish inflight
 	EnvShutdown  = "shutdown"  // orderly termination
+
+	// Multi-message envelopes amortize the per-frame round trip on the task
+	// hot path. Peers that predate them simply never send them; a plain
+	// publish/delivery/ack remains valid and is decoded identically.
+	EnvPublishBatch  = "publish_batch"  // broker client: publish N messages to one queue
+	EnvDeliveryBatch = "delivery_batch" // broker -> consumer: N deliveries in one frame
+	EnvAckBatch      = "ack_batch"      // consumer: acknowledge N tags in one frame
 )
 
 // MaxFrame bounds a single frame; larger frames indicate corruption or a
@@ -83,6 +91,17 @@ func (e Envelope) Decode(v any) error {
 	return nil
 }
 
+// encodeBufPool recycles the per-frame encode buffers across every
+// FrameWriter in the process, so steady-state encoding allocates nothing
+// beyond what encoding/json needs internally. Buffers that grew past 1 MiB
+// are dropped rather than pooled to keep a single huge payload from pinning
+// memory.
+var encodeBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+const pooledBufLimit = 1 << 20
+
 // FrameWriter writes length-prefixed JSON envelopes. It is safe for
 // concurrent use: the engine multiplexes many logical streams over one
 // manager connection.
@@ -96,25 +115,77 @@ func NewFrameWriter(w io.Writer) *FrameWriter {
 	return &FrameWriter{w: bufio.NewWriter(w)}
 }
 
-// Write encodes env as a 4-byte big-endian length followed by JSON, and
-// flushes.
-func (fw *FrameWriter) Write(env Envelope) error {
-	b, err := json.Marshal(env)
-	if err != nil {
-		return fmt.Errorf("protocol: marshal frame: %w", err)
+// encodeFrame renders env (header + JSON) into a pooled buffer. The caller
+// must return the buffer with putEncodeBuf.
+func encodeFrame(env Envelope) (*bytes.Buffer, error) {
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	enc := json.NewEncoder(buf)
+	if err := enc.Encode(env); err != nil {
+		putEncodeBuf(buf)
+		return nil, fmt.Errorf("protocol: marshal frame: %w", err)
 	}
-	if len(b) > MaxFrame {
-		return ErrFrameTooLarge
+	// Encoder.Encode appends a newline; it is not part of the frame.
+	b := buf.Bytes()
+	n := buf.Len() - 4 - 1
+	if n > MaxFrame {
+		putEncodeBuf(buf)
+		return nil, ErrFrameTooLarge
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	buf.Truncate(4 + n)
+	return buf, nil
+}
+
+func putEncodeBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= pooledBufLimit {
+		encodeBufPool.Put(buf)
+	}
+}
+
+// Write encodes env as a 4-byte big-endian length followed by JSON, and
+// flushes. Encoding happens outside the writer lock (in a pooled buffer) so
+// concurrent writers only serialize on the actual socket write.
+func (fw *FrameWriter) Write(env Envelope) error {
+	buf, err := encodeFrame(env)
+	if err != nil {
+		return err
+	}
+	defer putEncodeBuf(buf)
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if _, err := fw.w.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	return fw.w.Flush()
+}
+
+// WriteAll encodes every envelope and flushes once, so a burst of frames
+// costs one syscall instead of len(envs).
+func (fw *FrameWriter) WriteAll(envs []Envelope) error {
+	if len(envs) == 0 {
+		return nil
+	}
+	bufs := make([]*bytes.Buffer, 0, len(envs))
+	defer func() {
+		for _, b := range bufs {
+			putEncodeBuf(b)
+		}
+	}()
+	for _, env := range envs {
+		buf, err := encodeFrame(env)
+		if err != nil {
+			return err
+		}
+		bufs = append(bufs, buf)
 	}
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
-	if _, err := fw.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := fw.w.Write(b); err != nil {
-		return err
+	for _, buf := range bufs {
+		if _, err := fw.w.Write(buf.Bytes()); err != nil {
+			return err
+		}
 	}
 	return fw.w.Flush()
 }
@@ -123,6 +194,9 @@ func (fw *FrameWriter) Write(env Envelope) error {
 // use; each connection has a single reader goroutine.
 type FrameReader struct {
 	r *bufio.Reader
+	// buf is reused across Reads. Safe because json.Unmarshal copies every
+	// byte it retains (json.RawMessage included) out of the input.
+	buf []byte
 }
 
 // NewFrameReader wraps r.
@@ -144,13 +218,21 @@ func (fr *FrameReader) Read() (Envelope, error) {
 	if n > MaxFrame {
 		return Envelope{}, ErrFrameTooLarge
 	}
-	buf := make([]byte, n)
+	if uint32(cap(fr.buf)) < n {
+		fr.buf = make([]byte, n)
+	}
+	buf := fr.buf[:n]
 	if _, err := io.ReadFull(fr.r, buf); err != nil {
 		return Envelope{}, fmt.Errorf("protocol: short frame: %w", err)
 	}
 	var env Envelope
 	if err := json.Unmarshal(buf, &env); err != nil {
 		return Envelope{}, fmt.Errorf("protocol: bad frame: %w", err)
+	}
+	// Frames over the pooling limit are one-off payload spills; do not let
+	// them pin the reader's reusable buffer.
+	if n > pooledBufLimit {
+		fr.buf = nil
 	}
 	return env, nil
 }

@@ -3,12 +3,20 @@
 // the task state machine enforced at the storage layer so that every task
 // reaches exactly one terminal state. A JSON snapshot/restore pair stands in
 // for database durability.
+//
+// Concurrency layout: each table has its own lock so function lookups never
+// contend with task writes, and the task table — the hot row set on the
+// submit and result paths — is split across taskShards hash shards, each
+// guarded by an RWMutex. Batch operations (CreateTasks, TransitionTasks,
+// CompleteTasks, GetTaskRecords) group their inputs by shard so a burst of N
+// tasks costs one lock round trip per touched shard instead of N.
 package statestore
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"sync"
 	"time"
@@ -85,30 +93,64 @@ type TaskRecord struct {
 	Completed time.Time          `json:"completed,omitempty"`
 }
 
+// taskShards is the task-table shard count. Power of two so the hash
+// modulo compiles to a mask.
+const taskShards = 16
+
+// taskShard is one slice of the task table.
+type taskShard struct {
+	mu sync.RWMutex
+	m  map[protocol.UUID]*TaskRecord
+}
+
+// idxShard is one slice of the endpoint → task-IDs secondary index
+// (creation order preserved per endpoint).
+type idxShard struct {
+	mu sync.RWMutex
+	m  map[protocol.UUID][]protocol.UUID
+}
+
 // Store holds all service state. Safe for concurrent use.
 type Store struct {
-	mu        sync.RWMutex
+	fnMu      sync.RWMutex
 	functions map[protocol.UUID]*FunctionRecord
+
+	epMu      sync.RWMutex
 	endpoints map[protocol.UUID]*EndpointRecord
-	tasks     map[protocol.UUID]*TaskRecord
-	// tasksByEndpoint is a secondary index for ListTasks queries.
-	tasksByEndpoint map[protocol.UUID][]protocol.UUID
-	now             func() time.Time
+
+	tasks [taskShards]taskShard
+	byEp  [taskShards]idxShard
+
+	now func() time.Time
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{
-		functions:       make(map[protocol.UUID]*FunctionRecord),
-		endpoints:       make(map[protocol.UUID]*EndpointRecord),
-		tasks:           make(map[protocol.UUID]*TaskRecord),
-		tasksByEndpoint: make(map[protocol.UUID][]protocol.UUID),
-		now:             time.Now,
+	s := &Store{
+		functions: make(map[protocol.UUID]*FunctionRecord),
+		endpoints: make(map[protocol.UUID]*EndpointRecord),
+		now:       time.Now,
 	}
+	for i := range s.tasks {
+		s.tasks[i].m = make(map[protocol.UUID]*TaskRecord)
+	}
+	for i := range s.byEp {
+		s.byEp[i].m = make(map[protocol.UUID][]protocol.UUID)
+	}
+	return s
 }
 
 // SetClock overrides the time source (tests).
 func (s *Store) SetClock(now func() time.Time) { s.now = now }
+
+func shardOf(id protocol.UUID) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return h.Sum32() % taskShards
+}
+
+func (s *Store) taskShard(id protocol.UUID) *taskShard { return &s.tasks[shardOf(id)] }
+func (s *Store) idxShard(ep protocol.UUID) *idxShard   { return &s.byEp[shardOf(ep)] }
 
 // --- functions ---
 
@@ -118,8 +160,8 @@ func (s *Store) PutFunction(rec FunctionRecord) error {
 	if !rec.ID.Valid() {
 		return fmt.Errorf("statestore: invalid function ID %q", rec.ID)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.fnMu.Lock()
+	defer s.fnMu.Unlock()
 	if _, ok := s.functions[rec.ID]; ok {
 		return fmt.Errorf("%w: function %s", ErrAlreadyExists, rec.ID)
 	}
@@ -133,8 +175,8 @@ func (s *Store) PutFunction(rec FunctionRecord) error {
 
 // GetFunction fetches a function record.
 func (s *Store) GetFunction(id protocol.UUID) (FunctionRecord, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.fnMu.RLock()
+	defer s.fnMu.RUnlock()
 	rec, ok := s.functions[id]
 	if !ok {
 		return FunctionRecord{}, fmt.Errorf("%w: function %s", ErrNotFound, id)
@@ -144,8 +186,8 @@ func (s *Store) GetFunction(id protocol.UUID) (FunctionRecord, error) {
 
 // CountFunctions returns the number of registered functions.
 func (s *Store) CountFunctions() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.fnMu.RLock()
+	defer s.fnMu.RUnlock()
 	return len(s.functions)
 }
 
@@ -156,8 +198,8 @@ func (s *Store) UpsertEndpoint(rec EndpointRecord) error {
 	if !rec.ID.Valid() {
 		return fmt.Errorf("statestore: invalid endpoint ID %q", rec.ID)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
 	if rec.Registered.IsZero() {
 		if old, ok := s.endpoints[rec.ID]; ok {
 			rec.Registered = old.Registered
@@ -171,8 +213,8 @@ func (s *Store) UpsertEndpoint(rec EndpointRecord) error {
 
 // GetEndpoint fetches an endpoint record.
 func (s *Store) GetEndpoint(id protocol.UUID) (EndpointRecord, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.epMu.RLock()
+	defer s.epMu.RUnlock()
 	rec, ok := s.endpoints[id]
 	if !ok {
 		return EndpointRecord{}, fmt.Errorf("%w: endpoint %s", ErrNotFound, id)
@@ -182,8 +224,8 @@ func (s *Store) GetEndpoint(id protocol.UUID) (EndpointRecord, error) {
 
 // SetEndpointStatus updates status and heartbeat time.
 func (s *Store) SetEndpointStatus(id protocol.UUID, status EndpointStatus) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
 	rec, ok := s.endpoints[id]
 	if !ok {
 		return fmt.Errorf("%w: endpoint %s", ErrNotFound, id)
@@ -195,8 +237,8 @@ func (s *Store) SetEndpointStatus(id protocol.UUID, status EndpointStatus) error
 
 // SetEndpointLoad records an agent's self-reported load.
 func (s *Store) SetEndpointLoad(id protocol.UUID, load EndpointLoad) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
 	rec, ok := s.endpoints[id]
 	if !ok {
 		return fmt.Errorf("%w: endpoint %s", ErrNotFound, id)
@@ -215,8 +257,8 @@ type EndpointFilter struct {
 
 // ListEndpoints returns endpoint records matching the filter.
 func (s *Store) ListEndpoints(f EndpointFilter) []EndpointRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.epMu.RLock()
+	defer s.epMu.RUnlock()
 	var out []EndpointRecord
 	for _, rec := range s.endpoints {
 		if f.Owner != "" && rec.Owner != f.Owner {
@@ -238,8 +280,8 @@ func (s *Store) ListEndpoints(f EndpointFilter) []EndpointRecord {
 
 // CountEndpoints returns the number of registered endpoints.
 func (s *Store) CountEndpoints() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.epMu.RLock()
+	defer s.epMu.RUnlock()
 	return len(s.endpoints)
 }
 
@@ -271,37 +313,161 @@ func (s *Store) CreateTask(task protocol.Task) error {
 	if !task.ID.Valid() {
 		return fmt.Errorf("statestore: invalid task ID %q", task.ID)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tasks[task.ID]; ok {
+	sh := s.taskShard(task.ID)
+	sh.mu.Lock()
+	if _, ok := sh.m[task.ID]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: task %s", ErrAlreadyExists, task.ID)
 	}
 	now := s.now()
-	s.tasks[task.ID] = &TaskRecord{Task: task, State: protocol.StateReceived, Created: now, Updated: now}
-	s.tasksByEndpoint[task.EndpointID] = append(s.tasksByEndpoint[task.EndpointID], task.ID)
+	sh.m[task.ID] = &TaskRecord{Task: task, State: protocol.StateReceived, Created: now, Updated: now}
+	sh.mu.Unlock()
+	s.indexTask(task.EndpointID, task.ID)
 	return nil
+}
+
+// CreateTasks inserts a batch of tasks in StateReceived, grouping by shard
+// so each touched shard is locked once. Tasks that fail validation or
+// collide with an existing ID are skipped; the first such error is
+// returned, with all other tasks still created (the web service generates
+// fresh UUIDs, so collisions indicate a caller bug, not a race to report
+// precisely).
+func (s *Store) CreateTasks(tasks []protocol.Task) error {
+	var firstErr error
+	// Group indices by shard.
+	var groups [taskShards][]int
+	for i, t := range tasks {
+		if !t.ID.Valid() {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("statestore: invalid task ID %q", t.ID)
+			}
+			continue
+		}
+		groups[shardOf(t.ID)] = append(groups[shardOf(t.ID)], i)
+	}
+	now := s.now()
+	created := make([]bool, len(tasks))
+	for si := range groups {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		sh := &s.tasks[si]
+		sh.mu.Lock()
+		for _, i := range groups[si] {
+			t := tasks[i]
+			if _, ok := sh.m[t.ID]; ok {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: task %s", ErrAlreadyExists, t.ID)
+				}
+				continue
+			}
+			sh.m[t.ID] = &TaskRecord{Task: t, State: protocol.StateReceived, Created: now, Updated: now}
+			created[i] = true
+		}
+		sh.mu.Unlock()
+	}
+	// Index the created tasks, grouped by endpoint shard, preserving the
+	// submit order within each endpoint.
+	var idxGroups [taskShards][]int
+	for i, ok := range created {
+		if ok {
+			g := shardOf(tasks[i].EndpointID)
+			idxGroups[g] = append(idxGroups[g], i)
+		}
+	}
+	for si := range idxGroups {
+		if len(idxGroups[si]) == 0 {
+			continue
+		}
+		ix := &s.byEp[si]
+		ix.mu.Lock()
+		for _, i := range idxGroups[si] {
+			ix.m[tasks[i].EndpointID] = append(ix.m[tasks[i].EndpointID], tasks[i].ID)
+		}
+		ix.mu.Unlock()
+	}
+	return firstErr
+}
+
+func (s *Store) indexTask(ep, id protocol.UUID) {
+	ix := s.idxShard(ep)
+	ix.mu.Lock()
+	ix.m[ep] = append(ix.m[ep], id)
+	ix.mu.Unlock()
 }
 
 // GetTask fetches a task record.
 func (s *Store) GetTask(id protocol.UUID) (TaskRecord, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	rec, ok := s.tasks[id]
+	sh := s.taskShard(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	rec, ok := sh.m[id]
 	if !ok {
 		return TaskRecord{}, fmt.Errorf("%w: task %s", ErrNotFound, id)
 	}
 	return *rec, nil
 }
 
-// TransitionTask moves a task to state, enforcing the state machine.
-func (s *Store) TransitionTask(id protocol.UUID, state protocol.TaskState) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.transitionLocked(id, state)
+// GetTaskRecords fetches a batch of task records, grouping reads by shard
+// (one RLock per touched shard). Missing IDs are simply absent from the
+// returned map.
+func (s *Store) GetTaskRecords(ids []protocol.UUID) map[protocol.UUID]TaskRecord {
+	out := make(map[protocol.UUID]TaskRecord, len(ids))
+	var groups [taskShards][]protocol.UUID
+	for _, id := range ids {
+		groups[shardOf(id)] = append(groups[shardOf(id)], id)
+	}
+	for si := range groups {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		sh := &s.tasks[si]
+		sh.mu.RLock()
+		for _, id := range groups[si] {
+			if rec, ok := sh.m[id]; ok {
+				out[id] = *rec
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return out
 }
 
-func (s *Store) transitionLocked(id protocol.UUID, state protocol.TaskState) error {
-	rec, ok := s.tasks[id]
+// TransitionTask moves a task to state, enforcing the state machine.
+func (s *Store) TransitionTask(id protocol.UUID, state protocol.TaskState) error {
+	sh := s.taskShard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.transitionLocked(sh, id, state)
+}
+
+// TransitionTasks moves a batch of tasks to state, one lock round trip per
+// touched shard. The first per-task error is returned; remaining tasks
+// still transition.
+func (s *Store) TransitionTasks(ids []protocol.UUID, state protocol.TaskState) error {
+	var firstErr error
+	var groups [taskShards][]protocol.UUID
+	for _, id := range ids {
+		groups[shardOf(id)] = append(groups[shardOf(id)], id)
+	}
+	for si := range groups {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		sh := &s.tasks[si]
+		sh.mu.Lock()
+		for _, id := range groups[si] {
+			if err := s.transitionLocked(sh, id, state); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+func (s *Store) transitionLocked(sh *taskShard, id protocol.UUID, state protocol.TaskState) error {
+	rec, ok := sh.m[id]
 	if !ok {
 		return fmt.Errorf("%w: task %s", ErrNotFound, id)
 	}
@@ -322,13 +488,46 @@ func (s *Store) CompleteTask(res protocol.Result) error {
 	if !res.State.Terminal() {
 		return fmt.Errorf("statestore: CompleteTask with non-terminal state %s", res.State)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.tasks[res.TaskID]
+	sh := s.taskShard(res.TaskID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return s.completeLocked(sh, res)
+}
+
+// CompleteTasks applies a batch of results, one lock round trip per touched
+// shard. The returned slice is parallel to results: errs[i] is nil when
+// results[i] was applied, so the caller can ack or dead-letter each source
+// message individually.
+func (s *Store) CompleteTasks(results []protocol.Result) []error {
+	errs := make([]error, len(results))
+	var groups [taskShards][]int
+	for i, res := range results {
+		if !res.State.Terminal() {
+			errs[i] = fmt.Errorf("statestore: CompleteTask with non-terminal state %s", res.State)
+			continue
+		}
+		groups[shardOf(res.TaskID)] = append(groups[shardOf(res.TaskID)], i)
+	}
+	for si := range groups {
+		if len(groups[si]) == 0 {
+			continue
+		}
+		sh := &s.tasks[si]
+		sh.mu.Lock()
+		for _, i := range groups[si] {
+			errs[i] = s.completeLocked(sh, results[i])
+		}
+		sh.mu.Unlock()
+	}
+	return errs
+}
+
+func (s *Store) completeLocked(sh *taskShard, res protocol.Result) error {
+	rec, ok := sh.m[res.TaskID]
 	if !ok {
 		return fmt.Errorf("%w: task %s", ErrNotFound, res.TaskID)
 	}
-	if err := s.transitionLocked(res.TaskID, res.State); err != nil {
+	if err := s.transitionLocked(sh, res.TaskID, res.State); err != nil {
 		return err
 	}
 	rec.Result = append([]byte(nil), res.Output...)
@@ -340,51 +539,70 @@ func (s *Store) CompleteTask(res protocol.Result) error {
 // ListTasksByEndpoint returns the task IDs submitted to an endpoint in
 // creation order.
 func (s *Store) ListTasksByEndpoint(ep protocol.UUID) []protocol.UUID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ids := s.tasksByEndpoint[ep]
+	ix := s.idxShard(ep)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ids := ix.m[ep]
 	return append([]protocol.UUID(nil), ids...)
 }
 
 // CountTasksByState tallies tasks per state.
 func (s *Store) CountTasksByState() map[protocol.TaskState]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make(map[protocol.TaskState]int)
-	for _, rec := range s.tasks {
-		out[rec.State]++
+	for si := range s.tasks {
+		sh := &s.tasks[si]
+		sh.mu.RLock()
+		for _, rec := range sh.m {
+			out[rec.State]++
+		}
+		sh.mu.RUnlock()
 	}
 	return out
 }
 
 // CountTasks returns the total number of tasks.
 func (s *Store) CountTasks() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.tasks)
+	n := 0
+	for si := range s.tasks {
+		sh := &s.tasks[si]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // PurgeTasksBefore deletes terminal task records completed before cutoff,
 // implementing the service's bounded result retention ("results are stored
 // in the cloud for up to two weeks"). It returns the number purged.
 func (s *Store) PurgeTasksBefore(cutoff time.Time) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	purged := 0
-	for id, rec := range s.tasks {
-		if rec.State.Terminal() && !rec.Completed.IsZero() && rec.Completed.Before(cutoff) {
-			delete(s.tasks, id)
-			purged++
-			ids := s.tasksByEndpoint[rec.Task.EndpointID]
-			for i, tid := range ids {
-				if tid == id {
-					s.tasksByEndpoint[rec.Task.EndpointID] = append(ids[:i], ids[i+1:]...)
-					break
-				}
+	for si := range s.tasks {
+		sh := &s.tasks[si]
+		sh.mu.Lock()
+		for id, rec := range sh.m {
+			if rec.State.Terminal() && !rec.Completed.IsZero() && rec.Completed.Before(cutoff) {
+				delete(sh.m, id)
+				purged++
+				s.unindexTask(rec.Task.EndpointID, id)
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return purged
+}
+
+func (s *Store) unindexTask(ep, id protocol.UUID) {
+	ix := s.idxShard(ep)
+	ix.mu.Lock()
+	ids := ix.m[ep]
+	for i, tid := range ids {
+		if tid == id {
+			ix.m[ep] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	ix.mu.Unlock()
 }
 
 // --- durability ---
@@ -396,19 +614,29 @@ type snapshot struct {
 	Tasks     []TaskRecord     `json:"tasks"`
 }
 
-// Snapshot serializes the store to JSON.
+// Snapshot serializes the store to JSON. Each table (and task shard) is
+// read-locked in turn, so the image is per-table consistent; like any
+// periodic database dump it is a point-in-time approximation under
+// concurrent writes.
 func (s *Store) Snapshot() ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var snap snapshot
+	s.fnMu.RLock()
 	for _, f := range s.functions {
 		snap.Functions = append(snap.Functions, *f)
 	}
+	s.fnMu.RUnlock()
+	s.epMu.RLock()
 	for _, e := range s.endpoints {
 		snap.Endpoints = append(snap.Endpoints, *e)
 	}
-	for _, t := range s.tasks {
-		snap.Tasks = append(snap.Tasks, *t)
+	s.epMu.RUnlock()
+	for si := range s.tasks {
+		sh := &s.tasks[si]
+		sh.mu.RLock()
+		for _, t := range sh.m {
+			snap.Tasks = append(snap.Tasks, *t)
+		}
+		sh.mu.RUnlock()
 	}
 	return json.Marshal(snap)
 }
@@ -442,24 +670,39 @@ func (s *Store) Restore(data []byte) error {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return fmt.Errorf("statestore: restore: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.fnMu.Lock()
 	s.functions = make(map[protocol.UUID]*FunctionRecord, len(snap.Functions))
-	s.endpoints = make(map[protocol.UUID]*EndpointRecord, len(snap.Endpoints))
-	s.tasks = make(map[protocol.UUID]*TaskRecord, len(snap.Tasks))
-	s.tasksByEndpoint = make(map[protocol.UUID][]protocol.UUID)
 	for i := range snap.Functions {
 		f := snap.Functions[i]
 		s.functions[f.ID] = &f
 	}
+	s.fnMu.Unlock()
+	s.epMu.Lock()
+	s.endpoints = make(map[protocol.UUID]*EndpointRecord, len(snap.Endpoints))
 	for i := range snap.Endpoints {
 		e := snap.Endpoints[i]
 		s.endpoints[e.ID] = &e
 	}
+	s.epMu.Unlock()
+	for si := range s.tasks {
+		sh := &s.tasks[si]
+		sh.mu.Lock()
+		sh.m = make(map[protocol.UUID]*TaskRecord)
+		sh.mu.Unlock()
+	}
+	for si := range s.byEp {
+		ix := &s.byEp[si]
+		ix.mu.Lock()
+		ix.m = make(map[protocol.UUID][]protocol.UUID)
+		ix.mu.Unlock()
+	}
 	for i := range snap.Tasks {
 		t := snap.Tasks[i]
-		s.tasks[t.Task.ID] = &t
-		s.tasksByEndpoint[t.Task.EndpointID] = append(s.tasksByEndpoint[t.Task.EndpointID], t.Task.ID)
+		sh := s.taskShard(t.Task.ID)
+		sh.mu.Lock()
+		sh.m[t.Task.ID] = &t
+		sh.mu.Unlock()
+		s.indexTask(t.Task.EndpointID, t.Task.ID)
 	}
 	return nil
 }

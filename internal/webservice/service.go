@@ -288,72 +288,143 @@ func (s *Service) startResultProcessor(id protocol.UUID) error {
 	}
 	s.resultConsumers[id] = c
 	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for m := range c.Messages() {
-			if err := s.processResult(m.Body, m.Trace); err != nil {
-				log.Printf("webservice: result processing: %v", err)
-				// Malformed results are acked (dropped) rather than
-				// poison-pilled back onto the queue.
-			}
-			_ = c.Ack(m.Tag)
-		}
-	}()
+	go s.runResultProcessor(c)
 	return nil
 }
 
-// processResult records one result message. tc is the trace context
-// delivered with the message (the broker transit span); the result body's
-// own context is the fallback for untraced transports.
-func (s *Service) processResult(body []byte, tc *trace.Context) error {
+// resultBatchMax bounds how many buffered results one statestore/ack round
+// trip covers (matches the consumer prefetch).
+const resultBatchMax = 64
+
+// runResultProcessor drains a result consumer. The first receive blocks;
+// whatever else is already buffered (up to resultBatchMax) is folded into
+// the same batch, so one statestore write and one ack round trip cover a
+// burst while a lone result is processed immediately.
+func (s *Service) runResultProcessor(c *broker.Consumer) {
+	defer s.wg.Done()
+	msgs := c.Messages()
+	for m := range msgs {
+		batch := []broker.Message{m}
+	drain:
+		for len(batch) < resultBatchMax {
+			select {
+			case m2, ok := <-msgs:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, m2)
+			default:
+				break drain
+			}
+		}
+		s.processResultBatch(c, batch)
+	}
+}
+
+// processResultBatch records a batch of result messages: parse and spill
+// each, complete all tasks in one sharded statestore round trip, stream
+// group results, and acknowledge every message in one batch. Malformed
+// results are acked (dropped) rather than poison-pilled back onto the
+// queue.
+func (s *Service) processResultBatch(c *broker.Consumer, batch []broker.Message) {
+	type pending struct {
+		res protocol.Result
+		sp  *trace.ActiveSpan
+	}
+	pendings := make([]pending, 0, len(batch))
+	for _, m := range batch {
+		res, sp, err := s.prepareResult(m.Body, m.Trace)
+		if err != nil {
+			log.Printf("webservice: result processing: %v", err)
+			continue
+		}
+		pendings = append(pendings, pending{res: res, sp: sp})
+	}
+	results := make([]protocol.Result, len(pendings))
+	for i := range pendings {
+		results[i] = pendings[i].res
+	}
+	errs := s.cfg.Store.CompleteTasks(results)
+	// Batch-fetch the recorded tasks to find group streams to feed.
+	ids := make([]protocol.UUID, 0, len(pendings))
+	for i := range pendings {
+		if errs[i] == nil {
+			ids = append(ids, pendings[i].res.TaskID)
+		}
+	}
+	recs := s.cfg.Store.GetTaskRecords(ids)
+	for i := range pendings {
+		p := &pendings[i]
+		if errs[i] != nil {
+			log.Printf("webservice: result processing: %v", errs[i])
+			p.sp.EndStatus("error")
+			continue
+		}
+		s.Metrics.Counter("results_processed").Inc()
+		if p.res.DeadLettered {
+			// The engine gave up on this task after its attempt budget;
+			// surface the count so operators can spot poison tasks.
+			s.Metrics.Counter("deadlettered_tasks").Inc()
+		}
+		if rec, ok := recs[p.res.TaskID]; ok && rec.Task.GroupID != "" {
+			s.publishGroupResult(rec.Task.GroupID, p.res, p.sp)
+		}
+		p.sp.End()
+	}
+	tags := make([]uint64, len(batch))
+	for i, m := range batch {
+		tags[i] = m.Tag
+	}
+	_ = c.AckBatch(tags)
+}
+
+// prepareResult parses and spills one result message, returning the result
+// ready for recording plus its processing span (ended by the caller). tc is
+// the trace context delivered with the message (the broker transit span);
+// the result body's own context is the fallback for untraced transports.
+func (s *Service) prepareResult(body []byte, tc *trace.Context) (protocol.Result, *trace.ActiveSpan, error) {
 	var res protocol.Result
 	if err := json.Unmarshal(body, &res); err != nil {
-		return fmt.Errorf("bad result message: %w", err)
+		return res, nil, fmt.Errorf("bad result message: %w", err)
 	}
 	if !tc.Valid() {
 		tc = res.Trace
 	}
 	sp := s.cfg.Tracer.StartSpan(tc, "result.process")
 	sp.SetAttr("task", string(res.TaskID))
-	defer sp.End()
 	if !res.State.Terminal() {
 		sp.SetAttr("error", "non-terminal state")
-		return fmt.Errorf("non-terminal result state %q for task %s", res.State, res.TaskID)
+		sp.End()
+		return res, nil, fmt.Errorf("non-terminal result state %q for task %s", res.State, res.TaskID)
 	}
 	// Spill oversized outputs to the object store before recording.
 	if len(res.Output) > s.cfg.InlineThreshold {
 		key, err := s.cfg.Objects.PutContent(res.Output)
 		if err != nil {
-			return err
+			sp.EndStatus("error")
+			return res, nil, err
 		}
 		res.OutputRef = key
 		res.Output = nil
 	}
-	if err := s.cfg.Store.CompleteTask(res); err != nil {
-		return err
+	return res, sp, nil
+}
+
+// publishGroupResult streams a recorded result onto the submitting
+// executor's group queue so its futures resolve.
+func (s *Service) publishGroupResult(g protocol.UUID, res protocol.Result, sp *trace.ActiveSpan) {
+	q := GroupResultQueue(g)
+	if err := s.cfg.Broker.Declare(q); err != nil {
+		return
 	}
-	s.Metrics.Counter("results_processed").Inc()
-	if res.DeadLettered {
-		// The engine gave up on this task after its attempt budget; surface
-		// the count so operators can spot poison tasks.
-		s.Metrics.Counter("deadlettered_tasks").Inc()
+	// Re-point the result's context at the processing span so the SDK's
+	// resolution span chains off it.
+	if next := sp.Context(); next != nil {
+		res.Trace = next
 	}
-	// Stream to the submitting executor's group queue, if any.
-	rec, err := s.cfg.Store.GetTask(res.TaskID)
-	if err == nil && rec.Task.GroupID != "" {
-		q := GroupResultQueue(rec.Task.GroupID)
-		if err := s.cfg.Broker.Declare(q); err == nil {
-			// Re-point the result's context at the processing span so the
-			// SDK's resolution span chains off it.
-			if next := sp.Context(); next != nil {
-				res.Trace = next
-			}
-			if payload, err := json.Marshal(res); err == nil {
-				_ = s.cfg.Broker.PublishTraced(q, payload, res.Trace)
-			}
-		}
+	if payload, err := json.Marshal(res); err == nil {
+		_ = s.cfg.Broker.PublishTraced(q, payload, res.Trace)
 	}
-	return nil
 }
 
 // --- submission ---
@@ -442,42 +513,70 @@ func (s *Service) Submit(tok auth.Token, reqs []SubmitRequest) ([]protocol.UUID,
 		batch = append(batch, prepared{task: task, target: target, tc: req.Trace})
 	}
 
-	ids := make([]protocol.UUID, 0, len(batch))
+	// Stamp spans and marshal bodies first, so a marshal failure aborts the
+	// batch before any state changes. The submit span covers validation
+	// through enqueue; with a batch, each task's span shares the batch
+	// arrival time.
+	ids := make([]protocol.UUID, len(batch))
+	tasks := make([]protocol.Task, len(batch))
+	spans := make([]*trace.ActiveSpan, len(batch))
+	bodies := make([][]byte, len(batch))
+	fail := func(err error) ([]protocol.UUID, error) {
+		for _, sp := range spans {
+			sp.EndStatus("error")
+		}
+		return nil, err
+	}
 	for i := range batch {
 		p := &batch[i]
-		// The submit span covers validation through enqueue; with a batch,
-		// each task's span shares the batch arrival time.
 		sp := s.cfg.Tracer.StartSpanAt(p.tc, "submit", arrived)
 		sp.SetAttr("endpoint", string(p.target))
 		p.task.Trace = sp.Context()
 		if p.task.Trace == nil {
 			p.task.Trace = p.tc // propagate the client's context even untraced
 		}
-		if err := s.cfg.Store.CreateTask(p.task); err != nil {
-			sp.EndStatus("error")
-			return nil, err
-		}
-		if err := s.cfg.Store.TransitionTask(p.task.ID, protocol.StateWaiting); err != nil {
-			sp.EndStatus("error")
-			return nil, err
-		}
+		spans[i] = sp
 		body, err := json.Marshal(p.task)
 		if err != nil {
-			sp.EndStatus("error")
-			return nil, err
+			return fail(err)
 		}
-		if err := s.cfg.Broker.PublishTraced(TaskQueue(p.target), body, p.task.Trace); err != nil {
-			sp.EndStatus("error")
-			return nil, err
-		}
-		if err := s.cfg.Store.TransitionTask(p.task.ID, protocol.StateDelivered); err != nil {
-			sp.EndStatus("error")
-			return nil, err
-		}
-		sp.End()
-		ids = append(ids, p.task.ID)
-		s.Metrics.Counter("tasks_submitted").Inc()
+		bodies[i], tasks[i], ids[i] = body, p.task, p.task.ID
 	}
+	// One sharded statestore round trip per state for the whole batch, then
+	// one broker publish per distinct target queue.
+	if err := s.cfg.Store.CreateTasks(tasks); err != nil {
+		return fail(err)
+	}
+	if err := s.cfg.Store.TransitionTasks(ids, protocol.StateWaiting); err != nil {
+		return fail(err)
+	}
+	var queueOrder []string
+	queueIdx := make(map[string][]int)
+	for i := range batch {
+		q := TaskQueue(batch[i].target)
+		if _, ok := queueIdx[q]; !ok {
+			queueOrder = append(queueOrder, q)
+		}
+		queueIdx[q] = append(queueIdx[q], i)
+	}
+	for _, q := range queueOrder {
+		idxs := queueIdx[q]
+		qBodies := make([][]byte, len(idxs))
+		qTraces := make([]*trace.Context, len(idxs))
+		for j, i := range idxs {
+			qBodies[j], qTraces[j] = bodies[i], tasks[i].Trace
+		}
+		if err := s.cfg.Broker.PublishBatch(q, qBodies, qTraces); err != nil {
+			return fail(err)
+		}
+	}
+	if err := s.cfg.Store.TransitionTasks(ids, protocol.StateDelivered); err != nil {
+		return fail(err)
+	}
+	for _, sp := range spans {
+		sp.End()
+	}
+	s.Metrics.Counter("tasks_submitted").Add(int64(len(ids)))
 	s.audit(tok.Identity.Username, "submit", reqs[0].EndpointID, nil,
 		fmt.Sprintf("%d tasks", len(ids)))
 	return ids, nil
@@ -556,15 +655,7 @@ func (s *Service) startResultProcessorLocked(id protocol.UUID) error {
 	}
 	s.resultConsumers[id] = c
 	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for m := range c.Messages() {
-			if err := s.processResult(m.Body, m.Trace); err != nil {
-				log.Printf("webservice: result processing: %v", err)
-			}
-			_ = c.Ack(m.Tag)
-		}
-	}()
+	go s.runResultProcessor(c)
 	return nil
 }
 
@@ -634,18 +725,23 @@ func (s *Service) GetTask(id protocol.UUID) (TaskStatus, error) {
 	}, nil
 }
 
-// GetTasks returns the status of many tasks at once (the batch_status API).
-// Unknown IDs are reported with an empty state rather than failing the
-// whole batch.
+// GetTasks returns the status of many tasks at once (the batch_status API),
+// one shared read-lock round trip per statestore shard rather than one per
+// task. Unknown IDs are reported with an empty state rather than failing
+// the whole batch.
 func (s *Service) GetTasks(ids []protocol.UUID) []TaskStatus {
+	recs := s.cfg.Store.GetTaskRecords(ids)
 	out := make([]TaskStatus, len(ids))
 	for i, id := range ids {
-		st, err := s.GetTask(id)
-		if err != nil {
-			out[i] = TaskStatus{TaskID: id, Error: err.Error()}
+		rec, ok := recs[id]
+		if !ok {
+			out[i] = TaskStatus{TaskID: id, Error: fmt.Sprintf("%v: task %s", statestore.ErrNotFound, id)}
 			continue
 		}
-		out[i] = st
+		out[i] = TaskStatus{
+			TaskID: rec.Task.ID, State: rec.State,
+			Result: rec.Result, ResultRef: rec.ResultRef, Error: rec.Error,
+		}
 	}
 	return out
 }
