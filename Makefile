@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race trace-race trace-bench bench bench-smoke chaos examples experiments fuzz clean
+.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos examples experiments fuzz clean
 
-all: build vet test trace-race chaos bench-smoke
+all: build vet test trace-race chaos bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -42,11 +42,16 @@ trace-bench:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Fast saturation run recording the PR-3 task-path baseline (batched vs
-# unbatched broker throughput and latency) into BENCH_pr3.json — see
-# docs/PERFORMANCE.md for how to read it.
+# Fast saturation run recording the current task-path numbers (broker wire
+# batching from PR 3 plus the PR-4 endpoint pipeline arms) into
+# BENCH_pr4.json — see docs/PERFORMANCE.md for how to read it.
 bench-smoke:
-	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr3.json
+	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr4.json
+
+# Regression gate: diff the fresh run against the recorded PR-3 baseline and
+# fail on a >10% tasks/s drop (or p50/p99 rise) in any arm present in both.
+bench-compare:
+	$(GO) run ./cmd/gc-bench -compare BENCH_pr3.json,BENCH_pr4.json
 
 examples:
 	$(GO) run ./examples/quickstart

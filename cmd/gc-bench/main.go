@@ -7,6 +7,7 @@
 //	gc-bench -exp fig2            # one experiment
 //	gc-bench -exp all             # everything
 //	gc-bench -list                # list experiment IDs
+//	gc-bench -compare old.json,new.json   # regression-gate two saturation runs
 package main
 
 import (
@@ -34,8 +35,22 @@ func main() {
 		full    = flag.Bool("full", false, "print full per-day series for fig2")
 		csvDir  = flag.String("csv", "", "also write each report's rows to <dir>/<id>.csv")
 		jsonOut = flag.String("json", "", "write the saturation experiment's structured result to this file")
+		compare = flag.String("compare", "", "old.json,new.json: diff two saturation results and fail on >10% regression in shared arms")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		parts := strings.SplitN(*compare, ",", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "gc-bench: -compare wants old.json,new.json")
+			os.Exit(2)
+		}
+		if err := compareSaturation(parts[0], parts[1]); err != nil {
+			fmt.Fprintf(os.Stderr, "gc-bench: compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var satResult *experiments.SaturationResult
 

@@ -5,9 +5,11 @@
 package main
 
 import (
+	"crypto/x509"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,8 +38,9 @@ func main() {
 		withMPI   = flag.Bool("mpi", false, "attach a GlobusMPIEngine over a simulated cluster")
 		mpiNodes  = flag.Int("mpi-nodes", 4, "simulated cluster nodes for the MPI engine")
 		sandbox   = flag.String("sandbox-root", os.TempDir(), "ShellFunction sandbox root")
-		transport = flag.String("transport", "channel", "engine interchange transport: channel or tcp")
-		brokerCA  = flag.String("broker-ca", "", "CA PEM for a TLS broker (from gc-webservice -broker-tls)")
+		transport   = flag.String("transport", "channel", "engine interchange transport: channel or tcp")
+		brokerCA    = flag.String("broker-ca", "", "CA PEM for a TLS broker (from gc-webservice -broker-tls)")
+		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (agent + engine registries, Prometheus text) on this address")
 	)
 	flag.Parse()
 	if *token == "" {
@@ -93,7 +96,7 @@ func main() {
 				err = client.HeartbeatWithLoad(reg.EndpointID, online, statestore.EndpointLoad{
 					PendingTasks: l.PendingTasks, TotalWorkers: l.TotalWorkers,
 					FreeWorkers: l.FreeWorkers, TasksReceived: l.TasksReceived,
-					ResultsPublished: l.ResultsPublished,
+					ResultsPublished: l.ResultsPublished, EgressBacklog: l.EgressBacklog,
 				})
 			} else {
 				err = client.Heartbeat(reg.EndpointID, online)
@@ -129,6 +132,19 @@ func main() {
 	if err := agent.Start(); err != nil {
 		log.Fatalf("gc-endpoint: start: %v", err)
 	}
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = agent.WriteMetrics(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("gc-endpoint: metrics server: %v", err)
+			}
+		}()
+		fmt.Printf("  metrics:      http://%s/metrics\n", *metricsAddr)
+	}
 	fmt.Println("gc-endpoint online; waiting for tasks")
 
 	stop := make(chan os.Signal, 1)
@@ -141,18 +157,28 @@ func main() {
 	}
 }
 
-// dialBroker connects plain or over TLS when a CA file is supplied.
+// dialBroker connects plain or over TLS when a CA file is supplied. Wire
+// batching is enabled either way so the agent's pipelined intake and
+// group-commit egress ride batch frames instead of per-message round trips.
 func dialBroker(addr, caPath string) (*broker.Client, error) {
+	var bc *broker.Client
+	var err error
 	if caPath == "" {
-		return broker.Dial(addr)
+		bc, err = broker.Dial(addr)
+	} else {
+		var pemData []byte
+		if pemData, err = os.ReadFile(caPath); err != nil {
+			return nil, err
+		}
+		var pool *x509.CertPool
+		if pool, err = broker.PoolFromPEM(pemData); err != nil {
+			return nil, err
+		}
+		bc, err = broker.DialTLS(addr, pool)
 	}
-	pemData, err := os.ReadFile(caPath)
 	if err != nil {
 		return nil, err
 	}
-	pool, err := broker.PoolFromPEM(pemData)
-	if err != nil {
-		return nil, err
-	}
-	return broker.DialTLS(addr, pool)
+	bc.EnableBatching(broker.BatchConfig{})
+	return bc, nil
 }

@@ -301,7 +301,7 @@ func (tb *Testbed) buildAgent(epID protocol.UUID, opts EndpointOptions) (*endpoi
 				_ = tb.Service.ReportEndpointLoad(epID, statestore.EndpointLoad{
 					PendingTasks: l.PendingTasks, TotalWorkers: l.TotalWorkers,
 					FreeWorkers: l.FreeWorkers, TasksReceived: l.TasksReceived,
-					ResultsPublished: l.ResultsPublished,
+					ResultsPublished: l.ResultsPublished, EgressBacklog: l.EgressBacklog,
 				})
 			}
 		},

@@ -64,6 +64,22 @@ func TestMalformedTaskDeadLetters(t *testing.T) {
 	if h.agent.Metrics.Counter("dead_lettered").Value() != 1 {
 		t.Error("dead-letter counter not incremented")
 	}
+	// The poison left the task queue for good (rejected, not redelivered
+	// forever) and the pipeline is healthy: a subsequent task flows end to
+	// end and the DLQ depth holds at one.
+	results := h.results(t)
+	task := pythonTask(t, "identity", "after-poison")
+	h.submit(t, task)
+	res := nextResult(t, results)
+	if res.TaskID != task.ID || res.State != protocol.StateSuccess {
+		t.Fatalf("post-poison result = %+v, want success for %s", res, task.ID)
+	}
+	if d, err := h.brk.Depth(dlq); err != nil || d != 1 {
+		t.Errorf("dlq depth = %d (%v), want 1 — poison must not redeliver", d, err)
+	}
+	if d, err := h.brk.Depth("tasks." + string(h.epID)); err != nil || d != 0 {
+		t.Errorf("task queue depth = %d (%v), want 0", d, err)
+	}
 }
 
 func TestRunnerProxyResolutionAndResultProxying(t *testing.T) {

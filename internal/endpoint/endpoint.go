@@ -6,11 +6,14 @@
 package endpoint
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +50,27 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// Prefetch bounds in-flight task deliveries (default 32).
 	Prefetch int
+	// IntakeBatch caps deliveries decoded, submitted, and acked per task-loop
+	// wakeup (default Prefetch; 1 restores pre-pipeline single-task intake).
+	IntakeBatch int
+	// EgressMaxBatch caps results coalesced into one publish_batch flush
+	// (default 64; 1 restores per-result publishes). A flush holding a single
+	// result always degrades to a plain traced publish, so batching adds no
+	// envelope change — and no latency — at idle.
+	EgressMaxBatch int
+	// EgressFlushWindow, when > 0, delays each egress flush by this much so a
+	// burst can accumulate. Zero (the default) is pure group commit: the
+	// first result flushes immediately and whatever lands while its publish
+	// is in flight forms the next batch.
+	EgressFlushWindow time.Duration
+	// DisableAdaptivePrefetch pins the per-wakeup intake budget at
+	// IntakeBatch. By default the budget scales with the engine's free
+	// capacity (FreeWorkers/PendingTasks) and intake pauses entirely while
+	// the engine backlog is past its high-water mark, so a saturated engine
+	// stops pulling deliveries it cannot start: unacked deliveries then
+	// throttle the broker at the prefetch window instead of queueing
+	// unboundedly inside the agent.
+	DisableAdaptivePrefetch bool
 	// Tracer, when set, records an endpoint.dispatch span per traced task
 	// and carries trace context on published results. Nil disables tracing.
 	Tracer *trace.Tracer
@@ -63,6 +87,24 @@ type Agent struct {
 	sub  broker.Subscription
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	// egress is the result pipeline: producers (the engine/MPI result
+	// forwarders and the task loop, which emits submit-failure results)
+	// enqueue, the egress loop group-commits to the result queue. producers
+	// tracks them all so the channel closes exactly once, after the last
+	// possible send.
+	egress    chan protocol.Result
+	producers sync.WaitGroup
+	// egressBacklog counts results accepted from the engines but not yet
+	// published (queued or inside an in-flight flush) — the agent-side
+	// pressure signal carried in heartbeat load reports.
+	egressBacklog atomic.Int64
+
+	// ackSem bounds batch-ack round trips in flight so intake keeps
+	// draining while an ack reply is on the wire; acks tracks them so
+	// taskLoop exits only after the last ack lands.
+	ackSem chan struct{}
+	acks   sync.WaitGroup
 
 	// lastActivity is the unix-nano time of the last task receipt or
 	// result publication, used by multi-user endpoints to reap idle user
@@ -85,6 +127,10 @@ type Load struct {
 	FreeWorkers      int
 	TasksReceived    int64
 	ResultsPublished int64
+	// EgressBacklog is the number of completed results still waiting to be
+	// published — pressure invisible to the engine stats but very visible to
+	// clients, so MEP routing should see it.
+	EgressBacklog int
 }
 
 // SnapshotLoad samples the agent's current utilization.
@@ -104,11 +150,16 @@ func (a *Agent) SnapshotLoad() Load {
 	}
 	l.TasksReceived = a.Metrics.Counter("tasks_received").Value()
 	l.ResultsPublished = a.Metrics.Counter("results_published").Value()
+	l.EgressBacklog = int(a.egressBacklog.Load())
 	return l
 }
 
-// Busy reports whether any tasks are pending or executing.
+// Busy reports whether any tasks are pending, executing, or awaiting result
+// publication.
 func (a *Agent) Busy() bool {
+	if a.egressBacklog.Load() > 0 {
+		return true
+	}
 	if a.cfg.Engine != nil {
 		s := a.cfg.Engine.Stats()
 		if s.PendingTasks > 0 || s.TasksCompleted < s.TasksSubmitted {
@@ -138,10 +189,25 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.Prefetch <= 0 {
 		cfg.Prefetch = 32
 	}
+	if cfg.IntakeBatch <= 0 {
+		cfg.IntakeBatch = cfg.Prefetch
+	}
+	if cfg.IntakeBatch > cfg.Prefetch {
+		cfg.IntakeBatch = cfg.Prefetch
+	}
+	if cfg.EgressMaxBatch <= 0 {
+		cfg.EgressMaxBatch = 64
+	}
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = 5 * time.Second
 	}
-	a := &Agent{cfg: cfg, done: make(chan struct{}), Metrics: metrics.NewRegistry()}
+	a := &Agent{
+		cfg:     cfg,
+		done:    make(chan struct{}),
+		egress:  make(chan protocol.Result, 2*cfg.EgressMaxBatch),
+		ackSem:  make(chan struct{}, ackFlightCap),
+		Metrics: metrics.NewRegistry(),
+	}
 	a.lastActivity.Store(time.Now().UnixNano())
 	return a, nil
 }
@@ -177,12 +243,21 @@ func (a *Agent) Start() error {
 	a.sub = sub
 
 	a.wg.Add(2)
+	a.producers.Add(2)
 	go a.taskLoop()
+	go a.egressLoop()
 	go a.forwardResults(a.cfg.Engine.Results())
 	if a.cfg.MPI != nil {
-		a.wg.Add(1)
+		a.producers.Add(1)
 		go a.forwardResults(a.cfg.MPI.Results())
 	}
+	// The egress channel closes exactly once, after the task loop and every
+	// engine's result stream drain; egressLoop then flushes the tail and
+	// exits.
+	go func() {
+		a.producers.Wait()
+		close(a.egress)
+	}()
 	if a.cfg.Heartbeat != nil {
 		a.cfg.Heartbeat(true)
 		a.wg.Add(1)
@@ -191,24 +266,168 @@ func (a *Agent) Start() error {
 	return nil
 }
 
-// taskLoop routes deliveries into the engines.
+// taskLoop is the batched intake pump: each wakeup drains up to the intake
+// budget of buffered deliveries, decodes them (in parallel for large
+// drains), submits the whole batch to the engines, and acknowledges every
+// tag in one ack_batch round trip.
 func (a *Agent) taskLoop() {
 	defer a.wg.Done()
-	for m := range a.sub.Messages() {
-		var task protocol.Task
-		if err := json.Unmarshal(m.Body, &task); err != nil {
-			log.Printf("endpoint %s: malformed task: %v", a.cfg.EndpointID, err)
+	defer a.producers.Done()
+	defer a.acks.Wait()
+	batch := make([]broker.Message, 0, a.cfg.IntakeBatch)
+	for {
+		if !a.waitForCapacity() {
+			// Stopping: keep draining so unprocessed deliveries requeue via
+			// Cancel rather than stalling the channel.
+		}
+		m, ok := <-a.sub.Messages()
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], m)
+		budget := a.intakeBudget()
+	drain:
+		for len(batch) < budget {
+			select {
+			case m2, ok := <-a.sub.Messages():
+				if !ok {
+					break drain
+				}
+				batch = append(batch, m2)
+			default:
+				break drain
+			}
+		}
+		a.processDeliveries(batch)
+	}
+}
+
+// intakeHighWater is the engine-backlog multiple (of total workers) past
+// which intake pauses entirely.
+const intakeHighWater = 2
+
+// ackFlightCap bounds concurrent batch-ack round trips (see the ack switch
+// in processDeliveries).
+const ackFlightCap = 2
+
+// highWater is the engine backlog at which intake stops pulling: a multiple
+// of the worker count, floored at one full intake batch so a fast-draining
+// engine is never throttled below batch granularity.
+func (a *Agent) highWater(totalWorkers int) int {
+	hw := intakeHighWater * totalWorkers
+	if hw < a.cfg.IntakeBatch {
+		hw = a.cfg.IntakeBatch
+	}
+	return hw
+}
+
+// intakeBudget sizes the next drain. With adaptive prefetch (the default)
+// it is the room left under the engine's backlog high-water mark plus one
+// round of workers, clamped to [1, IntakeBatch]: an idle engine gets a full
+// batch, one near saturation a trickle.
+func (a *Agent) intakeBudget() int {
+	maxN := a.cfg.IntakeBatch
+	if a.cfg.DisableAdaptivePrefetch {
+		return maxN
+	}
+	s := a.cfg.Engine.Stats()
+	budget := a.highWater(s.TotalWorkers) + s.TotalWorkers - s.PendingTasks
+	if budget < 1 {
+		budget = 1
+	}
+	if budget > maxN {
+		budget = maxN
+	}
+	return budget
+}
+
+// waitForCapacity blocks while the engine backlog exceeds its high-water
+// mark, so a saturated engine stops pulling deliveries it cannot start.
+// Messages left unacked on the broker throttle delivery at the prefetch
+// window — backpressure propagates upstream instead of queueing inside the
+// agent. A fast engine drains in microseconds, so the wait spins on the
+// scheduler before falling back to short sleeps. Returns false when the
+// agent is stopping.
+func (a *Agent) waitForCapacity() bool {
+	if a.cfg.DisableAdaptivePrefetch {
+		return true
+	}
+	for spins := 0; ; spins++ {
+		s := a.cfg.Engine.Stats()
+		if s.TotalWorkers == 0 || s.PendingTasks <= a.highWater(s.TotalWorkers) {
+			return true
+		}
+		if spins < 64 {
+			runtime.Gosched()
+			continue
+		}
+		select {
+		case <-a.done:
+			return false
+		default:
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// parallelDecodeMin is the drain size at which task decoding fans out
+// across goroutines.
+const parallelDecodeMin = 16
+
+// processDeliveries decodes, dispatches, and acknowledges one intake batch.
+func (a *Agent) processDeliveries(batch []broker.Message) {
+	n := len(batch)
+	tasks := make([]protocol.Task, n)
+	decodeErrs := make([]error, n)
+	decode := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			decodeErrs[i] = json.Unmarshal(batch[i].Body, &tasks[i])
+		}
+	}
+	if n < parallelDecodeMin {
+		decode(0, n)
+	} else {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4
+		}
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				decode(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+
+	// Dispatch: engine tasks batch-submit under one engine lock; MPI tasks
+	// submit individually (rare, and the MPI engine runs its own dispatch).
+	tags := make([]uint64, 0, n)
+	engTasks := make([]protocol.Task, 0, n)
+	engSpans := make([]*trace.ActiveSpan, 0, n)
+	received := 0
+	for i := range batch {
+		if decodeErrs[i] != nil {
+			log.Printf("endpoint %s: malformed task: %v", a.cfg.EndpointID, decodeErrs[i])
 			// Poison messages dead-letter to tasks.<ep>.dlq for operator
 			// inspection rather than redelivering forever.
-			if rerr := a.sub.Reject(m.Tag); rerr != nil {
-				_ = a.sub.Ack(m.Tag)
+			if rerr := a.sub.Reject(batch[i].Tag); rerr != nil {
+				tags = append(tags, batch[i].Tag)
 			}
 			a.Metrics.Counter("dead_lettered").Inc()
 			continue
 		}
+		task := tasks[i]
 		// Continue the trace: the delivery context (broker transit span) is
 		// preferred; the task body's context covers untraced transports.
-		parent := m.Trace
+		parent := batch[i].Trace
 		if !parent.Valid() {
 			parent = task.Trace
 		}
@@ -217,60 +436,254 @@ func (a *Agent) taskLoop() {
 		if next := sp.Context(); next != nil {
 			task.Trace = next
 		}
-		var err error
+		tags = append(tags, batch[i].Tag)
+		received++
 		if task.Kind == protocol.KindMPI {
 			if a.cfg.MPI == nil {
-				a.publishResult(protocol.Result{
+				a.enqueueResult(protocol.Result{
 					TaskID: task.ID, State: protocol.StateFailed,
 					Error: "endpoint has no MPI engine configured",
 					Trace: task.Trace,
 				})
-				_ = a.sub.Ack(m.Tag)
 				a.Metrics.Counter("rejected_mpi").Inc()
 				sp.EndStatus("error")
 				continue
 			}
-			err = a.cfg.MPI.Submit(task)
-		} else {
-			err = a.cfg.Engine.Submit(task)
+			err := a.cfg.MPI.Submit(task)
+			sp.End()
+			if err != nil {
+				a.enqueueResult(protocol.Result{
+					TaskID: task.ID, State: protocol.StateFailed, Error: err.Error(),
+					Trace: task.Trace,
+				})
+				a.Metrics.Counter("submit_errors").Inc()
+			}
+			continue
 		}
-		sp.End()
-		if err != nil {
+		engTasks = append(engTasks, task)
+		engSpans = append(engSpans, sp)
+	}
+
+	if len(engTasks) > 0 {
+		errs := a.cfg.Engine.SubmitBatch(engTasks)
+		for i, sp := range engSpans {
+			sp.End()
+			if errs == nil || errs[i] == nil {
+				continue
+			}
 			// Invalid tasks fail permanently; transient backlog errors
 			// would also land here — report rather than redeliver forever.
-			a.publishResult(protocol.Result{
-				TaskID: task.ID, State: protocol.StateFailed, Error: err.Error(),
-				Trace: task.Trace,
+			a.enqueueResult(protocol.Result{
+				TaskID: engTasks[i].ID, State: protocol.StateFailed,
+				Error: errs[i].Error(), Trace: engTasks[i].Trace,
 			})
 			a.Metrics.Counter("submit_errors").Inc()
 		}
-		_ = a.sub.Ack(m.Tag)
-		a.Metrics.Counter("tasks_received").Inc()
+	}
+
+	// Acknowledge the whole drain at once; a lone tag stays on the classic
+	// single-ack envelope. Batch acks fire without blocking the loop: an
+	// ack's only job is to move the delivery window, and a round trip spent
+	// waiting on its reply is a round trip the next drain isn't running. The
+	// small flight bound keeps unacked tags from piling up unboundedly when
+	// the broker slows down.
+	switch len(tags) {
+	case 0:
+	case 1:
+		_ = a.sub.Ack(tags[0])
+	default:
+		a.ackSem <- struct{}{}
+		a.acks.Add(1)
+		go func(tags []uint64) {
+			defer a.acks.Done()
+			defer func() { <-a.ackSem }()
+			_ = broker.AckBatchOn(a.sub, tags)
+		}(tags)
+	}
+	if received > 0 {
+		a.Metrics.Counter("tasks_received").Add(int64(received))
+		a.Metrics.Counter("intake_batches").Inc()
 		a.lastActivity.Store(time.Now().UnixNano())
 	}
 }
 
-// forwardResults publishes engine results to the result queue.
+// forwardResults feeds one engine's result stream into the egress pipeline.
 func (a *Agent) forwardResults(ch <-chan protocol.Result) {
-	defer a.wg.Done()
+	defer a.producers.Done()
 	for res := range ch {
-		a.publishResult(res)
+		a.enqueueResult(res)
 	}
 }
 
-func (a *Agent) publishResult(res protocol.Result) {
-	res.EndpointID = a.cfg.EndpointID
-	body, err := json.Marshal(res)
+// enqueueResult hands a result to the egress flusher.
+func (a *Agent) enqueueResult(res protocol.Result) {
+	a.egressBacklog.Add(1)
+	a.egress <- res
+}
+
+// egressFlightCap bounds concurrent flush publishes in flight. A synchronous
+// publish round trip would otherwise serialize egress at one flush per RTT;
+// a few overlapping flushes hide that latency, and when every slot is busy
+// the drainer blocks — which is exactly when queued results coalesce into
+// larger batches.
+const egressFlightCap = 4
+
+// egressLoop is the group-commit result flusher: the first queued result
+// wakes it, everything buffered up to EgressMaxBatch coalesces into one
+// publish_batch, and a lone result degrades to a plain traced publish so
+// chaos wrappers and old brokers see the classic envelope. While flushes are
+// in flight new results accumulate, so batch size adapts to load without
+// adding latency at idle. Results within a flush preserve completion order;
+// concurrent flushes may interleave (tasks are independent and the task
+// state machine does not rely on cross-result ordering).
+func (a *Agent) egressLoop() {
+	defer a.wg.Done()
+	maxN := a.cfg.EgressMaxBatch
+	sem := make(chan struct{}, egressFlightCap)
+	var flights sync.WaitGroup
+	defer flights.Wait()
+	for {
+		res, ok := <-a.egress
+		if !ok {
+			return
+		}
+		if a.cfg.EgressFlushWindow > 0 {
+			time.Sleep(a.cfg.EgressFlushWindow)
+		}
+		batch := make([]protocol.Result, 0, maxN)
+		batch = append(batch, res)
+		closed := false
+	drain:
+		for len(batch) < maxN {
+			select {
+			case r2, ok := <-a.egress:
+				if !ok {
+					closed = true
+					break drain
+				}
+				batch = append(batch, r2)
+			default:
+				break drain
+			}
+		}
+		if maxN == 1 {
+			// Per-result mode (the pre-pipeline hot path): publish inline,
+			// strictly in order.
+			a.publishResults(batch)
+		} else {
+			sem <- struct{}{}
+			flights.Add(1)
+			go func(b []protocol.Result) {
+				defer flights.Done()
+				defer func() { <-sem }()
+				a.publishResults(b)
+			}(batch)
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// resultBufPool recycles result-encoding buffers on the egress path,
+// mirroring the frame codec's pooling (buffers over 1 MiB are not pooled so
+// one huge output cannot pin memory).
+var resultBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledResultBuf = 1 << 20
+
+// publishResults marshals and publishes one egress flush. A single result
+// uses the classic PublishTraced path; larger flushes go through the conn's
+// batch capability (with a sequential fallback for wrapped conns).
+func (a *Agent) publishResults(batch []protocol.Result) {
+	defer a.egressBacklog.Add(-int64(len(batch)))
+	queue := resultQueue(a.cfg.EndpointID)
+	bodies := make([][]byte, 0, len(batch))
+	traces := make([]*trace.Context, 0, len(batch))
+	bufs := make([]*bytes.Buffer, 0, len(batch))
+	defer func() {
+		for _, b := range bufs {
+			if b.Cap() <= maxPooledResultBuf {
+				b.Reset()
+				resultBufPool.Put(b)
+			}
+		}
+	}()
+	for i := range batch {
+		batch[i].EndpointID = a.cfg.EndpointID
+		buf := resultBufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if err := json.NewEncoder(buf).Encode(&batch[i]); err != nil {
+			log.Printf("endpoint %s: marshal result: %v", a.cfg.EndpointID, err)
+			buf.Reset()
+			resultBufPool.Put(buf)
+			continue
+		}
+		bufs = append(bufs, buf)
+		body := buf.Bytes()
+		// Encode appends a newline the classic json.Marshal path never had.
+		if k := len(body); k > 0 && body[k-1] == '\n' {
+			body = body[:k-1]
+		}
+		bodies = append(bodies, body)
+		traces = append(traces, batch[i].Trace)
+	}
+	if len(bodies) == 0 {
+		return
+	}
+	published := len(bodies)
+	var err error
+	if len(bodies) == 1 {
+		err = a.cfg.Conn.PublishTraced(queue, bodies[0], traces[0])
+	} else {
+		err = broker.PublishBatchOn(a.cfg.Conn, queue, bodies, traces)
+	}
 	if err != nil {
-		log.Printf("endpoint %s: marshal result: %v", a.cfg.EndpointID, err)
-		return
+		// A batch flush succeeds or fails as a unit, so one flaky publish
+		// would sink every batchmate once the conn's retry budget runs out.
+		// Fall back to per-result publishes — each with its own retry budget —
+		// and accept that results already sent by a partial batch attempt go
+		// out twice (the task state machine absorbs duplicates).
+		log.Printf("endpoint %s: publish %d result(s): %v; retrying individually", a.cfg.EndpointID, len(bodies), err)
+		published = 0
+		for i := range bodies {
+			if perr := a.cfg.Conn.PublishTraced(queue, bodies[i], traces[i]); perr != nil {
+				log.Printf("endpoint %s: publish result: %v", a.cfg.EndpointID, perr)
+				continue
+			}
+			published++
+		}
+		if published == 0 {
+			return
+		}
 	}
-	if err := a.cfg.Conn.PublishTraced(resultQueue(a.cfg.EndpointID), body, res.Trace); err != nil {
-		log.Printf("endpoint %s: publish result: %v", a.cfg.EndpointID, err)
-		return
-	}
-	a.Metrics.Counter("results_published").Inc()
+	a.Metrics.Counter("results_published").Add(int64(published))
+	a.Metrics.Counter("egress_flushes").Inc()
+	// Flush size recorded as a duration histogram: one second == one
+	// result, so /metrics quantiles read directly as results per flush.
+	a.Metrics.Histogram("egress_flush_size").Observe(time.Duration(len(bodies)) * time.Second)
 	a.lastActivity.Store(time.Now().UnixNano())
+}
+
+// WriteMetrics renders the agent's and its engines' registries in the
+// Prometheus text format (the body gc-endpoint serves on /metrics). The
+// egress backlog is exported as a gauge sampled at scrape time.
+func (a *Agent) WriteMetrics(w io.Writer) error {
+	a.Metrics.Gauge("egress_backlog").Set(a.egressBacklog.Load())
+	if err := a.Metrics.WriteText(w, "gc_endpoint"); err != nil {
+		return err
+	}
+	if a.cfg.Engine != nil {
+		if err := a.cfg.Engine.Metrics.WriteText(w, "gc_engine"); err != nil {
+			return err
+		}
+	}
+	if a.cfg.MPI != nil {
+		if err := a.cfg.MPI.Metrics.WriteText(w, "gc_mpiengine"); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (a *Agent) heartbeatLoop() {

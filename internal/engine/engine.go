@@ -42,6 +42,10 @@ type WorkerInfo struct {
 // mid-task without producing an outcome: the engine retries the task under
 // its attempt budget (see Config.MaxAttempts) — the seam fault-injection
 // harnesses use to simulate worker kills.
+//
+// Result identity is stamped centrally by the engine: TaskID, WorkerID,
+// timing fields, and the trace context are set on every produced result in
+// workerLoop, so runners only need to fill State, Output, and Error.
 type TaskRunner func(ctx context.Context, task protocol.Task, w WorkerInfo) protocol.Result
 
 // Config configures an engine.
@@ -211,22 +215,55 @@ func (e *Engine) Start() error {
 
 // Submit enqueues a task for execution.
 func (e *Engine) Submit(task protocol.Task) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.started {
-		return ErrNotStarted
+	if errs := e.SubmitBatch([]protocol.Task{task}); errs != nil {
+		return errs[0]
 	}
-	if e.stopped {
-		return ErrStopped
-	}
-	if len(e.pending) >= e.cfg.QueueCapacity {
-		return fmt.Errorf("engine: backlog full (%d tasks)", len(e.pending))
-	}
-	e.startQueueSpanLocked(&task)
-	e.pending = append(e.pending, task)
-	e.Metrics.Counter("submitted").Inc()
-	e.wakeUp()
 	return nil
+}
+
+// SubmitBatch enqueues tasks under a single lock acquisition and one
+// dispatcher wakeup — the engine half of the endpoint's batched intake. It
+// returns nil when every task was accepted; otherwise a slice parallel to
+// tasks where errs[i] reports task i's rejection (not started, stopped, or
+// backlog full). Acceptance is per-task: tasks before a rejected one stay
+// enqueued.
+func (e *Engine) SubmitBatch(tasks []protocol.Task) []error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		err := ErrNotStarted
+		if e.stopped {
+			err = ErrStopped
+		}
+		e.mu.Unlock()
+		errs := make([]error, len(tasks))
+		for i := range errs {
+			errs[i] = err
+		}
+		return errs
+	}
+	var errs []error
+	accepted := 0
+	for i := range tasks {
+		if len(e.pending) >= e.cfg.QueueCapacity {
+			if errs == nil {
+				errs = make([]error, len(tasks))
+			}
+			errs[i] = fmt.Errorf("engine: backlog full (%d tasks)", len(e.pending))
+			continue
+		}
+		e.startQueueSpanLocked(&tasks[i])
+		e.pending = append(e.pending, tasks[i])
+		accepted++
+	}
+	e.mu.Unlock()
+	if accepted > 0 {
+		e.Metrics.Counter("submitted").Add(int64(accepted))
+		e.wakeUp()
+	}
+	return errs
 }
 
 // startQueueSpanLocked opens an engine.queue span for a traced task (caller

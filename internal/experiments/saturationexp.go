@@ -35,9 +35,14 @@ type SaturationResult struct {
 	Points      []SaturationPoint `json:"points"`
 	// TCPSpeedup and InprocSpeedup compare batched vs unbatched achieved
 	// tasks/s at saturation (before/after for this PR's batching work).
-	TCPSpeedup    float64  `json:"tcp_speedup_at_saturation"`
-	InprocSpeedup float64  `json:"inproc_speedup_at_saturation"`
-	Notes         []string `json:"notes"`
+	TCPSpeedup    float64 `json:"tcp_speedup_at_saturation"`
+	InprocSpeedup float64 `json:"inproc_speedup_at_saturation"`
+	// TCPEndpointSpeedup and InprocEndpointSpeedup compare the pipelined
+	// endpoint agent (batched intake + engine batch submit + group-commit
+	// egress) against the per-task agent hot path at saturation.
+	TCPEndpointSpeedup    float64  `json:"tcp_endpoint_speedup_at_saturation"`
+	InprocEndpointSpeedup float64  `json:"inproc_endpoint_speedup_at_saturation"`
+	Notes                 []string `json:"notes"`
 }
 
 // satBatch is the batch size for the batched arms (the acceptance bar asks
@@ -66,23 +71,49 @@ func Saturation(n int) (Report, *SaturationResult, error) {
 			}
 		}
 	}
-	sat := func(transport string, batch int) float64 {
+	// Endpoint arms: the same paced/saturation grid through a full agent,
+	// per-task ("ep-single") vs pipelined hot path ("ep-pipelined"). The
+	// endpoint arms execute tasks on real workers, so their task counts are
+	// capped to keep the smoke run quick.
+	epN := n
+	if epN > 5000 {
+		epN = 5000
+	}
+	for _, transport := range []string{"inproc", "tcp"} {
+		for _, pipelined := range []bool{false, true} {
+			for _, offered := range []int{paced, 0} {
+				pt, err := endpointArm(transport, pipelined, offered, epN)
+				if err != nil {
+					return Report{}, nil, fmt.Errorf("saturation endpoint %s pipelined=%v offered=%d: %w", transport, pipelined, offered, err)
+				}
+				res.Points = append(res.Points, pt)
+			}
+		}
+	}
+	sat := func(transport, mode string, batch int) float64 {
 		for _, p := range res.Points {
-			if p.Transport == transport && p.Batch == batch && p.OfferedPerS == 0 {
+			if p.Transport == transport && p.Mode == mode && p.Batch == batch && p.OfferedPerS == 0 {
 				return p.AchievedPerS
 			}
 		}
 		return 0
 	}
-	if v := sat("tcp", 1); v > 0 {
-		res.TCPSpeedup = sat("tcp", satBatch) / v
+	if v := sat("tcp", "unbatched", 1); v > 0 {
+		res.TCPSpeedup = sat("tcp", "batched", satBatch) / v
 	}
-	if v := sat("inproc", 1); v > 0 {
-		res.InprocSpeedup = sat("inproc", satBatch) / v
+	if v := sat("inproc", "unbatched", 1); v > 0 {
+		res.InprocSpeedup = sat("inproc", "batched", satBatch) / v
+	}
+	if v := sat("tcp", "ep-single", 1); v > 0 {
+		res.TCPEndpointSpeedup = sat("tcp", "ep-pipelined", satBatch) / v
+	}
+	if v := sat("inproc", "ep-single", 1); v > 0 {
+		res.InprocEndpointSpeedup = sat("inproc", "ep-pipelined", satBatch) / v
 	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("unbatched = one publish/ack round trip per task (before); batched = %d tasks per frame (after)", satBatch),
 		"tcp arms cross the framed-TCP broker protocol; inproc arms measure the sharded queue map alone",
+		"ep-single = per-task agent hot path (before); ep-pipelined = batched intake + engine batch submit + group-commit egress (after)",
 	)
 
 	rep := Report{
@@ -100,7 +131,9 @@ func Saturation(n int) (Report, *SaturationResult, error) {
 	}
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("tcp speedup at saturation: %.1fx batched(%d) vs unbatched", res.TCPSpeedup, satBatch),
-		fmt.Sprintf("inproc speedup at saturation: %.1fx", res.InprocSpeedup))
+		fmt.Sprintf("inproc speedup at saturation: %.1fx", res.InprocSpeedup),
+		fmt.Sprintf("tcp endpoint speedup at saturation: %.1fx pipelined vs single", res.TCPEndpointSpeedup),
+		fmt.Sprintf("inproc endpoint speedup at saturation: %.1fx", res.InprocEndpointSpeedup))
 	return rep, res, nil
 }
 

@@ -322,8 +322,12 @@ func (e *Engine) runApp(p *partition, pt *pendingTask, nodes []string) {
 		RunDir:       pt.spec.RunDir,
 	})
 
+	// Result identity is stamped centrally here (mirroring the pilot-job
+	// engine's workerLoop): TaskID and the trace context always ride on the
+	// result so no launch path can drop them.
 	var out protocol.Result
 	out.TaskID = pt.task.ID
+	out.Trace = pt.task.Trace
 	out.Started = start
 	out.Completed = time.Now()
 	if err != nil {

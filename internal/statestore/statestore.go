@@ -79,6 +79,10 @@ type EndpointLoad struct {
 	FreeWorkers      int   `json:"free_workers"`
 	TasksReceived    int64 `json:"tasks_received"`
 	ResultsPublished int64 `json:"results_published"`
+	// EgressBacklog is the agent's count of completed results not yet
+	// published — endpoint pressure that PendingTasks alone misses, so MEP
+	// routing and the dashboard see the true queue depth behind an endpoint.
+	EgressBacklog int `json:"egress_backlog,omitempty"`
 }
 
 // TaskRecord is the authoritative task row.
