@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos examples experiments fuzz clean
+.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos obs-smoke examples experiments fuzz clean
 
-all: build vet test trace-race chaos bench-smoke bench-compare
+all: build vet test trace-race chaos obs-smoke bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,13 @@ chaos:
 		./internal/core/ ./internal/broker/ \
 		./internal/webservice/ ./internal/engine/ ./internal/sdk/
 
+# Observability smoke: boots the in-process testbed, scrapes and lints the
+# /metrics/fleet federation format, then kills an endpoint under load and
+# asserts the staleness and failure-rate SLOs fire on /debug/fleet and
+# recover after a restart (see docs/OBSERVABILITY.md).
+obs-smoke:
+	$(GO) test -race -run TestObsSmoke -v ./internal/core/
+
 # Span creation/collection overhead (the per-task cost of tracing).
 trace-bench:
 	$(GO) test -bench=. -benchmem ./internal/trace/
@@ -42,16 +49,16 @@ trace-bench:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Fast saturation run recording the current task-path numbers (broker wire
-# batching from PR 3 plus the PR-4 endpoint pipeline arms) into
-# BENCH_pr4.json — see docs/PERFORMANCE.md for how to read it.
+# Fast saturation run recording the current task-path numbers (now with
+# metrics federation and structured logging always on) into BENCH_pr5.json —
+# see docs/PERFORMANCE.md for how to read it.
 bench-smoke:
-	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr4.json
+	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr5.json
 
-# Regression gate: diff the fresh run against the recorded PR-3 baseline and
+# Regression gate: diff the fresh run against the recorded PR-4 baseline and
 # fail on a >10% tasks/s drop (or p50/p99 rise) in any arm present in both.
 bench-compare:
-	$(GO) run ./cmd/gc-bench -compare BENCH_pr3.json,BENCH_pr4.json
+	$(GO) run ./cmd/gc-bench -compare BENCH_pr4.json,BENCH_pr5.json
 
 examples:
 	$(GO) run ./examples/quickstart

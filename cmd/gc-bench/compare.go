@@ -16,8 +16,11 @@ const compareTolerance = 0.10
 // latencySlackUS is the absolute latency floor below which percentile
 // movement is treated as noise: a p50 going 80us -> 120us is a scheduler
 // wobble, not a regression, so the rise must clear both the relative
-// tolerance and this many microseconds.
-const latencySlackUS = 200
+// tolerance and this many microseconds. The floor is sized to the sampling
+// error of the smoke run: p99 over a 3000-task arm is the ~30 worst samples,
+// which wobble by the better part of a millisecond run-to-run on a shared
+// machine even with identical code.
+const latencySlackUS = 1000
 
 // compareSaturation diffs two saturation JSON artifacts (old, new), prints a
 // per-arm table, and returns an error if any arm present in both files
@@ -56,12 +59,19 @@ func compareSaturation(oldPath, newPath string) error {
 		if op.AchievedPerS > 0 && np.AchievedPerS < op.AchievedPerS*(1-compareTolerance) {
 			bad = append(bad, fmt.Sprintf("tasks/s %.0f -> %.0f", op.AchievedPerS, np.AchievedPerS))
 		}
-		for _, lat := range []struct {
-			name     string
-			old, new float64
-		}{{"p50", op.P50US, np.P50US}, {"p99", op.P99US, np.P99US}} {
-			if lat.new > lat.old*(1+compareTolerance) && lat.new-lat.old > latencySlackUS {
-				bad = append(bad, fmt.Sprintf("%s %.0fus -> %.0fus", lat.name, lat.old, lat.new))
+		// Latency percentiles are only a service-time signal on rate-limited
+		// arms. At saturation (offered = max) they measure queue depth at
+		// whatever rate the machine sustained that day — tasks/s already
+		// gates that arm, and its percentiles swing wildly between runs of
+		// identical code.
+		if np.OfferedPerS > 0 {
+			for _, lat := range []struct {
+				name     string
+				old, new float64
+			}{{"p50", op.P50US, np.P50US}, {"p99", op.P99US, np.P99US}} {
+				if lat.new > lat.old*(1+compareTolerance) && lat.new-lat.old > latencySlackUS {
+					bad = append(bad, fmt.Sprintf("%s %.0fus -> %.0fus", lat.name, lat.old, lat.new))
+				}
 			}
 		}
 		verdict := "ok"

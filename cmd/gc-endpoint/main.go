@@ -18,6 +18,7 @@ import (
 	"globuscompute/internal/broker"
 	"globuscompute/internal/endpoint"
 	"globuscompute/internal/engine"
+	"globuscompute/internal/metrics"
 	"globuscompute/internal/mpiengine"
 	"globuscompute/internal/objectstore"
 	"globuscompute/internal/provider"
@@ -93,11 +94,17 @@ func main() {
 			var err error
 			if agentRef != nil {
 				l := agentRef.SnapshotLoad()
-				err = client.HeartbeatWithLoad(reg.EndpointID, online, statestore.EndpointLoad{
+				backlog := l.EgressBacklog
+				load := &statestore.EndpointLoad{
 					PendingTasks: l.PendingTasks, TotalWorkers: l.TotalWorkers,
 					FreeWorkers: l.FreeWorkers, TasksReceived: l.TasksReceived,
-					ResultsPublished: l.ResultsPublished, EgressBacklog: l.EgressBacklog,
-				})
+					ResultsPublished: l.ResultsPublished, EgressBacklog: &backlog,
+				}
+				var snap *metrics.Snapshot
+				if d, ok := agentRef.SnapshotMetrics(time.Now()); ok {
+					snap = &d
+				}
+				err = client.HeartbeatReport(reg.EndpointID, online, load, snap)
 			} else {
 				err = client.Heartbeat(reg.EndpointID, online)
 			}

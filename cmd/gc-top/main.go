@@ -1,0 +1,118 @@
+// Command gc-top is `top` for a Globus Compute fleet: it polls the web
+// service's GET /debug/fleet endpoint and renders one line per endpoint —
+// liveness, worker utilization, backlog, task throughput, and any SLO alerts
+// that are pending or firing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"globuscompute/internal/obs"
+)
+
+type fleetReport struct {
+	Fleet  obs.FleetHealth `json:"fleet"`
+	Alerts []obs.Alert     `json:"alerts"`
+}
+
+func main() {
+	var (
+		service  = flag.String("service", "127.0.0.1:8080", "web service address")
+		token    = flag.String("token", "", "bearer token (from gc-webservice output)")
+		interval = flag.Duration("interval", 2*time.Second, "poll period")
+		iters    = flag.Int("n", 0, "number of polls (0 = run until interrupted)")
+	)
+	flag.Parse()
+	if *token == "" {
+		log.Fatal("gc-top: -token required")
+	}
+	url := fmt.Sprintf("http://%s/debug/fleet?token=%s", *service, *token)
+
+	// prevRes tracks results_published per endpoint between polls so the
+	// tasks/s column is a live rate, not a lifetime average.
+	prevRes := map[string]int64{}
+	prevAt := time.Now()
+	for i := 0; *iters == 0 || i < *iters; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		rep, err := fetch(url)
+		if err != nil {
+			log.Printf("gc-top: %v", err)
+			continue
+		}
+		now := time.Now()
+		render(os.Stdout, rep, prevRes, now.Sub(prevAt))
+		for _, ep := range rep.Fleet.Endpoints {
+			prevRes[ep.EndpointID] = ep.ResultsPublished
+		}
+		prevAt = now
+	}
+}
+
+func fetch(url string) (fleetReport, error) {
+	var rep fleetReport
+	resp, err := http.Get(url)
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return rep, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("GET /debug/fleet: %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return rep, json.Unmarshal(body, &rep)
+}
+
+func render(w io.Writer, rep fleetReport, prevRes map[string]int64, since time.Duration) {
+	// Alerts indexed by endpoint for the rightmost column.
+	byEp := map[string][]string{}
+	for _, a := range rep.Alerts {
+		byEp[a.EndpointID] = append(byEp[a.EndpointID], fmt.Sprintf("%s(%s)", a.Rule, a.State))
+	}
+	fmt.Fprintf(w, "\n%s  fleet: %d endpoints, %d online\n",
+		rep.Fleet.Time.Format("15:04:05"), rep.Fleet.EndpointsTotal, rep.Fleet.EndpointsOnline)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ENDPOINT\tSTATE\tWORKERS\tUTIL\tPENDING\tBACKLOG\tTASKS/S\tP99\tFAIL%\tALERTS")
+	eps := append([]obs.EndpointHealth(nil), rep.Fleet.Endpoints...)
+	sort.Slice(eps, func(i, j int) bool { return eps[i].EndpointID < eps[j].EndpointID })
+	for _, ep := range eps {
+		state := "DOWN"
+		switch {
+		case ep.Online:
+			state = "up"
+		case ep.Stopped:
+			state = "stopped"
+		}
+		backlog := "-"
+		if ep.EgressBacklog != nil {
+			backlog = fmt.Sprintf("%d", *ep.EgressBacklog)
+		}
+		rate := "-"
+		if prev, ok := prevRes[ep.EndpointID]; ok && since > 0 && ep.ResultsPublished >= prev {
+			rate = fmt.Sprintf("%.1f", float64(ep.ResultsPublished-prev)/since.Seconds())
+		}
+		alerts := strings.Join(byEp[ep.EndpointID], " ")
+		if alerts == "" {
+			alerts = "ok"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%.0f%%\t%d\t%s\t%s\t%.3fs\t%.1f\t%s\n",
+			ep.EndpointID, state, ep.FreeWorkers, ep.TotalWorkers,
+			100*ep.WorkerUtilization, ep.PendingTasks, backlog, rate,
+			ep.P99LatencySeconds, 100*ep.FailureRatio, alerts)
+	}
+	tw.Flush()
+}

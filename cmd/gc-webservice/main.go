@@ -97,6 +97,11 @@ func main() {
 		TaskLease:        *taskLease,
 	})
 	defer stopWatchdog()
+	// Fleet SLO evaluation on a timer, not just on /debug/fleet scrapes, so
+	// alert transitions (and their notifier/log hooks) happen even when no
+	// one is watching.
+	stopSLO := svc.StartSLOEvaluator(15 * time.Second)
+	defer stopSLO()
 
 	tok, err := authSvc.Issue(
 		auth.Identity{Username: *user, Provider: "bootstrap"},
@@ -113,6 +118,9 @@ func main() {
 	fmt.Printf("  dashboard:    http://%s/dashboard?token=%s\n", httpSrv.Addr(), tok.Value)
 	fmt.Printf("  traces:       http://%s/debug/traces?token=%s\n", httpSrv.Addr(), tok.Value)
 	fmt.Printf("  metrics:      http://%s/metrics?token=%s\n", httpSrv.Addr(), tok.Value)
+	fmt.Printf("  fleet:        http://%s/debug/fleet?token=%s\n", httpSrv.Addr(), tok.Value)
+	fmt.Printf("  federation:   http://%s/metrics/fleet?token=%s\n", httpSrv.Addr(), tok.Value)
+	fmt.Printf("  logs:         http://%s/debug/logs?token=%s\n", httpSrv.Addr(), tok.Value)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

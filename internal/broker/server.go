@@ -4,12 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"strconv"
 	"sync"
 	"time"
 
+	"globuscompute/internal/obs"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/trace"
 )
@@ -181,7 +181,7 @@ func (s *Server) handle(conn net.Conn) {
 		env, err := r.Read()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				log.Printf("broker: connection read: %v", err)
+				obs.Component("broker").Warn("connection read", "error", err)
 			}
 			return
 		}

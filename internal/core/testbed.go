@@ -15,8 +15,10 @@ import (
 	"globuscompute/internal/endpoint"
 	"globuscompute/internal/engine"
 	"globuscompute/internal/mep"
+	"globuscompute/internal/metrics"
 	"globuscompute/internal/mpiengine"
 	"globuscompute/internal/objectstore"
+	"globuscompute/internal/obs"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/provider"
 	"globuscompute/internal/proxystore"
@@ -41,6 +43,12 @@ type Options struct {
 	// TraceCapacity sizes the shared span collector ring
 	// (default trace.DefaultCapacity).
 	TraceCapacity int
+	// FleetConfig tunes the fleet metrics store (ring sizes, staleness
+	// window); the zero value takes the obs defaults.
+	FleetConfig obs.FleetConfig
+	// SLORules overrides the service's SLO rule set (nil = obs.DefaultRules).
+	// Chaos tests shrink the burn-rate windows to milliseconds here.
+	SLORules []obs.Rule
 }
 
 // Testbed is a running deployment.
@@ -85,6 +93,8 @@ func NewTestbed(opts Options) (*Testbed, error) {
 		Store: tb.Store, Broker: tb.Broker, Objects: tb.Objects, Auth: tb.Auth,
 		InlineThreshold: opts.InlineThreshold,
 		Tracer:          trace.NewTracer("webservice", tb.Traces),
+		Fleet:           obs.NewFleetStore(opts.FleetConfig),
+		SLORules:        opts.SLORules,
 	})
 	if err != nil {
 		return nil, err
@@ -168,6 +178,13 @@ type EndpointOptions struct {
 	MaxAttempts int
 	// HeartbeatInterval overrides the agent heartbeat period (default 1s).
 	HeartbeatInterval time.Duration
+	// MetricsInterval overrides the agent's snapshot decimation period
+	// (default 2x the heartbeat interval).
+	MetricsInterval time.Duration
+	// SuppressOfflineHeartbeat drops the agent's final offline heartbeat,
+	// simulating a crash rather than a clean shutdown — the staleness SLO
+	// should fire for such an endpoint instead of marking it stopped.
+	SuppressOfflineHeartbeat bool
 }
 
 // StartEndpoint registers and starts a single-user endpoint agent wired to
@@ -295,17 +312,27 @@ func (tb *Testbed) buildAgent(epID protocol.UUID, opts EndpointOptions) (*endpoi
 		Engine:     eng,
 		Objects:    tb.Objects,
 		Heartbeat: func(online bool) {
-			_ = tb.Service.SetEndpointStatus(epID, online)
+			if !online && opts.SuppressOfflineHeartbeat {
+				return // simulate a crash: the service hears nothing
+			}
+			var load *statestore.EndpointLoad
+			var snap *metrics.Snapshot
 			if agentRef != nil {
 				l := agentRef.SnapshotLoad()
-				_ = tb.Service.ReportEndpointLoad(epID, statestore.EndpointLoad{
+				backlog := l.EgressBacklog
+				load = &statestore.EndpointLoad{
 					PendingTasks: l.PendingTasks, TotalWorkers: l.TotalWorkers,
 					FreeWorkers: l.FreeWorkers, TasksReceived: l.TasksReceived,
-					ResultsPublished: l.ResultsPublished, EgressBacklog: l.EgressBacklog,
-				})
+					ResultsPublished: l.ResultsPublished, EgressBacklog: &backlog,
+				}
+				if d, ok := agentRef.SnapshotMetrics(time.Now()); ok {
+					snap = &d
+				}
 			}
+			_ = tb.Service.RecordHeartbeat(epID, online, load, snap)
 		},
 		HeartbeatInterval: hbInterval,
+		MetricsInterval:   opts.MetricsInterval,
 		Tracer:            trace.NewTracer("endpoint", tb.Traces),
 	}
 	if opts.WithMPI {

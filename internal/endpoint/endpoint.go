@@ -12,7 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -22,6 +21,7 @@ import (
 	"globuscompute/internal/engine"
 	"globuscompute/internal/metrics"
 	"globuscompute/internal/mpiengine"
+	"globuscompute/internal/obs"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/proxystore"
 	"globuscompute/internal/registry"
@@ -45,9 +45,19 @@ type Config struct {
 	// Objects resolves PayloadRef tasks (optional).
 	Objects ObjectFetcher
 	// Heartbeat, when set, is called periodically with online=true and at
-	// shutdown with online=false.
+	// shutdown with online=false. The closure typically posts to the web
+	// service and may piggyback a metrics snapshot (see SnapshotMetrics).
 	Heartbeat         func(online bool)
 	HeartbeatInterval time.Duration
+	// MetricsInterval decimates heartbeat-piggybacked metrics snapshots:
+	// SnapshotMetrics yields a delta at most once per interval (default
+	// 2×HeartbeatInterval), so most heartbeats stay payload-free.
+	MetricsInterval time.Duration
+	// MetricsMaxSeries caps the series carried per snapshot (default 512).
+	MetricsMaxSeries int
+	// Log overrides the agent's structured logger (default: the process
+	// pipeline's "endpoint" component, stamped with the endpoint ID).
+	Log *obs.Logger
 	// Prefetch bounds in-flight task deliveries (default 32).
 	Prefetch int
 	// IntakeBatch caps deliveries decoded, submitted, and acked per task-loop
@@ -110,6 +120,14 @@ type Agent struct {
 	// result publication, used by multi-user endpoints to reap idle user
 	// endpoints.
 	lastActivity atomic.Int64
+
+	// snapMu guards the piggyback snapshot state: the last absolute snapshot
+	// (the delta base) and when it was taken (the decimation clock).
+	snapMu     sync.Mutex
+	lastSnap   metrics.Snapshot
+	lastSnapAt time.Time
+
+	log *obs.Logger
 
 	Metrics *metrics.Registry
 }
@@ -201,6 +219,12 @@ func New(cfg Config) (*Agent, error) {
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = 5 * time.Second
 	}
+	if cfg.MetricsInterval <= 0 {
+		cfg.MetricsInterval = 2 * cfg.HeartbeatInterval
+	}
+	if cfg.MetricsMaxSeries <= 0 {
+		cfg.MetricsMaxSeries = 512
+	}
 	a := &Agent{
 		cfg:     cfg,
 		done:    make(chan struct{}),
@@ -208,8 +232,47 @@ func New(cfg Config) (*Agent, error) {
 		ackSem:  make(chan struct{}, ackFlightCap),
 		Metrics: metrics.NewRegistry(),
 	}
+	a.log = cfg.Log
+	if a.log == nil {
+		a.log = obs.Component("endpoint")
+	}
+	a.log = a.log.WithEndpoint(string(cfg.EndpointID))
 	a.lastActivity.Store(time.Now().UnixNano())
 	return a, nil
+}
+
+// SnapshotMetrics returns a delta-encoded snapshot of the agent's and its
+// engines' registries for heartbeat piggybacking, or ok=false when the
+// decimation interval has not elapsed since the last snapshot. Load gauges
+// (pending_tasks, total_workers, free_workers, egress_backlog) are refreshed
+// first so the fleet store sees them as series, and engine registries merge
+// under engine_/mpiengine_ prefixes. The result is size-capped; values are
+// absolute, so a delta lost in transit self-heals on the next change.
+func (a *Agent) SnapshotMetrics(now time.Time) (metrics.Snapshot, bool) {
+	a.snapMu.Lock()
+	defer a.snapMu.Unlock()
+	if !a.lastSnapAt.IsZero() && now.Sub(a.lastSnapAt) < a.cfg.MetricsInterval {
+		return metrics.Snapshot{}, false
+	}
+	l := a.SnapshotLoad()
+	a.Metrics.Gauge("pending_tasks").Set(int64(l.PendingTasks))
+	a.Metrics.Gauge("total_workers").Set(int64(l.TotalWorkers))
+	a.Metrics.Gauge("free_workers").Set(int64(l.FreeWorkers))
+	a.Metrics.Gauge("egress_backlog").Set(int64(l.EgressBacklog))
+
+	var s metrics.Snapshot
+	s.Merge("", a.Metrics.TakeSnapshot())
+	if a.cfg.Engine != nil {
+		s.Merge("engine_", a.cfg.Engine.Metrics.TakeSnapshot())
+	}
+	if a.cfg.MPI != nil {
+		s.Merge("mpiengine_", a.cfg.MPI.Metrics.TakeSnapshot())
+	}
+	s.Bound(a.cfg.MetricsMaxSeries)
+	d := s.Delta(a.lastSnap)
+	a.lastSnap = s
+	a.lastSnapAt = now
+	return d, true
 }
 
 // TaskQueue and ResultQueue mirror the web service naming (duplicated here
@@ -415,7 +478,7 @@ func (a *Agent) processDeliveries(batch []broker.Message) {
 	received := 0
 	for i := range batch {
 		if decodeErrs[i] != nil {
-			log.Printf("endpoint %s: malformed task: %v", a.cfg.EndpointID, decodeErrs[i])
+			a.log.Warn("malformed task dead-lettered", "error", decodeErrs[i])
 			// Poison messages dead-letter to tasks.<ep>.dlq for operator
 			// inspection rather than redelivering forever.
 			if rerr := a.sub.Reject(batch[i].Tag); rerr != nil {
@@ -600,6 +663,7 @@ func (a *Agent) publishResults(batch []protocol.Result) {
 	queue := resultQueue(a.cfg.EndpointID)
 	bodies := make([][]byte, 0, len(batch))
 	traces := make([]*trace.Context, 0, len(batch))
+	ids := make([]string, 0, len(batch))
 	bufs := make([]*bytes.Buffer, 0, len(batch))
 	defer func() {
 		for _, b := range bufs {
@@ -614,7 +678,8 @@ func (a *Agent) publishResults(batch []protocol.Result) {
 		buf := resultBufPool.Get().(*bytes.Buffer)
 		buf.Reset()
 		if err := json.NewEncoder(buf).Encode(&batch[i]); err != nil {
-			log.Printf("endpoint %s: marshal result: %v", a.cfg.EndpointID, err)
+			a.log.WithTask(string(batch[i].TaskID)).WithTrace(batch[i].Trace).
+				Error("marshal result", "error", err)
 			buf.Reset()
 			resultBufPool.Put(buf)
 			continue
@@ -627,6 +692,7 @@ func (a *Agent) publishResults(batch []protocol.Result) {
 		}
 		bodies = append(bodies, body)
 		traces = append(traces, batch[i].Trace)
+		ids = append(ids, string(batch[i].TaskID))
 	}
 	if len(bodies) == 0 {
 		return
@@ -644,11 +710,12 @@ func (a *Agent) publishResults(batch []protocol.Result) {
 		// Fall back to per-result publishes — each with its own retry budget —
 		// and accept that results already sent by a partial batch attempt go
 		// out twice (the task state machine absorbs duplicates).
-		log.Printf("endpoint %s: publish %d result(s): %v; retrying individually", a.cfg.EndpointID, len(bodies), err)
+		a.log.Warn("batch publish failed; retrying individually", "results", len(bodies), "error", err)
 		published = 0
 		for i := range bodies {
 			if perr := a.cfg.Conn.PublishTraced(queue, bodies[i], traces[i]); perr != nil {
-				log.Printf("endpoint %s: publish result: %v", a.cfg.EndpointID, perr)
+				a.log.WithTask(ids[i]).WithTrace(traces[i]).
+					Error("publish result", "error", perr)
 				continue
 			}
 			published++

@@ -6,11 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
 	"time"
 
+	"globuscompute/internal/obs"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/provider"
 )
@@ -130,7 +130,7 @@ func (e *Engine) serveManagerConn(conn net.Conn) {
 		env, err := r.Read()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				log.Printf("engine: interchange read from %s: %v", m.id, err)
+				obs.Component("engine").Warn("interchange read", "block_id", m.id, "error", err)
 			}
 			break
 		}

@@ -11,7 +11,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"sync"
 	"time"
 
@@ -19,6 +18,7 @@ import (
 	"globuscompute/internal/broker"
 	"globuscompute/internal/idmap"
 	"globuscompute/internal/metrics"
+	"globuscompute/internal/obs"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/template"
 	"globuscompute/internal/webservice"
@@ -164,16 +164,18 @@ func (m *Manager) Start() error {
 
 func (m *Manager) commandLoop() {
 	defer m.wg.Done()
+	mlog := obs.Component("mep").WithEndpoint(string(m.cfg.EndpointID))
 	for msg := range m.sub.Messages() {
 		var cmd webservice.StartEndpointCommand
 		if err := json.Unmarshal(msg.Body, &cmd); err != nil {
-			log.Printf("mep %s: malformed command: %v", m.cfg.EndpointID, err)
+			mlog.Warn("malformed command", "error", err)
 			_ = m.sub.Ack(msg.Tag)
 			continue
 		}
 		if err := m.handleStart(cmd); err != nil {
-			log.Printf("mep %s: start endpoint %s for %s: %v",
-				m.cfg.EndpointID, cmd.ChildEndpointID, cmd.UserIdentity.Username, err)
+			mlog.Error("start endpoint",
+				"child_endpoint", string(cmd.ChildEndpointID),
+				"user", cmd.UserIdentity.Username, "error", err)
 			m.Metrics.Counter("start_failures").Inc()
 		}
 		_ = m.sub.Ack(msg.Tag)

@@ -163,16 +163,17 @@ func percentileSorted(sorted []time.Duration, p float64) time.Duration {
 	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
 }
 
-// HistogramStats is a consistent point-in-time histogram snapshot.
+// HistogramStats is a consistent point-in-time histogram snapshot. The JSON
+// tags keep federated snapshots compact on the heartbeat channel.
 type HistogramStats struct {
-	Count int64
-	Sum   time.Duration
-	Mean  time.Duration
-	Min   time.Duration
-	Max   time.Duration
-	P50   time.Duration
-	P95   time.Duration
-	P99   time.Duration
+	Count int64         `json:"n"`
+	Sum   time.Duration `json:"sum"`
+	Mean  time.Duration `json:"mean,omitempty"`
+	Min   time.Duration `json:"min,omitempty"`
+	Max   time.Duration `json:"max,omitempty"`
+	P50   time.Duration `json:"p50,omitempty"`
+	P95   time.Duration `json:"p95,omitempty"`
+	P99   time.Duration `json:"p99,omitempty"`
 }
 
 // Stats computes every summary field under one lock acquisition, so the

@@ -4,14 +4,23 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 )
 
 // WriteText renders the registry in the Prometheus text exposition format
 // (version 0.0.4): counters and gauges as single samples, histograms as
-// summaries with p50/p95/p99 quantiles plus _sum and _count, durations in
-// seconds. Metric names are sanitized to [a-zA-Z0-9_:] and optionally
-// prefixed (prefix is sanitized the same way, e.g. "gc_webservice").
+// summaries with p50/p95/p99 quantiles plus _sum and _count. Metric names are
+// sanitized to [a-zA-Z0-9_:] and optionally prefixed (prefix is sanitized the
+// same way, e.g. "gc_webservice").
+//
+// Prometheus naming conventions are applied at exposition time: counters gain
+// a `_total` suffix and duration histograms a `_seconds` suffix with values
+// in seconds. Histograms whose registry name already carries a non-time unit
+// suffix (see unitHistogram) record counts via the 1s==1-unit encoding and
+// are exported under their own name with unit values — so e.g. the
+// `egress_flush_size` histogram exports as `..._egress_flush_size` (results
+// per flush), not a misleading `..._egress_flush_size_seconds`.
 func (r *Registry) WriteText(w io.Writer, prefix string) error {
 	if prefix != "" {
 		prefix = sanitizeMetricName(prefix) + "_"
@@ -51,7 +60,10 @@ func (r *Registry) WriteText(w io.Writer, prefix string) error {
 	sort.Strings(hnames)
 	for _, name := range hnames {
 		s := histograms[name].Stats()
-		mn := prefix + sanitizeMetricName(name) + "_seconds"
+		mn := prefix + sanitizeMetricName(name)
+		if !unitHistogram(name) {
+			mn += "_seconds"
+		}
 		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", mn); err != nil {
 			return err
 		}
@@ -68,6 +80,27 @@ func (r *Registry) WriteText(w io.Writer, prefix string) error {
 		}
 	}
 	return nil
+}
+
+// SanitizeName exposes the exposition-name mapping for other exporters (the
+// fleet federation endpoint renders snapshots outside this package).
+func SanitizeName(name string) string { return sanitizeMetricName(name) }
+
+// HistogramSeconds reports whether a histogram with this registry name
+// exports duration values in seconds (true) or unit-encoded values under its
+// own name (false); see WriteText.
+func HistogramSeconds(name string) bool { return !unitHistogram(name) }
+
+// unitHistogram reports whether a histogram's registry name already names a
+// non-time unit, meaning its observations use the 1s==1-unit encoding and
+// its exposition must not claim seconds.
+func unitHistogram(name string) bool {
+	for _, suffix := range []string{"_size", "_bytes", "_ratio"} {
+		if strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 // sanitizeMetricName maps arbitrary registry names onto the Prometheus

@@ -56,7 +56,10 @@ func (s *Store) Put(key string, data []byte) error {
 	}
 	s.objects[key] = append([]byte(nil), data...)
 	s.Metrics.Counter("puts").Inc()
-	s.Metrics.Counter("bytes_in").Add(int64(len(data)))
+	// "ingress_bytes" (not "bytes_in") so the exported counter reads
+	// ingress_bytes_total with the unit suffix ahead of _total, per
+	// Prometheus naming conventions.
+	s.Metrics.Counter("ingress_bytes").Add(int64(len(data)))
 	return nil
 }
 

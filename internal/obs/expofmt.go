@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Minimal Prometheus text-exposition (0.0.4) parser. It exists so the smoke
+// tooling can validate /metrics and /metrics/fleet output structurally —
+// families typed exactly once, sample names legal, label syntax sound —
+// instead of grepping for substrings, without pulling in a client library.
+
+// Sample is one exposition sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family groups the samples sharing one metric family (a summary family owns
+// its _sum/_count samples).
+type Family struct {
+	Name    string
+	Type    string // counter | gauge | summary | histogram | untyped
+	Samples []Sample
+}
+
+// Exposition is a parsed scrape.
+type Exposition struct {
+	Families map[string]*Family
+	// Order preserves first-seen family order for deterministic reports.
+	Order []string
+}
+
+// Family returns a family by name (nil when absent).
+func (e *Exposition) Family(name string) *Family {
+	return e.Families[name]
+}
+
+// Sample returns the first sample of the named family matching all the given
+// labels (pass nil to match any).
+func (e *Exposition) Sample(family string, labels map[string]string) (Sample, bool) {
+	f := e.Families[family]
+	if f == nil {
+		return Sample{}, false
+	}
+	for _, s := range f.Samples {
+		match := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// ParseExposition parses Prometheus text format, attributing samples to
+// families and validating name/label/value syntax. Duplicate TYPE
+// declarations for one family are an error.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Families: make(map[string]*Family)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					return nil, fmt.Errorf("expofmt: line %d: invalid family name %q", lineNo, name)
+				}
+				if _, dup := exp.Families[name]; dup {
+					return nil, fmt.Errorf("expofmt: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				exp.Families[name] = &Family{Name: name, Type: typ}
+				exp.Order = append(exp.Order, name)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("expofmt: line %d: %w", lineNo, err)
+		}
+		fam := exp.Families[familyOf(s.Name, exp.Families)]
+		if fam == nil {
+			// Untyped samples are legal exposition; track them under their
+			// own name.
+			fam = &Family{Name: s.Name, Type: "untyped"}
+			exp.Families[s.Name] = fam
+			exp.Order = append(exp.Order, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// familyOf maps a sample name onto its declaring family, handling summary
+// _sum/_count suffixes.
+func familyOf(name string, fams map[string]*Family) string {
+	if _, ok := fams[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f, ok := fams[base]; ok && (f.Type == "summary" || f.Type == "histogram") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample parses `name{label="value",...} value` (labels optional).
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	i := strings.IndexAny(line, "{ \t")
+	if i < 0 {
+		return s, fmt.Errorf("sample %q has no value", line)
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	valStr := strings.TrimSpace(rest)
+	// A timestamp may trail the value; take the first field.
+	if sp := strings.IndexAny(valStr, " \t"); sp >= 0 {
+		valStr = valStr[:sp]
+	}
+	v, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {k="v",...} block, returning the index just past the
+// closing brace.
+func parseLabels(in string) (int, map[string]string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("unterminated label block in %q", in)
+		}
+		key := in[i : i+eq]
+		if !validLabelName(key) {
+			return 0, nil, fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", in)
+		}
+		i++
+		var val strings.Builder
+		for i < len(in) && in[i] != '"' {
+			if in[i] == '\\' && i+1 < len(in) {
+				i++
+				switch in[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(in[i])
+				}
+			} else {
+				val.WriteByte(in[i])
+			}
+			i++
+		}
+		if i >= len(in) {
+			return 0, nil, fmt.Errorf("unterminated label value in %q", in)
+		}
+		i++ // past closing quote
+		labels[key] = val.String()
+	}
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// knownUnitSuffixes are the base-unit (or unit-adjacent) suffixes the naming
+// lint accepts on summary families.
+var knownUnitSuffixes = []string{"_seconds", "_bytes", "_size", "_ratio"}
+
+// Lint checks the scrape against the Prometheus naming conventions this repo
+// enforces: counter families end in _total, non-counters never do, and
+// summary families carry a unit suffix. Returns human-readable violations
+// (empty = clean). Wired into `make obs-smoke` so convention drift fails CI.
+func (e *Exposition) Lint() []string {
+	var issues []string
+	names := append([]string(nil), e.Order...)
+	sort.Strings(names)
+	for _, name := range names {
+		f := e.Families[name]
+		switch f.Type {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				issues = append(issues, fmt.Sprintf("counter %q should end in _total", name))
+			}
+		case "summary", "histogram":
+			ok := false
+			for _, suffix := range knownUnitSuffixes {
+				if strings.HasSuffix(name, suffix) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				issues = append(issues, fmt.Sprintf("%s %q should carry a unit suffix (one of %s)", f.Type, name, strings.Join(knownUnitSuffixes, " ")))
+			}
+		default:
+			if strings.HasSuffix(name, "_total") {
+				issues = append(issues, fmt.Sprintf("%s %q reserves the _total suffix for counters", f.Type, name))
+			}
+		}
+	}
+	return issues
+}

@@ -1,0 +1,547 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"globuscompute/internal/metrics"
+)
+
+// Fleet store defaults. Every bound is fixed at construction so the store's
+// memory footprint is a hard function of configuration, never of traffic.
+const (
+	DefaultRingPoints   = 120
+	DefaultMaxEndpoints = 256
+	DefaultMaxSeries    = 512
+	DefaultHealthWindow = time.Minute
+	DefaultStaleAfter   = 30 * time.Second
+	DefaultFleetPrefix  = "gc_endpoint"
+)
+
+// FleetConfig bounds and labels a FleetStore.
+type FleetConfig struct {
+	// RingPoints is the number of time-series samples retained per endpoint.
+	RingPoints int
+	// MaxEndpoints caps tracked endpoints; reports from endpoints beyond the
+	// cap are counted and dropped rather than growing memory.
+	MaxEndpoints int
+	// MaxSeries caps distinct series per endpoint (metrics.Snapshot.Bound).
+	MaxSeries int
+	// HealthWindow is the lookback for rate fields in Health output.
+	HealthWindow time.Duration
+	// StaleAfter marks an endpoint offline in Health/federation output when
+	// no report has arrived within it.
+	StaleAfter time.Duration
+	// Prefix prefixes federated metric names (default "gc_endpoint").
+	Prefix string
+}
+
+func (c FleetConfig) withDefaults() FleetConfig {
+	if c.RingPoints <= 0 {
+		c.RingPoints = DefaultRingPoints
+	}
+	if c.MaxEndpoints <= 0 {
+		c.MaxEndpoints = DefaultMaxEndpoints
+	}
+	if c.MaxSeries <= 0 {
+		c.MaxSeries = DefaultMaxSeries
+	}
+	if c.HealthWindow <= 0 {
+		c.HealthWindow = DefaultHealthWindow
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = DefaultStaleAfter
+	}
+	if c.Prefix == "" {
+		c.Prefix = DefaultFleetPrefix
+	}
+	return c
+}
+
+// Point is one ring-buffer sample: a merged (agent + service-local) snapshot
+// at a known time.
+type Point struct {
+	Time time.Time
+	Snap metrics.Snapshot
+}
+
+// endpointState is everything the store keeps per endpoint.
+type endpointState struct {
+	// absolute is the agent-reported view, maintained by overlaying heartbeat
+	// deltas. Values are absolute, so a missed delta self-heals.
+	absolute metrics.Snapshot
+	// local is the service-side registry for this endpoint (result counts,
+	// round-trip latency) — signals that must survive an agent crash.
+	local *metrics.Registry
+	ring  []Point
+	next  int
+	n     int
+	// lastReport is the last heartbeat (Touch or Ingest) time.
+	lastReport time.Time
+	reports    int64
+	// stopped marks a clean shutdown (final offline heartbeat): the endpoint
+	// is expected to be silent, so staleness alerting must not page on it. A
+	// crash never sets it — that is exactly the silence worth alerting on.
+	stopped bool
+}
+
+func (st *endpointState) push(p Point) {
+	st.ring[st.next] = p
+	st.next = (st.next + 1) % len(st.ring)
+	if st.n < len(st.ring) {
+		st.n++
+	}
+}
+
+// points copies retained samples oldest-first.
+func (st *endpointState) points() []Point {
+	out := make([]Point, 0, st.n)
+	start := st.next - st.n
+	if start < 0 {
+		start += len(st.ring)
+	}
+	for i := 0; i < st.n; i++ {
+		out = append(out, st.ring[(start+i)%len(st.ring)])
+	}
+	return out
+}
+
+// merged folds the service-local registry over the agent-reported view.
+func (st *endpointState) merged(maxSeries int) metrics.Snapshot {
+	s := st.absolute.Clone()
+	s.Merge("ws_", st.local.TakeSnapshot())
+	s.Bound(maxSeries)
+	return s
+}
+
+// FleetStore is the web service's fixed-memory metrics backend: one ring of
+// merged snapshots per endpoint, fed by heartbeat-piggybacked deltas and by
+// service-side observations. It backs GET /metrics/fleet (federation), GET
+// /debug/fleet (health JSON), and the SLO engine's windowed queries.
+type FleetStore struct {
+	cfg FleetConfig
+
+	mu       sync.Mutex
+	eps      map[string]*endpointState
+	rejected int64
+}
+
+// NewFleetStore builds a store with cfg (zero fields take defaults).
+func NewFleetStore(cfg FleetConfig) *FleetStore {
+	return &FleetStore{cfg: cfg.withDefaults(), eps: make(map[string]*endpointState)}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (f *FleetStore) Config() FleetConfig { return f.cfg }
+
+// state returns the endpoint's state, creating it under the endpoint cap;
+// nil when the cap rejects a new endpoint.
+func (f *FleetStore) state(id string) *endpointState {
+	st, ok := f.eps[id]
+	if !ok {
+		if len(f.eps) >= f.cfg.MaxEndpoints {
+			f.rejected++
+			return nil
+		}
+		st = &endpointState{
+			local: metrics.NewRegistry(),
+			ring:  make([]Point, f.cfg.RingPoints),
+		}
+		f.eps[id] = st
+	}
+	return st
+}
+
+// Touch records a heartbeat from the endpoint without metrics payload (most
+// heartbeats: snapshots are interval-decimated on the agent side).
+func (f *FleetStore) Touch(id string, now time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if st := f.state(id); st != nil {
+		st.lastReport = now
+		st.stopped = false
+	}
+}
+
+// MarkStopped records a clean shutdown: the endpoint reported itself offline,
+// so its silence is expected and staleness alerting stands down until it
+// reports again.
+func (f *FleetStore) MarkStopped(id string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if st := f.state(id); st != nil {
+		st.stopped = true
+	}
+}
+
+// Ingest overlays a heartbeat-piggybacked snapshot delta onto the endpoint's
+// absolute view and samples a ring point. Returns false when the endpoint cap
+// dropped the report.
+func (f *FleetStore) Ingest(id string, delta metrics.Snapshot, now time.Time) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.state(id)
+	if st == nil {
+		return false
+	}
+	st.absolute.Overlay(delta)
+	st.absolute.Bound(f.cfg.MaxSeries)
+	st.lastReport = now
+	st.stopped = false
+	st.reports++
+	st.push(Point{Time: now, Snap: st.merged(f.cfg.MaxSeries)})
+	return true
+}
+
+// Local returns the service-side registry for an endpoint, where the web
+// service records its own per-endpoint observations (result outcomes,
+// round-trip latency). Series merge into the endpoint's view under a "ws_"
+// prefix. Returns nil when the endpoint cap is hit.
+func (f *FleetStore) Local(id string) *metrics.Registry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if st := f.state(id); st != nil {
+		return st.local
+	}
+	return nil
+}
+
+// Tick samples every endpoint's merged view into its ring. Called on a timer
+// (and before SLO evaluation) so windows advance even when heartbeats stall —
+// exactly the regime staleness alerting must observe.
+func (f *FleetStore) Tick(now time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, st := range f.eps {
+		st.push(Point{Time: now, Snap: st.merged(f.cfg.MaxSeries)})
+	}
+}
+
+// Endpoints lists tracked endpoint IDs, sorted.
+func (f *FleetStore) Endpoints() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.eps))
+	for id := range f.eps {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rejected reports how many endpoint reports the MaxEndpoints cap dropped.
+func (f *FleetStore) Rejected() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rejected
+}
+
+// Staleness reports time since the endpoint's last report. ok is false for
+// unknown or never-reporting endpoints.
+func (f *FleetStore) Staleness(id string, now time.Time) (time.Duration, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.eps[id]
+	if !ok || st.lastReport.IsZero() || st.stopped {
+		return 0, false
+	}
+	return now.Sub(st.lastReport), true
+}
+
+// Merged returns the endpoint's current merged snapshot.
+func (f *FleetStore) Merged(id string) (metrics.Snapshot, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.eps[id]
+	if !ok {
+		return metrics.Snapshot{}, false
+	}
+	return st.merged(f.cfg.MaxSeries), true
+}
+
+// Points returns the endpoint's retained ring samples, oldest first.
+func (f *FleetStore) Points(id string) []Point {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.eps[id]
+	if !ok {
+		return nil
+	}
+	return st.points()
+}
+
+// window returns the oldest and newest ring points within [now-window, now].
+func (f *FleetStore) window(id string, window time.Duration, now time.Time) (oldest, newest Point, ok bool) {
+	f.mu.Lock()
+	st, found := f.eps[id]
+	var pts []Point
+	if found {
+		pts = st.points()
+	}
+	f.mu.Unlock()
+	cutoff := now.Add(-window)
+	first := -1
+	for i, p := range pts {
+		if !p.Time.Before(cutoff) {
+			first = i
+			break
+		}
+	}
+	if first < 0 || first == len(pts)-1 {
+		return Point{}, Point{}, false
+	}
+	return pts[first], pts[len(pts)-1], true
+}
+
+// CounterDelta returns the increase of a counter over the window along with
+// the span actually covered. A decrease (agent restart) counts from zero.
+func (f *FleetStore) CounterDelta(id, name string, window time.Duration, now time.Time) (int64, time.Duration, bool) {
+	oldest, newest, ok := f.window(id, window, now)
+	if !ok {
+		return 0, 0, false
+	}
+	ov := oldest.Snap.Counters[name]
+	nv := newest.Snap.Counters[name]
+	d := nv - ov
+	if d < 0 {
+		d = nv
+	}
+	return d, newest.Time.Sub(oldest.Time), true
+}
+
+// CounterRate returns a counter's per-second rate over the window.
+func (f *FleetStore) CounterRate(id, name string, window time.Duration, now time.Time) (float64, bool) {
+	d, span, ok := f.CounterDelta(id, name, window, now)
+	if !ok || span <= 0 {
+		return 0, false
+	}
+	return float64(d) / span.Seconds(), true
+}
+
+// GaugeLatest returns the most recent value of a gauge.
+func (f *FleetStore) GaugeLatest(id, name string) (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.eps[id]
+	if !ok {
+		return 0, false
+	}
+	v, ok := st.merged(f.cfg.MaxSeries).GaugeValue(name)
+	return v, ok
+}
+
+// LatestHistogram returns the most recent summary of a histogram.
+func (f *FleetStore) LatestHistogram(id, name string) (metrics.HistogramStats, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.eps[id]
+	if !ok {
+		return metrics.HistogramStats{}, false
+	}
+	return st.merged(f.cfg.MaxSeries).HistogramValue(name)
+}
+
+// EndpointHealth is one endpoint's row in the fleet health report.
+type EndpointHealth struct {
+	EndpointID string `json:"endpoint_id"`
+	Online     bool   `json:"online"`
+	// Stopped marks a clean shutdown (deliberately offline, not crashed).
+	Stopped    bool      `json:"stopped,omitempty"`
+	LastReport time.Time `json:"last_report,omitempty"`
+	StalenessSeconds  float64   `json:"staleness_seconds"`
+	PendingTasks      int64     `json:"pending_tasks"`
+	TotalWorkers      int64     `json:"total_workers"`
+	FreeWorkers       int64     `json:"free_workers"`
+	WorkerUtilization float64   `json:"worker_utilization"`
+	// EgressBacklog is nil when the agent has not reported the gauge —
+	// distinguishable from a genuine zero backlog.
+	EgressBacklog     *int64  `json:"egress_backlog,omitempty"`
+	TasksReceived     int64   `json:"tasks_received"`
+	ResultsPublished  int64   `json:"results_published"`
+	DeadLettered      int64   `json:"dead_lettered"`
+	Requeued          int64   `json:"requeued"`
+	DeadLetterPerMin  float64 `json:"dead_letter_per_min"`
+	RequeuePerMin     float64 `json:"requeue_per_min"`
+	FailureRatio      float64 `json:"failure_ratio"`
+	P99LatencySeconds float64 `json:"p99_latency_seconds"`
+	Series            int     `json:"series"`
+}
+
+// FleetHealth is the aggregate health report behind GET /debug/fleet.
+type FleetHealth struct {
+	Time              time.Time        `json:"time"`
+	EndpointsTotal    int              `json:"endpoints_total"`
+	EndpointsOnline   int              `json:"endpoints_online"`
+	RejectedEndpoints int64            `json:"rejected_endpoints,omitempty"`
+	Endpoints         []EndpointHealth `json:"endpoints"`
+}
+
+// counterAny sums the named counters (agent and engine register cognate
+// series under different prefixes).
+func counterAny(s metrics.Snapshot, names ...string) int64 {
+	var total int64
+	for _, n := range names {
+		total += s.Counters[n]
+	}
+	return total
+}
+
+// Health assembles the per-endpoint liveness / backlog / utilization /
+// dead-letter view over the configured window.
+func (f *FleetStore) Health(now time.Time) FleetHealth {
+	h := FleetHealth{Time: now, RejectedEndpoints: f.Rejected()}
+	for _, id := range f.Endpoints() {
+		s, _ := f.Merged(id)
+		eh := EndpointHealth{EndpointID: id, Series: s.Len()}
+		if stale, ok := f.Staleness(id, now); ok {
+			eh.StalenessSeconds = stale.Seconds()
+			eh.Online = stale <= f.cfg.StaleAfter
+		}
+		f.mu.Lock()
+		if st := f.eps[id]; st != nil {
+			eh.LastReport = st.lastReport
+			eh.Stopped = st.stopped
+		}
+		f.mu.Unlock()
+		eh.PendingTasks = s.Gauges["pending_tasks"]
+		eh.TotalWorkers = s.Gauges["total_workers"]
+		eh.FreeWorkers = s.Gauges["free_workers"]
+		if eh.TotalWorkers > 0 {
+			eh.WorkerUtilization = float64(eh.TotalWorkers-eh.FreeWorkers) / float64(eh.TotalWorkers)
+		}
+		if v, ok := s.GaugeValue("egress_backlog"); ok {
+			b := v
+			eh.EgressBacklog = &b
+		}
+		eh.TasksReceived = s.Counters["tasks_received"]
+		eh.ResultsPublished = s.Counters["results_published"]
+		eh.DeadLettered = counterAny(s, "dead_lettered", "engine_deadlettered_tasks")
+		eh.Requeued = counterAny(s, "engine_requeued")
+		if d, span, ok := f.CounterDelta(id, "dead_lettered", f.cfg.HealthWindow, now); ok && span > 0 {
+			eh.DeadLetterPerMin = float64(d) / span.Minutes()
+		}
+		if d, span, ok := f.CounterDelta(id, "engine_requeued", f.cfg.HealthWindow, now); ok && span > 0 {
+			eh.RequeuePerMin = float64(d) / span.Minutes()
+		}
+		if done, _, ok := f.CounterDelta(id, "ws_results", f.cfg.HealthWindow, now); ok && done > 0 {
+			failed, _, _ := f.CounterDelta(id, "ws_results_failed", f.cfg.HealthWindow, now)
+			eh.FailureRatio = float64(failed) / float64(done)
+		}
+		if hs, ok := s.HistogramValue("ws_task_roundtrip"); ok {
+			eh.P99LatencySeconds = hs.P99.Seconds()
+		}
+		h.Endpoints = append(h.Endpoints, eh)
+		h.EndpointsTotal++
+		if eh.Online {
+			h.EndpointsOnline++
+		}
+	}
+	return h
+}
+
+// escapeLabelValue escapes a Prometheus label value.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// federation sample carriers, grouped per exported family so each `# TYPE`
+// header appears exactly once regardless of endpoint count.
+type fedSample struct {
+	labels string
+	value  int64
+	hist   metrics.HistogramStats
+}
+
+type fedFamily struct {
+	kind    string // "counter" | "gauge" | "summary"
+	samples []fedSample
+}
+
+// WriteFederation renders every endpoint's merged snapshot in the Prometheus
+// federation style: one family per metric, samples labeled by endpoint_id.
+// Synthetic per-endpoint `up` and `staleness_seconds` gauges make liveness
+// scrapeable without a separate endpoint.
+func (f *FleetStore) WriteFederation(w io.Writer, now time.Time) error {
+	prefix := metrics.SanitizeName(f.cfg.Prefix) + "_"
+	fams := make(map[string]*fedFamily)
+	add := func(name, kind string, s fedSample) {
+		fam, ok := fams[name]
+		if !ok {
+			fam = &fedFamily{kind: kind}
+			fams[name] = fam
+		}
+		fam.samples = append(fam.samples, s)
+	}
+
+	for _, id := range f.Endpoints() {
+		s, ok := f.Merged(id)
+		if !ok {
+			continue
+		}
+		labels := fmt.Sprintf("endpoint_id=%q", escapeLabelValue(id))
+		for name, v := range s.Counters {
+			add(prefix+metrics.SanitizeName(name)+"_total", "counter", fedSample{labels: labels, value: v})
+		}
+		for name, v := range s.Gauges {
+			add(prefix+metrics.SanitizeName(name), "gauge", fedSample{labels: labels, value: v})
+		}
+		for name, hs := range s.Histograms {
+			mn := prefix + metrics.SanitizeName(name)
+			if metrics.HistogramSeconds(name) {
+				mn += "_seconds"
+			}
+			add(mn, "summary", fedSample{labels: labels, hist: hs})
+		}
+		var up int64
+		var staleSec float64
+		if stale, ok := f.Staleness(id, now); ok {
+			staleSec = stale.Seconds()
+			if stale <= f.cfg.StaleAfter {
+				up = 1
+			}
+		}
+		add(prefix+"up", "gauge", fedSample{labels: labels, value: up})
+		add(prefix+"staleness_seconds", "gauge", fedSample{labels: labels, value: int64(staleSec)})
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, fam.kind); err != nil {
+			return err
+		}
+		for _, smp := range fam.samples {
+			if fam.kind != "summary" {
+				if _, err := fmt.Fprintf(w, "%s{%s} %d\n", name, smp.labels, smp.value); err != nil {
+					return err
+				}
+				continue
+			}
+			// Duration histograms export seconds; unit histograms use the
+			// 1s==1-unit encoding, so Seconds() is the unit count either way.
+			toVal := func(d time.Duration) float64 { return d.Seconds() }
+			for _, q := range []struct {
+				q string
+				v time.Duration
+			}{{"0.5", smp.hist.P50}, {"0.95", smp.hist.P95}, {"0.99", smp.hist.P99}} {
+				if _, err := fmt.Fprintf(w, "%s{%s,quantile=%q} %g\n", name, smp.labels, q.q, toVal(q.v)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n",
+				name, smp.labels, toVal(smp.hist.Sum), name, smp.labels, smp.hist.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"globuscompute/internal/metrics"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/statestore"
 	"globuscompute/internal/webservice"
@@ -266,6 +267,20 @@ func (c *Client) HeartbeatWithLoad(ep protocol.UUID, online bool, load statestor
 	return c.do("POST", "/v2/endpoints/"+string(ep)+"/heartbeat", map[string]any{
 		"online": online, "load": load,
 	}, nil)
+}
+
+// HeartbeatReport reports liveness plus optional utilization and an optional
+// delta-encoded metrics snapshot, the full federation piggyback. Nil fields
+// are omitted from the wire so old services ignore what they don't know.
+func (c *Client) HeartbeatReport(ep protocol.UUID, online bool, load *statestore.EndpointLoad, snap *metrics.Snapshot) error {
+	body := map[string]any{"online": online}
+	if load != nil {
+		body["load"] = load
+	}
+	if snap != nil && snap.Len() > 0 {
+		body["metrics"] = snap
+	}
+	return c.do("POST", "/v2/endpoints/"+string(ep)+"/heartbeat", body, nil)
 }
 
 // SubmitBatch submits tasks and returns their IDs in order.

@@ -5,11 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"sync"
 	"time"
 
 	"globuscompute/internal/broker"
+	"globuscompute/internal/obs"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/trace"
 	"globuscompute/internal/webservice"
@@ -334,7 +334,8 @@ func (ex *Executor) streamLoop() {
 	for m := range ex.sub.Messages() {
 		var res protocol.Result
 		if err := json.Unmarshal(m.Body, &res); err != nil {
-			log.Printf("sdk: bad streamed result: %v", err)
+			obs.Component("sdk").WithEndpoint(string(ex.cfg.EndpointID)).
+				Warn("bad streamed result", "error", err)
 			_ = ex.sub.Ack(m.Tag)
 			continue
 		}

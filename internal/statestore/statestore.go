@@ -82,7 +82,10 @@ type EndpointLoad struct {
 	// EgressBacklog is the agent's count of completed results not yet
 	// published — endpoint pressure that PendingTasks alone misses, so MEP
 	// routing and the dashboard see the true queue depth behind an endpoint.
-	EgressBacklog int `json:"egress_backlog,omitempty"`
+	// Pointer so an agent that predates the field (and never reports it) is
+	// distinguishable from a live zero backlog: nil means "not reported" and
+	// federation must not record it as data.
+	EgressBacklog *int `json:"egress_backlog,omitempty"`
 }
 
 // TaskRecord is the authoritative task row.

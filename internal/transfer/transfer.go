@@ -165,7 +165,9 @@ func (s *Service) run(info *TaskInfo, src, dst Endpoint) {
 		info.BytesTransferred += n
 		s.mu.Unlock()
 		s.Metrics.Counter("files").Inc()
-		s.Metrics.Counter("bytes").Add(n)
+		// "transferred_bytes" keeps the unit suffix ahead of the exported
+		// _total, per Prometheus naming conventions.
+		s.Metrics.Counter("transferred_bytes").Add(n)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

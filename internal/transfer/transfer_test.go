@@ -184,8 +184,8 @@ func TestMetricsAccumulate(t *testing.T) {
 	writeFile(t, src, "m.txt", "12345")
 	id, _ := s.Submit(Spec{Source: src.ID, Destination: dst.ID, Items: []Item{{SourcePath: "m.txt", DestPath: "m.txt"}}})
 	s.Wait(id, 5*time.Second)
-	if s.Metrics.Counter("bytes").Value() != 5 {
-		t.Errorf("bytes = %d", s.Metrics.Counter("bytes").Value())
+	if s.Metrics.Counter("transferred_bytes").Value() != 5 {
+		t.Errorf("bytes = %d", s.Metrics.Counter("transferred_bytes").Value())
 	}
 	if s.Metrics.Counter("tasks_succeeded").Value() != 1 {
 		t.Errorf("succeeded = %d", s.Metrics.Counter("tasks_succeeded").Value())

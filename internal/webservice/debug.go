@@ -3,9 +3,12 @@ package webservice
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
+	"time"
 
+	"globuscompute/internal/obs"
 	"globuscompute/internal/trace"
 )
 
@@ -114,6 +117,75 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.svc.cfg.Broker != nil {
 		_ = s.svc.cfg.Broker.Metrics.WriteText(w, "gc_broker")
 	}
+}
+
+// handleMetricsFleet writes the federated fleet view: every tracked
+// endpoint's metrics in one scrape, labeled by endpoint_id, plus synthetic
+// up/staleness series. This is the single Prometheus target for the whole
+// deployment — agents never expose listeners of their own.
+func (s *Server) handleMetricsFleet(w http.ResponseWriter, r *http.Request) {
+	if !s.debugAuth(w, r) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.svc.Fleet.WriteFederation(w, time.Now())
+}
+
+// handleDebugFleet serves the JSON health rollup: per-endpoint liveness,
+// utilization, backlog, failure rates, and the current SLO alert set. The
+// handler ticks the store and evaluates rules on demand so a scrape is never
+// staler than the background evaluator interval.
+func (s *Server) handleDebugFleet(w http.ResponseWriter, r *http.Request) {
+	if !s.debugAuth(w, r) {
+		return
+	}
+	now := time.Now()
+	s.svc.Fleet.Tick(now)
+	s.svc.SLO.Evaluate(now)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fleet":  s.svc.Fleet.Health(now),
+		"alerts": s.svc.SLO.Alerts(),
+		"rules":  s.svc.SLO.Rules(),
+	})
+}
+
+// handleDebugLogs queries the retained structured-log ring:
+//
+//	/debug/logs?trace_id=<tid>      — every record on one trace, any component
+//	/debug/logs?task_id=<id>        — records for one task
+//	/debug/logs?endpoint_id=<id>&level=warn&n=50
+func (s *Server) handleDebugLogs(w http.ResponseWriter, r *http.Request) {
+	if !s.debugAuth(w, r) {
+		return
+	}
+	buf := s.svc.cfg.Logs
+	if buf == nil {
+		http.Error(w, "log capture disabled", http.StatusNotFound)
+		return
+	}
+	q := obs.Query{
+		TraceID:   r.URL.Query().Get("trace_id"),
+		TaskID:    r.URL.Query().Get("task_id"),
+		Endpoint:  r.URL.Query().Get("endpoint_id"),
+		Component: r.URL.Query().Get("component"),
+		MinLevel:  slog.LevelDebug, // serve everything unless ?level= narrows it
+		Limit:     200,
+	}
+	if lv := r.URL.Query().Get("level"); lv != "" {
+		var l slog.Level
+		if err := l.UnmarshalText([]byte(lv)); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("webservice: bad level %q: %w", lv, err))
+			return
+		}
+		q.MinLevel = l
+	}
+	if n := r.URL.Query().Get("n"); n != "" {
+		fmt.Sscanf(n, "%d", &q.Limit)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":   buf.Total(),
+		"records": buf.Search(q),
+	})
 }
 
 var errTracingDisabled = errors.New("webservice: tracing disabled")

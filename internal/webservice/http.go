@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"globuscompute/internal/auth"
+	"globuscompute/internal/metrics"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/statestore"
 )
@@ -49,7 +50,10 @@ func ServeHTTP(svc *Service, addr, brokerAddr, objectsAddr string) (*Server, err
 	mux.HandleFunc("GET /v2/audit", s.auth(s.handleAudit))
 	mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("GET /debug/fleet", s.handleDebugFleet)
+	mux.HandleFunc("GET /debug/logs", s.handleDebugLogs)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/fleet", s.handleMetricsFleet)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -210,6 +214,10 @@ type heartbeatRequest struct {
 	Online bool `json:"online"`
 	// Load is the agent's optional utilization report.
 	Load *statestore.EndpointLoad `json:"load,omitempty"`
+	// Metrics is an optional delta-encoded snapshot of the agent's metric
+	// registries, piggybacked on the heartbeat so federation needs no extra
+	// connection or listener on the agent side.
+	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 }
 
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request, _ auth.Token) {
@@ -219,15 +227,9 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request, _ auth.
 		return
 	}
 	id := protocol.UUID(r.PathValue("id"))
-	if err := s.svc.SetEndpointStatus(id, req.Online); err != nil {
+	if err := s.svc.RecordHeartbeat(id, req.Online, req.Load, req.Metrics); err != nil {
 		writeError(w, statusFor(err), err)
 		return
-	}
-	if req.Load != nil {
-		if err := s.svc.ReportEndpointLoad(id, *req.Load); err != nil {
-			writeError(w, statusFor(err), err)
-			return
-		}
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

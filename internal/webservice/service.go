@@ -13,7 +13,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"sort"
 	"strings"
 	"sync"
@@ -23,6 +22,7 @@ import (
 	"globuscompute/internal/broker"
 	"globuscompute/internal/metrics"
 	"globuscompute/internal/objectstore"
+	"globuscompute/internal/obs"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/serialize"
 	"globuscompute/internal/statestore"
@@ -68,6 +68,17 @@ type Config struct {
 	// propagates trace context onto published tasks and results. Nil
 	// disables tracing.
 	Tracer *trace.Tracer
+	// Fleet, when set, overrides the default fleet metrics store (tests and
+	// the testbed tune ring sizes and staleness windows through this).
+	Fleet *obs.FleetStore
+	// SLORules overrides the default SLO rule set (nil = obs.DefaultRules).
+	SLORules []obs.Rule
+	// Log overrides the service's structured logger (default: the process
+	// pipeline's "webservice" component).
+	Log *obs.Logger
+	// Logs is the ring buffer served by GET /debug/logs (default: the
+	// process pipeline's buffer).
+	Logs *obs.LogBuffer
 }
 
 // Service is the web service core, independent of its HTTP front end.
@@ -81,7 +92,14 @@ type Service struct {
 
 	wg         sync.WaitGroup
 	auditTrail *auditLog
+	log        *obs.Logger
 	Metrics    *metrics.Registry
+
+	// Fleet is the per-endpoint metrics time-series store fed by heartbeat
+	// snapshots; SLO evaluates burn-rate rules over it. Both back the
+	// /metrics/fleet and /debug/fleet endpoints.
+	Fleet *obs.FleetStore
+	SLO   *obs.SLOEngine
 }
 
 // New builds the service, filling config defaults.
@@ -95,12 +113,62 @@ func New(cfg Config) (*Service, error) {
 	if cfg.PayloadLimit <= 0 {
 		cfg.PayloadLimit = serialize.MaxPayload
 	}
-	return &Service{
+	if cfg.Log == nil {
+		cfg.Log = obs.Component("webservice")
+	}
+	if cfg.Logs == nil {
+		cfg.Logs = obs.DefaultBuffer()
+	}
+	fleet := cfg.Fleet
+	if fleet == nil {
+		fleet = obs.NewFleetStore(obs.FleetConfig{})
+	}
+	s := &Service{
 		cfg:             cfg,
 		resultConsumers: make(map[protocol.UUID]*broker.Consumer),
 		auditTrail:      newAuditLog(0),
+		log:             cfg.Log,
 		Metrics:         metrics.NewRegistry(),
-	}, nil
+		Fleet:           fleet,
+		SLO:             obs.NewSLOEngine(fleet, cfg.SLORules),
+	}
+	// Alert counts surface on /metrics alongside the service counters.
+	s.SLO.SetRegistry(s.Metrics)
+	return s, nil
+}
+
+// RecordHeartbeat applies one agent heartbeat: endpoint status, the optional
+// load report, and the optional piggybacked metrics snapshot. A heartbeat
+// without a snapshot still refreshes fleet liveness; an offline heartbeat
+// marks the endpoint cleanly stopped so staleness alerting stands down (a
+// crashed agent never sends one — that silence is what fires the SLO).
+func (s *Service) RecordHeartbeat(id protocol.UUID, online bool, load *statestore.EndpointLoad, snap *metrics.Snapshot) error {
+	if err := s.SetEndpointStatus(id, online); err != nil {
+		return err
+	}
+	if load != nil {
+		if err := s.cfg.Store.SetEndpointLoad(id, *load); err != nil {
+			return err
+		}
+	}
+	now := time.Now()
+	if snap != nil && snap.Len() > 0 {
+		s.Fleet.Ingest(string(id), *snap, now)
+	} else {
+		s.Fleet.Touch(string(id), now)
+	}
+	if !online {
+		s.Fleet.MarkStopped(string(id))
+	}
+	return nil
+}
+
+// StartSLOEvaluator runs the background tick+evaluate loop; the returned stop
+// function blocks until the loop exits. The /debug/fleet handler also
+// evaluates on demand, so the loop mainly keeps alert state moving while
+// nobody is polling.
+func (s *Service) StartSLOEvaluator(interval time.Duration) (stop func()) {
+	return s.SLO.Start(interval)
 }
 
 // Close stops result processors.
@@ -335,7 +403,8 @@ func (s *Service) processResultBatch(c *broker.Consumer, batch []broker.Message)
 	for _, m := range batch {
 		res, sp, err := s.prepareResult(m.Body, m.Trace)
 		if err != nil {
-			log.Printf("webservice: result processing: %v", err)
+			s.log.WithTask(string(res.TaskID)).WithTrace(m.Trace).
+				Warn("dropping unprocessable result", "error", err)
 			continue
 		}
 		pendings = append(pendings, pending{res: res, sp: sp})
@@ -356,7 +425,8 @@ func (s *Service) processResultBatch(c *broker.Consumer, batch []broker.Message)
 	for i := range pendings {
 		p := &pendings[i]
 		if errs[i] != nil {
-			log.Printf("webservice: result processing: %v", errs[i])
+			s.log.WithTask(string(p.res.TaskID)).WithTrace(p.res.Trace).
+				Warn("result not recorded", "error", errs[i])
 			p.sp.EndStatus("error")
 			continue
 		}
@@ -365,8 +435,17 @@ func (s *Service) processResultBatch(c *broker.Consumer, batch []broker.Message)
 			// The engine gave up on this task after its attempt budget;
 			// surface the count so operators can spot poison tasks.
 			s.Metrics.Counter("deadlettered_tasks").Inc()
+			s.log.WithTask(string(p.res.TaskID)).WithTrace(p.res.Trace).
+				WithEndpoint(string(p.res.EndpointID)).
+				Warn("task dead-lettered by engine", "error", p.res.Error)
 		}
-		if rec, ok := recs[p.res.TaskID]; ok && rec.Task.GroupID != "" {
+		rec, ok := recs[p.res.TaskID]
+		if ok {
+			s.observeResult(p.res, rec.Created)
+		} else {
+			s.observeResult(p.res, time.Time{})
+		}
+		if ok && rec.Task.GroupID != "" {
 			s.publishGroupResult(rec.Task.GroupID, p.res, p.sp)
 		}
 		p.sp.End()
@@ -376,6 +455,28 @@ func (s *Service) processResultBatch(c *broker.Consumer, batch []broker.Message)
 		tags[i] = m.Tag
 	}
 	_ = c.AckBatch(tags)
+}
+
+// observeResult records one terminal result in the originating endpoint's
+// fleet-local registry: outcome counters plus the submit→record round trip.
+// These service-side series (merged under ws_) survive agent crashes, so the
+// failure-rate and latency SLOs keep evaluating exactly when the agent-side
+// view goes dark.
+func (s *Service) observeResult(res protocol.Result, created time.Time) {
+	if res.EndpointID == "" {
+		return
+	}
+	loc := s.Fleet.Local(string(res.EndpointID))
+	if loc == nil {
+		return
+	}
+	loc.Counter("results").Inc()
+	if res.State == protocol.StateFailed {
+		loc.Counter("results_failed").Inc()
+	}
+	if !created.IsZero() {
+		loc.Histogram("task_roundtrip").Observe(time.Since(created))
+	}
 }
 
 // prepareResult parses and spills one result message, returning the result
@@ -854,6 +955,9 @@ func (s *Service) expireLeases(lease time.Duration) {
 				continue // lost the race to a real terminal result
 			}
 			s.Metrics.Counter("lease_expired").Inc()
+			s.observeResult(res, rec.Created)
+			s.log.WithTask(string(id)).WithEndpoint(string(ep.ID)).
+				Warn("task lease expired on offline endpoint", "lease", lease.String())
 			if rec.Task.GroupID != "" {
 				q := GroupResultQueue(rec.Task.GroupID)
 				if err := s.cfg.Broker.Declare(q); err == nil {
