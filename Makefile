@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos obs-smoke examples experiments fuzz clean
+.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos crash obs-smoke examples experiments fuzz clean
 
-all: build vet test trace-race chaos obs-smoke bench-smoke bench-compare
+all: build vet test trace-race chaos crash obs-smoke bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,14 @@ chaos:
 		./internal/core/ ./internal/broker/ \
 		./internal/webservice/ ./internal/engine/ ./internal/sdk/
 
+# Crash-recovery suite: builds the real gc-webservice binary, runs it with
+# -data-dir, SIGKILLs it 3 times in the middle of a task storm, and asserts
+# every acknowledged task reaches exactly one terminal state after WAL
+# replay (see docs/DURABILITY.md). Gated on GC_CRASH so plain `go test
+# ./...` stays fast.
+crash:
+	GC_CRASH=1 $(GO) test -count=1 -timeout 300s -v -run TestCrashRecovery ./internal/crash/
+
 # Observability smoke: boots the in-process testbed, scrapes and lints the
 # /metrics/fleet federation format, then kills an endpoint under load and
 # asserts the staleness and failure-rate SLOs fire on /debug/fleet and
@@ -49,16 +57,16 @@ trace-bench:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Fast saturation run recording the current task-path numbers (now with
-# metrics federation and structured logging always on) into BENCH_pr5.json —
-# see docs/PERFORMANCE.md for how to read it.
+# Fast saturation run recording the current task-path numbers (now with the
+# wal-on/wal-off durability arms) into BENCH_pr6.json — see
+# docs/PERFORMANCE.md for how to read it.
 bench-smoke:
-	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr5.json
+	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr6.json
 
-# Regression gate: diff the fresh run against the recorded PR-4 baseline and
+# Regression gate: diff the fresh run against the recorded PR-5 baseline and
 # fail on a >10% tasks/s drop (or p50/p99 rise) in any arm present in both.
 bench-compare:
-	$(GO) run ./cmd/gc-bench -compare BENCH_pr4.json,BENCH_pr5.json
+	$(GO) run ./cmd/gc-bench -compare BENCH_pr5.json,BENCH_pr6.json
 
 examples:
 	$(GO) run ./examples/quickstart

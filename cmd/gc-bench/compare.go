@@ -45,7 +45,18 @@ func compareSaturation(oldPath, newPath string) error {
 		index[key{p.Transport, p.Mode, p.Batch, p.OfferedPerS}] = p
 	}
 
+	// Saturation tasks/s is only comparable within one measurement
+	// methodology: version 0 recorded short bursts, version 1+ records
+	// calibrated sustained rates. Across a version bump, gate only the
+	// paced arms (whose methodology never changed) and let the new file
+	// become the baseline for the next compare.
+	skipSaturation := oldRes.MeasureVersion != newRes.MeasureVersion
+
 	fmt.Printf("# saturation compare: %s -> %s (tolerance %.0f%%)\n", oldPath, newPath, compareTolerance*100)
+	if skipSaturation {
+		fmt.Printf("# measure_version %d -> %d: saturation (offered=max) arms re-baselined, paced arms still gated\n",
+			oldRes.MeasureVersion, newRes.MeasureVersion)
+	}
 	fmt.Printf("%-8s %-12s %6s %10s | %12s %10s %10s | %s\n",
 		"transport", "mode", "batch", "offered/s", "tasks/s", "p50", "p99", "verdict")
 	shared, failures := 0, 0
@@ -53,6 +64,9 @@ func compareSaturation(oldPath, newPath string) error {
 		op, ok := index[key{np.Transport, np.Mode, np.Batch, np.OfferedPerS}]
 		if !ok {
 			continue // new arm with no baseline: informational only
+		}
+		if skipSaturation && np.OfferedPerS == 0 {
+			continue
 		}
 		shared++
 		var bad []string

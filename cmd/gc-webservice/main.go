@@ -16,6 +16,8 @@ import (
 
 	"globuscompute/internal/auth"
 	"globuscompute/internal/broker"
+	"globuscompute/internal/durable"
+	"globuscompute/internal/metrics"
 	"globuscompute/internal/objectstore"
 	"globuscompute/internal/statestore"
 	"globuscompute/internal/trace"
@@ -32,26 +34,71 @@ func main() {
 		brokerTLS   = flag.Bool("broker-tls", false, "serve the broker over TLS (AMQPS equivalent)")
 		caOut       = flag.String("broker-ca-out", "broker-ca.pem", "where to write the broker CA certificate with -broker-tls")
 		taskLease   = flag.Duration("task-lease", 0, "fail non-terminal tasks stuck this long on offline endpoints (0 = buffer forever)")
+		dataDir     = flag.String("data-dir", "", "directory for the durable control plane (WAL + snapshots); empty = in-memory only")
+		snapEvery   = flag.Duration("snapshot-every", durable.DefaultSnapshotEvery, "snapshot + log compaction cadence with -data-dir")
 	)
 	flag.Parse()
 
 	authSvc := auth.NewService()
-	store := statestore.New()
-	brk := broker.New()
 	objects := objectstore.New()
 
 	// Cloud-side task tracing: the service and broker share one collector,
 	// browsable at /debug/traces. Agent-side spans live in the agent
 	// processes; merge their JSONL exports for full-lifecycle traces.
 	traces := trace.NewCollector(0)
+	tracer := trace.NewTracer("webservice", traces)
+
+	// With -data-dir, the statestore and broker recover from their WALs and
+	// journal every mutation; without it, both are purely in-memory (the
+	// original behavior).
+	var (
+		store          *statestore.Store
+		brk            *broker.Broker
+		durableMetrics *metrics.Registry
+		durStore       *durable.Store
+		durBroker      *durable.BrokerLog
+	)
+	if *dataDir != "" {
+		durableMetrics = metrics.NewRegistry()
+		var err error
+		durStore, err = durable.OpenStore(durable.StoreOptions{
+			Dir:           *dataDir + "/state",
+			SnapshotEvery: *snapEvery,
+			Metrics:       durableMetrics,
+			Tracer:        tracer,
+		})
+		if err != nil {
+			log.Fatalf("gc-webservice: durable store: %v", err)
+		}
+		durBroker, err = durable.OpenBroker(durable.BrokerOptions{
+			Dir:           *dataDir + "/broker",
+			SnapshotEvery: *snapEvery,
+			Metrics:       durableMetrics,
+			Tracer:        tracer,
+		})
+		if err != nil {
+			log.Fatalf("gc-webservice: durable broker: %v", err)
+		}
+		store, brk = durStore.State, durBroker.B
+	} else {
+		store, brk = statestore.New(), broker.New()
+	}
 	brk.Tracer = trace.NewTracer("broker", traces)
 
 	svc, err := webservice.New(webservice.Config{
 		Store: store, Broker: brk, Objects: objects, Auth: authSvc,
-		Tracer: trace.NewTracer("webservice", traces),
+		Tracer:         tracer,
+		DurableMetrics: durableMetrics,
 	})
 	if err != nil {
 		log.Fatalf("gc-webservice: %v", err)
+	}
+	if *dataDir != "" {
+		// Re-attach result processors for every recovered endpoint so
+		// buffered results drain without waiting for agents to re-register.
+		if err := svc.ResumeEndpoints(); err != nil {
+			log.Fatalf("gc-webservice: resume endpoints: %v", err)
+		}
 	}
 	var brokerSrv *broker.Server
 	if *brokerTLS {
@@ -111,6 +158,9 @@ func main() {
 	}
 
 	fmt.Printf("gc-webservice up\n")
+	if *dataDir != "" {
+		fmt.Printf("  data dir:     %s (durable control plane)\n", *dataDir)
+	}
 	fmt.Printf("  REST API:     http://%s\n", httpSrv.Addr())
 	fmt.Printf("  broker:       %s\n", brokerSrv.Addr())
 	fmt.Printf("  object store: %s\n", objectsSrv.Addr())
@@ -131,4 +181,14 @@ func main() {
 	brokerSrv.Close()
 	objectsSrv.Close()
 	brk.Close()
+	if durStore != nil {
+		if err := durStore.Close(); err != nil {
+			log.Printf("gc-webservice: durable store close: %v", err)
+		}
+	}
+	if durBroker != nil {
+		if err := durBroker.Close(); err != nil {
+			log.Printf("gc-webservice: durable broker close: %v", err)
+		}
+	}
 }

@@ -67,7 +67,34 @@ type Broker struct {
 	// traced message (publish -> delivery, the queue-transit time) and a
 	// "requeue" span per nack/disconnect requeue.
 	Tracer *trace.Tracer
+
+	// jrnl, when set, journals queue lifecycle and message flow so a broker
+	// restart redelivers queued-but-undelivered and delivered-but-unacked
+	// messages (see SetJournal).
+	jrnl Journal
+	// nextMsgID hands out broker-unique message IDs when journaling, so the
+	// journal can dedupe replayed publishes against a snapshot.
+	nextMsgID atomic.Uint64
 }
+
+// Journal receives broker mutations for write-ahead persistence. LogPublish
+// must make the records durable before returning (a published task may
+// already be marked Delivered in the statestore — losing it would strand the
+// task) and returns an applied callback, invoked once the messages are
+// enqueued, so the journal's snapshot horizon never covers a logged-but-
+// unenqueued publish. LogAck and the lifecycle hooks are fire-and-forget:
+// losing an ack record only widens redelivery, which at-least-once delivery
+// absorbs.
+type Journal interface {
+	LogDeclare(queue string)
+	LogDelete(queue string)
+	LogPublish(queue string, ids []uint64, bodies [][]byte) (applied func(), err error)
+	LogAck(queue string, ids []uint64)
+}
+
+// SetJournal attaches the write-ahead journal. Call before the broker serves
+// traffic (typically right after restoring a snapshot).
+func (b *Broker) SetJournal(j Journal) { b.jrnl = j }
 
 // New returns an empty broker.
 func New() *Broker {
@@ -104,6 +131,9 @@ func (b *Broker) Declare(name string) error {
 	}
 	if _, ok := sh.m[name]; !ok {
 		sh.m[name] = newQueue(b, name)
+		if b.jrnl != nil {
+			b.jrnl.LogDeclare(name)
+		}
 	}
 	return nil
 }
@@ -120,6 +150,9 @@ func (b *Broker) Delete(name string) error {
 	sh.mu.Unlock()
 	if !ok {
 		return ErrQueueNotFound
+	}
+	if b.jrnl != nil {
+		b.jrnl.LogDelete(name)
 	}
 	q.close()
 	return nil
@@ -138,7 +171,19 @@ func (b *Broker) PublishTraced(name string, body []byte, tc *trace.Context) erro
 	if err != nil {
 		return err
 	}
-	return q.publish(body, tc)
+	var id uint64
+	var done func()
+	if b.jrnl != nil {
+		id = b.nextMsgID.Add(1)
+		if done, err = b.jrnl.LogPublish(name, []uint64{id}, [][]byte{body}); err != nil {
+			return err
+		}
+	}
+	err = q.publish(id, body, tc)
+	if done != nil {
+		done()
+	}
+	return err
 }
 
 // PublishBatch appends several messages to one queue under a single lock
@@ -152,7 +197,22 @@ func (b *Broker) PublishBatch(name string, bodies [][]byte, traces []*trace.Cont
 	if err != nil {
 		return err
 	}
-	return q.publishBatch(bodies, traces)
+	var ids []uint64
+	var done func()
+	if b.jrnl != nil {
+		ids = make([]uint64, len(bodies))
+		for i := range ids {
+			ids[i] = b.nextMsgID.Add(1)
+		}
+		if done, err = b.jrnl.LogPublish(name, ids, bodies); err != nil {
+			return err
+		}
+	}
+	err = q.publishBatch(ids, bodies, traces)
+	if done != nil {
+		done()
+	}
+	return err
 }
 
 // Depth returns the number of messages waiting (not yet delivered) in the
@@ -255,6 +315,8 @@ type queue struct {
 type entry struct {
 	body        []byte
 	redelivered bool
+	// id is the journal's broker-unique message ID (0 when not journaling).
+	id uint64
 	// tc is the publisher's trace context; it survives requeues so a
 	// redelivered message keeps its original trace ID.
 	tc *trace.Context
@@ -277,14 +339,14 @@ func newQueue(b *Broker, name string) *queue {
 	}
 }
 
-func (q *queue) publish(body []byte, tc *trace.Context) error {
+func (q *queue) publish(id uint64, body []byte, tc *trace.Context) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrClosed
 	}
 	// Copy so callers may reuse their buffer.
-	e := &entry{body: append([]byte(nil), body...), tc: tc, enqueued: time.Now()}
+	e := &entry{body: append([]byte(nil), body...), id: id, tc: tc, enqueued: time.Now()}
 	q.ready.PushBack(e)
 	q.published.Inc()
 	q.dispatchLocked()
@@ -293,7 +355,7 @@ func (q *queue) publish(body []byte, tc *trace.Context) error {
 
 // publishBatch appends all bodies and dispatches once: N messages cost one
 // mutex round trip and one dispatch pass instead of N.
-func (q *queue) publishBatch(bodies [][]byte, traces []*trace.Context) error {
+func (q *queue) publishBatch(ids []uint64, bodies [][]byte, traces []*trace.Context) error {
 	now := time.Now()
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -306,6 +368,9 @@ func (q *queue) publishBatch(bodies [][]byte, traces []*trace.Context) error {
 			tc = traces[i]
 		}
 		e := &entry{body: append([]byte(nil), body...), tc: tc, enqueued: now}
+		if i < len(ids) {
+			e.id = ids[i]
+		}
 		q.ready.PushBack(e)
 	}
 	q.published.Add(int64(len(bodies)))
@@ -396,14 +461,35 @@ func (q *queue) pickConsumerLocked() *Consumer {
 
 func (q *queue) ack(c *Consumer, tag uint64) error {
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	if _, ok := c.unacked[tag]; !ok {
+	e, ok := c.unacked[tag]
+	if !ok {
+		q.mu.Unlock()
 		return ErrUnknownTag
 	}
 	delete(c.unacked, tag)
 	q.acked.Inc()
 	q.dispatchLocked()
+	q.mu.Unlock()
+	q.journalAck(e.id)
 	return nil
+}
+
+// journalAck records acked message IDs (fire-and-forget). Called outside
+// q.mu so a slow journal never blocks dispatch.
+func (q *queue) journalAck(ids ...uint64) {
+	j := q.b.jrnl
+	if j == nil {
+		return
+	}
+	live := ids[:0]
+	for _, id := range ids {
+		if id != 0 {
+			live = append(live, id)
+		}
+	}
+	if len(live) > 0 {
+		j.LogAck(q.name, live)
+	}
 }
 
 // ackBatch acknowledges every tag under one lock acquisition, dispatching
@@ -411,19 +497,21 @@ func (q *queue) ack(c *Consumer, tag uint64) error {
 // error reports how many, after the valid tags have all been acked.
 func (q *queue) ackBatch(c *Consumer, tags []uint64) error {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	unknown := 0
-	acked := 0
+	ackedIDs := make([]uint64, 0, len(tags))
 	for _, tag := range tags {
-		if _, ok := c.unacked[tag]; !ok {
+		e, ok := c.unacked[tag]
+		if !ok {
 			unknown++
 			continue
 		}
 		delete(c.unacked, tag)
-		acked++
+		ackedIDs = append(ackedIDs, e.id)
 	}
-	q.acked.Add(int64(acked))
+	q.acked.Add(int64(len(ackedIDs)))
 	q.dispatchLocked()
+	q.mu.Unlock()
+	q.journalAck(ackedIDs...)
 	if unknown > 0 {
 		return fmt.Errorf("%w: %d of %d tags in batch", ErrUnknownTag, unknown, len(tags))
 	}
@@ -446,6 +534,9 @@ func (q *queue) reject(b *Broker, c *Consumer, tag uint64) error {
 	q.deadlettered.Inc()
 	q.dispatchLocked()
 	q.mu.Unlock()
+	// The dead-letter move is journaled as ack-here + publish-there (the DLQ
+	// publish below journals itself).
+	q.journalAck(e.id)
 	dlq := q.name + DeadLetterSuffix
 	if err := b.Declare(dlq); err != nil {
 		return err

@@ -10,23 +10,32 @@ import (
 // not lost"). Snapshot/Restore provide the same guarantee for this broker:
 // a snapshot captures every queue's ready messages plus
 // delivered-but-unacknowledged messages (which a restart must redeliver).
+// The durable package layers a write-ahead journal on top (see Journal),
+// using the message IDs carried in the image to dedupe replayed publishes.
 
-// queueImage is one queue's persisted form.
-type queueImage struct {
+// QueueImage is one queue's persisted form.
+type QueueImage struct {
 	Name string `json:"name"`
 	// Messages are ready bodies in order; unacked deliveries are folded in
 	// at the front (they redeliver first, flagged Redelivered).
 	Messages    [][]byte `json:"messages"`
 	RedeliverTo int      `json:"redeliver_to"` // messages[:RedeliverTo] redeliver
+	// IDs are the journal message IDs parallel to Messages (absent or zero
+	// when the broker was not journaling).
+	IDs []uint64 `json:"ids,omitempty"`
 }
 
-type brokerImage struct {
-	Queues []queueImage `json:"queues"`
+// Image is the broker's full persisted form.
+type Image struct {
+	Queues []QueueImage `json:"queues"`
+	// NextID seeds the journal message-ID counter after a restore so new
+	// publishes never reuse a persisted ID.
+	NextID uint64 `json:"next_id,omitempty"`
 }
 
-// Snapshot serializes all queues: ready messages plus unacknowledged
+// SnapshotImage captures all queues: ready messages plus unacknowledged
 // deliveries (folded to the front, as a broker restart would requeue them).
-func (b *Broker) Snapshot() ([]byte, error) {
+func (b *Broker) SnapshotImage() Image {
 	var queues []*queue
 	for i := range b.shards {
 		sh := &b.shards[i]
@@ -37,19 +46,21 @@ func (b *Broker) Snapshot() ([]byte, error) {
 		sh.mu.RUnlock()
 	}
 
-	var img brokerImage
+	img := Image{NextID: b.nextMsgID.Load() + 1}
 	for _, q := range queues {
 		q.mu.Lock()
-		qi := queueImage{Name: q.name}
+		qi := QueueImage{Name: q.name}
 		for _, c := range q.consumers {
 			for _, e := range c.unacked {
 				qi.Messages = append(qi.Messages, append([]byte(nil), e.body...))
+				qi.IDs = append(qi.IDs, e.id)
 			}
 		}
 		qi.RedeliverTo = len(qi.Messages)
 		for el := q.ready.Front(); el != nil; el = el.Next() {
 			e := el.Value.(*entry)
 			qi.Messages = append(qi.Messages, append([]byte(nil), e.body...))
+			qi.IDs = append(qi.IDs, e.id)
 			if e.redelivered && qi.RedeliverTo < len(qi.Messages) {
 				// preserve redelivery flags for already-requeued entries
 				qi.RedeliverTo = len(qi.Messages)
@@ -58,17 +69,20 @@ func (b *Broker) Snapshot() ([]byte, error) {
 		q.mu.Unlock()
 		img.Queues = append(img.Queues, qi)
 	}
-	return json.Marshal(img)
+	return img
 }
 
-// Restore recreates queues and their buffered messages from a Snapshot
-// image. Existing queues with the same names receive the messages appended;
-// typically Restore is called on a fresh broker.
-func (b *Broker) Restore(data []byte) error {
-	var img brokerImage
-	if err := json.Unmarshal(data, &img); err != nil {
-		return fmt.Errorf("broker: restore: %w", err)
-	}
+// Snapshot serializes SnapshotImage to JSON.
+func (b *Broker) Snapshot() ([]byte, error) {
+	return json.Marshal(b.SnapshotImage())
+}
+
+// RestoreImage recreates queues and their buffered messages from an Image.
+// Existing queues with the same names receive the messages appended;
+// typically it is called on a fresh broker. The journal ID counter resumes
+// past every restored ID.
+func (b *Broker) RestoreImage(img Image) error {
+	maxID := img.NextID
 	for _, qi := range img.Queues {
 		if err := b.Declare(qi.Name); err != nil {
 			return err
@@ -80,10 +94,28 @@ func (b *Broker) Restore(data []byte) error {
 		q.mu.Lock()
 		for i, body := range qi.Messages {
 			e := &entry{body: append([]byte(nil), body...), redelivered: i < qi.RedeliverTo}
+			if i < len(qi.IDs) {
+				e.id = qi.IDs[i]
+				if e.id >= maxID {
+					maxID = e.id + 1
+				}
+			}
 			q.ready.PushBack(e)
 		}
 		q.dispatchLocked()
 		q.mu.Unlock()
 	}
+	if cur := b.nextMsgID.Load(); maxID > cur+1 {
+		b.nextMsgID.Store(maxID - 1)
+	}
 	return nil
+}
+
+// Restore is RestoreImage from a Snapshot's JSON form.
+func (b *Broker) Restore(data []byte) error {
+	var img Image
+	if err := json.Unmarshal(data, &img); err != nil {
+		return fmt.Errorf("broker: restore: %w", err)
+	}
+	return b.RestoreImage(img)
 }

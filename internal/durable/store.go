@@ -1,0 +1,307 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"globuscompute/internal/metrics"
+	"globuscompute/internal/obs"
+	"globuscompute/internal/statestore"
+	"globuscompute/internal/trace"
+)
+
+// Store layout within the data directory.
+const (
+	storeSnapshotFile = "state.snap"
+	storeWALDir       = "wal"
+
+	// DefaultSnapshotEvery is the snapshot + compaction cadence.
+	DefaultSnapshotEvery = 30 * time.Second
+)
+
+// StoreOptions configures the durable statestore.
+type StoreOptions struct {
+	// Dir is the statestore's slice of the data directory.
+	Dir string
+	// SnapshotEvery is the snapshot + compaction cadence (default
+	// DefaultSnapshotEvery; <0 disables the background loop — tests drive
+	// SnapshotNow directly).
+	SnapshotEvery time.Duration
+	// SegmentBytes overrides the WAL rotation threshold.
+	SegmentBytes int64
+	// NoSync disables fsync (benchmarking the WAL machinery without the
+	// disk).
+	NoSync bool
+	// Metrics receives the WAL gauges plus snapshot_age_seconds, wal_replay
+	// (exported wal_replay_seconds), wal_replayed (.._total), and
+	// wal_snapshots (.._total). Nil uses a private registry.
+	Metrics *metrics.Registry
+	// Tracer records recovery as a "durable.replay" span. Nil disables.
+	Tracer *trace.Tracer
+	// Log receives the recovery summary line. Nil uses the default pipeline.
+	Log *obs.Logger
+}
+
+// storeSnapshot is the on-disk snapshot envelope: the statestore image plus
+// the LSN horizon it reflects, so recovery knows where WAL replay starts.
+type storeSnapshot struct {
+	AppliedLSN uint64          `json:"applied_lsn"`
+	State      json.RawMessage `json:"state"`
+}
+
+// Store is a statestore recovered from disk and journaled to a WAL. It
+// implements statestore.Journal: every mutation is appended (group-committed)
+// before the in-memory store applies it, and a background loop snapshots the
+// store and compacts the log below the snapshot's applied horizon.
+type Store struct {
+	// State is the recovered store; callers use it exactly like an
+	// in-memory one.
+	State *statestore.Store
+
+	opts StoreOptions
+	wal  *WAL
+
+	mu       sync.Mutex
+	nextTok  uint64
+	inflight map[uint64]uint64 // token -> LSN (or conservative lower bound)
+	snapLSN  uint64            // horizon of the newest on-disk snapshot
+	snapAt   time.Time
+
+	snapAge   *metrics.Gauge
+	replayHis *metrics.Histogram
+	replayed  *metrics.Counter
+	snapshots *metrics.Counter
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// OpenStore restores the statestore from opts.Dir — newest snapshot plus WAL
+// tail, tolerating a torn final record — and returns it journaled, so every
+// subsequent mutation is durable before it is visible. An empty directory
+// yields an empty store: first boot and recovery are the same code path.
+func OpenStore(opts StoreOptions) (*Store, error) {
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = DefaultSnapshotEvery
+	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durable: store dir: %w", err)
+	}
+	d := &Store{
+		State:     statestore.New(),
+		opts:      opts,
+		inflight:  make(map[uint64]uint64),
+		snapAge:   opts.Metrics.Gauge("snapshot_age_seconds"),
+		replayHis: opts.Metrics.Histogram("wal_replay"),
+		replayed:  opts.Metrics.Counter("wal_replayed"),
+		snapshots: opts.Metrics.Counter("wal_snapshots"),
+	}
+
+	start := time.Now()
+	snapPath := filepath.Join(opts.Dir, storeSnapshotFile)
+	var snapLSN uint64
+	restored := false
+	if img, err := os.ReadFile(snapPath); err == nil {
+		var snap storeSnapshot
+		if err := json.Unmarshal(img, &snap); err != nil {
+			return nil, fmt.Errorf("durable: snapshot %s: %w", snapPath, err)
+		}
+		if err := d.State.Restore(snap.State); err != nil {
+			return nil, fmt.Errorf("durable: snapshot %s: %w", snapPath, err)
+		}
+		snapLSN = snap.AppliedLSN
+		restored = true
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("durable: snapshot: %w", err)
+	}
+
+	wal, err := OpenWAL(WALOptions{
+		Dir:          filepath.Join(opts.Dir, storeWALDir),
+		SegmentBytes: opts.SegmentBytes,
+		NoSync:       opts.NoSync,
+		Metrics:      opts.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.wal = wal
+
+	// Replay the tail above the snapshot horizon. Mutations whose effect is
+	// already in the snapshot (the horizon is conservative) re-apply through
+	// the same state machine and are rejected as duplicates or illegal
+	// transitions — counted, not fatal.
+	applied, skipped := 0, 0
+	n, err := wal.Replay(snapLSN+1, func(lsn uint64, payload []byte) error {
+		var m statestore.Mutation
+		if err := json.Unmarshal(payload, &m); err != nil {
+			return fmt.Errorf("durable: replay lsn %d: %w", lsn, err)
+		}
+		if err := d.State.ApplyMutation(m); err != nil {
+			skipped++
+			return nil
+		}
+		applied++
+		return nil
+	})
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	dur := time.Since(start)
+	d.replayHis.Observe(dur)
+	d.replayed.Add(int64(applied))
+	opts.Tracer.Record(nil, "durable.replay", start, time.Now(),
+		"snapshot_lsn", fmt.Sprint(snapLSN),
+		"records", fmt.Sprint(n),
+		"applied", fmt.Sprint(applied),
+		"skipped", fmt.Sprint(skipped))
+	logger := opts.Log
+	if logger == nil {
+		logger = obs.Component("durable")
+	}
+	logger.Info("statestore recovery complete",
+		"snapshot", restored,
+		"snapshot_lsn", snapLSN,
+		"wal_records", n,
+		"applied", applied,
+		"skipped", skipped,
+		"last_lsn", wal.LastLSN(),
+		"duration", dur.Round(time.Microsecond).String())
+
+	d.snapLSN = snapLSN
+	d.snapAt = time.Now()
+	d.State.SetJournal(d)
+
+	if opts.SnapshotEvery > 0 {
+		d.stop = make(chan struct{})
+		d.done = make(chan struct{})
+		go d.snapshotLoop()
+	}
+	return d, nil
+}
+
+// LogMutation implements statestore.Journal: marshal, group-commit, and track
+// the record as in-flight until the store reports it applied — the safe
+// snapshot horizon never advances past a logged-but-unapplied mutation.
+func (d *Store) LogMutation(m statestore.Mutation) (func(), error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	// Register before appending: the record's eventual LSN is strictly above
+	// the log's current tail, so that tail+1 is a sound lower bound while the
+	// append is in flight.
+	d.mu.Lock()
+	tok := d.nextTok
+	d.nextTok++
+	d.inflight[tok] = d.wal.LastLSN() + 1
+	d.mu.Unlock()
+
+	lsn, err := d.wal.Append(payload)
+	d.mu.Lock()
+	if err != nil {
+		delete(d.inflight, tok)
+		d.mu.Unlock()
+		return nil, err
+	}
+	d.inflight[tok] = lsn
+	d.mu.Unlock()
+	return func() {
+		d.mu.Lock()
+		delete(d.inflight, tok)
+		d.mu.Unlock()
+	}, nil
+}
+
+// safeLSN returns the highest LSN such that every record at or below it is
+// both durable and applied to the in-memory store — the snapshot horizon.
+func (d *Store) safeLSN() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	safe := d.wal.LastLSN()
+	for _, lsn := range d.inflight {
+		if lsn-1 < safe {
+			safe = lsn - 1
+		}
+	}
+	return safe
+}
+
+// SnapshotNow writes a snapshot at the current safe horizon and compacts WAL
+// segments below it. A no-op when nothing advanced since the last snapshot.
+func (d *Store) SnapshotNow() error {
+	safe := d.safeLSN()
+	d.mu.Lock()
+	cur := d.snapLSN
+	d.mu.Unlock()
+	if safe <= cur {
+		return nil
+	}
+	img, err := d.State.Snapshot()
+	if err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	buf, err := json.Marshal(storeSnapshot{AppliedLSN: safe, State: img})
+	if err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	if err := WriteFileAtomic(filepath.Join(d.opts.Dir, storeSnapshotFile), buf, 0o644); err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	d.mu.Lock()
+	d.snapLSN = safe
+	d.snapAt = time.Now()
+	d.mu.Unlock()
+	d.snapshots.Inc()
+	d.snapAge.Set(0)
+	if _, err := d.wal.CompactBelow(safe); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (d *Store) snapshotLoop() {
+	defer close(d.done)
+	ticker := time.NewTicker(d.opts.SnapshotEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+		}
+		d.mu.Lock()
+		age := time.Since(d.snapAt)
+		d.mu.Unlock()
+		d.snapAge.Set(int64(age.Seconds()))
+		_ = d.SnapshotNow()
+	}
+}
+
+// Metrics returns the registry carrying the WAL and snapshot metrics.
+func (d *Store) Metrics() *metrics.Registry { return d.opts.Metrics }
+
+// WAL exposes the underlying log (tests and the crash suite).
+func (d *Store) WAL() *WAL { return d.wal }
+
+// Close stops the snapshot loop, takes a final snapshot, and closes the WAL.
+// Safe to skip on crash: that is the point of the journal.
+func (d *Store) Close() error {
+	if d.stop != nil {
+		close(d.stop)
+		<-d.done
+		d.stop = nil
+	}
+	err := d.SnapshotNow()
+	if cerr := d.wal.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -32,6 +33,9 @@ const epWorkers = 4
 // driver and consumer sides are identical in both modes so the agent is the
 // only variable.
 func endpointArm(transport string, pipelined bool, offered, n int) (SaturationPoint, error) {
+	// Shed the previous arm's garbage so its GC debt doesn't pollute this
+	// arm's latency tail (the calibrated broker arms churn a lot of heap).
+	runtime.GC()
 	b := broker.New()
 	epID := protocol.NewUUID()
 	taskQ := "tasks." + string(epID)

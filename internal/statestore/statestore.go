@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -128,6 +129,10 @@ type Store struct {
 	tasks [taskShards]taskShard
 	byEp  [taskShards]idxShard
 
+	// jrnl, when set, receives every mutation before it is applied (see
+	// journal.go). Attached once at startup, after recovery replay.
+	jrnl Journal
+
 	now func() time.Time
 }
 
@@ -167,6 +172,13 @@ func (s *Store) PutFunction(rec FunctionRecord) error {
 	if !rec.ID.Valid() {
 		return fmt.Errorf("statestore: invalid function ID %q", rec.ID)
 	}
+	done, err := s.logMutation(Mutation{Op: OpPutFunction, Function: &rec})
+	if err != nil {
+		return err
+	}
+	if done != nil {
+		defer done()
+	}
 	s.fnMu.Lock()
 	defer s.fnMu.Unlock()
 	if _, ok := s.functions[rec.ID]; ok {
@@ -205,6 +217,13 @@ func (s *Store) UpsertEndpoint(rec EndpointRecord) error {
 	if !rec.ID.Valid() {
 		return fmt.Errorf("statestore: invalid endpoint ID %q", rec.ID)
 	}
+	done, err := s.logMutation(Mutation{Op: OpUpsertEndpoint, Endpoint: &rec})
+	if err != nil {
+		return err
+	}
+	if done != nil {
+		defer done()
+	}
 	s.epMu.Lock()
 	defer s.epMu.Unlock()
 	if rec.Registered.IsZero() {
@@ -231,6 +250,13 @@ func (s *Store) GetEndpoint(id protocol.UUID) (EndpointRecord, error) {
 
 // SetEndpointStatus updates status and heartbeat time.
 func (s *Store) SetEndpointStatus(id protocol.UUID, status EndpointStatus) error {
+	done, err := s.logMutation(Mutation{Op: OpSetEndpointStatus, EndpointID: id, Status: status})
+	if err != nil {
+		return err
+	}
+	if done != nil {
+		defer done()
+	}
 	s.epMu.Lock()
 	defer s.epMu.Unlock()
 	rec, ok := s.endpoints[id]
@@ -320,6 +346,13 @@ func (s *Store) CreateTask(task protocol.Task) error {
 	if !task.ID.Valid() {
 		return fmt.Errorf("statestore: invalid task ID %q", task.ID)
 	}
+	done, err := s.logMutation(Mutation{Op: OpCreateTask, Task: &task})
+	if err != nil {
+		return err
+	}
+	if done != nil {
+		defer done()
+	}
 	sh := s.taskShard(task.ID)
 	sh.mu.Lock()
 	if _, ok := sh.m[task.ID]; ok {
@@ -340,6 +373,13 @@ func (s *Store) CreateTask(task protocol.Task) error {
 // fresh UUIDs, so collisions indicate a caller bug, not a race to report
 // precisely).
 func (s *Store) CreateTasks(tasks []protocol.Task) error {
+	done, jerr := s.logMutation(Mutation{Op: OpCreateTasks, Tasks: tasks})
+	if jerr != nil {
+		return jerr
+	}
+	if done != nil {
+		defer done()
+	}
 	var firstErr error
 	// Group indices by shard.
 	var groups [taskShards][]int
@@ -442,6 +482,13 @@ func (s *Store) GetTaskRecords(ids []protocol.UUID) map[protocol.UUID]TaskRecord
 
 // TransitionTask moves a task to state, enforcing the state machine.
 func (s *Store) TransitionTask(id protocol.UUID, state protocol.TaskState) error {
+	done, err := s.logMutation(Mutation{Op: OpTransitionTask, TaskIDs: []protocol.UUID{id}, State: state})
+	if err != nil {
+		return err
+	}
+	if done != nil {
+		defer done()
+	}
 	sh := s.taskShard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -452,6 +499,13 @@ func (s *Store) TransitionTask(id protocol.UUID, state protocol.TaskState) error
 // touched shard. The first per-task error is returned; remaining tasks
 // still transition.
 func (s *Store) TransitionTasks(ids []protocol.UUID, state protocol.TaskState) error {
+	done, jerr := s.logMutation(Mutation{Op: OpTransitionTasks, TaskIDs: ids, State: state})
+	if jerr != nil {
+		return jerr
+	}
+	if done != nil {
+		defer done()
+	}
 	var firstErr error
 	var groups [taskShards][]protocol.UUID
 	for _, id := range ids {
@@ -495,6 +549,13 @@ func (s *Store) CompleteTask(res protocol.Result) error {
 	if !res.State.Terminal() {
 		return fmt.Errorf("statestore: CompleteTask with non-terminal state %s", res.State)
 	}
+	done, err := s.logMutation(Mutation{Op: OpCompleteTask, Result: &res})
+	if err != nil {
+		return err
+	}
+	if done != nil {
+		defer done()
+	}
 	sh := s.taskShard(res.TaskID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -507,6 +568,16 @@ func (s *Store) CompleteTask(res protocol.Result) error {
 // message individually.
 func (s *Store) CompleteTasks(results []protocol.Result) []error {
 	errs := make([]error, len(results))
+	done, jerr := s.logMutation(Mutation{Op: OpCompleteTasks, Results: results})
+	if jerr != nil {
+		for i := range errs {
+			errs[i] = jerr
+		}
+		return errs
+	}
+	if done != nil {
+		defer done()
+	}
 	var groups [taskShards][]int
 	for i, res := range results {
 		if !res.State.Terminal() {
@@ -583,6 +654,13 @@ func (s *Store) CountTasks() int {
 // implementing the service's bounded result retention ("results are stored
 // in the cloud for up to two weeks"). It returns the number purged.
 func (s *Store) PurgeTasksBefore(cutoff time.Time) int {
+	done, jerr := s.logMutation(Mutation{Op: OpPurgeBefore, Cutoff: cutoff})
+	if jerr != nil {
+		return 0
+	}
+	if done != nil {
+		defer done()
+	}
 	purged := 0
 	for si := range s.tasks {
 		sh := &s.tasks[si]
@@ -649,17 +727,44 @@ func (s *Store) Snapshot() ([]byte, error) {
 }
 
 // SaveFile writes a snapshot atomically to path (the RDS substitute's
-// durability story: periodic snapshots).
+// durability story: periodic snapshots). The temp file is fsynced before the
+// rename and the parent directory after it, so a crash at any point leaves
+// either the old snapshot or the complete new one — never a torn or missing
+// file.
 func (s *Store) SaveFile(path string) error {
 	img, err := s.Snapshot()
 	if err != nil {
 		return err
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, img, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return fmt.Errorf("statestore: save: %w", err)
 	}
-	return os.Rename(tmp, path)
+	if _, err := f.Write(img); err != nil {
+		f.Close()
+		return fmt.Errorf("statestore: save: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("statestore: save: sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("statestore: save: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("statestore: save: %w", err)
+	}
+	// Sync the directory so the rename itself is durable.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("statestore: save: %w", err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("statestore: save: sync dir: %w", err)
+	}
+	return nil
 }
 
 // LoadFile restores the store from a SaveFile snapshot.

@@ -117,6 +117,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.svc.cfg.Broker != nil {
 		_ = s.svc.cfg.Broker.Metrics.WriteText(w, "gc_broker")
 	}
+	if s.svc.cfg.DurableMetrics != nil {
+		_ = s.svc.cfg.DurableMetrics.WriteText(w, "gc_durable")
+	}
 }
 
 // handleMetricsFleet writes the federated fleet view: every tracked

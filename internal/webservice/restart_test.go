@@ -5,19 +5,44 @@ import (
 	"time"
 
 	"globuscompute/internal/auth"
-	"globuscompute/internal/broker"
+	"globuscompute/internal/durable"
 	"globuscompute/internal/objectstore"
 	"globuscompute/internal/protocol"
-	"globuscompute/internal/statestore"
 )
 
-// TestCloudRestartRecovery exercises the reliability claim: tasks buffered
-// for an offline endpoint survive a full web-service restart (state store +
-// broker snapshots) and execute once the endpoint comes online against the
-// restored deployment.
+// TestCloudRestartRecovery exercises the durability claim end to end: tasks
+// buffered for an offline endpoint survive a hard web-service crash and
+// execute once the endpoint comes online against the recovered deployment.
+// Unlike an in-memory Snapshot/Restore round trip, this goes through the
+// real recovery path: both the statestore and the broker journal to WALs in
+// a shared data dir, the "crash" skips the shutdown snapshot entirely, and
+// the second life rebuilds its state purely by replaying those WALs — the
+// same startup sequence cmd/gc-webservice runs with -data-dir.
 func TestCloudRestartRecovery(t *testing.T) {
-	// --- first life of the cloud ---
-	f := newFixture(t)
+	dir := t.TempDir()
+
+	// --- first life of the cloud, journaling every mutation ---
+	durStore, err := durable.OpenStore(durable.StoreOptions{Dir: dir + "/state", SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	durBroker, err := durable.OpenBroker(durable.BrokerOptions{Dir: dir + "/broker", SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := objectstore.New()
+	authS := auth.NewService()
+	svc, err := New(Config{Store: durStore.State, Broker: durBroker.B, Objects: objs, Auth: authS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok, err := authS.Issue(
+		auth.Identity{Username: "alice@uchicago.edu", Provider: "uchicago"},
+		[]string{auth.ScopeCompute, auth.ScopeManage}, time.Hour, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{svc: svc, store: durStore.State, brk: durBroker.B, objs: objs, authS: authS, token: tok}
 	fn := f.registerFunction(t)
 	ep := f.registerEndpoint(t, RegisterEndpointRequest{Name: "offline-hpc", Owner: "o"})
 	// No agent attached: tasks buffer in the broker.
@@ -33,37 +58,39 @@ func TestCloudRestartRecovery(t *testing.T) {
 		t.Fatalf("buffered depth = %d", d)
 	}
 
-	storeImg, err := f.store.Snapshot()
-	if err != nil {
-		t.Fatal(err)
-	}
-	brokerImg, err := f.brk.Snapshot()
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Crash the cloud.
+	// Crash the cloud: stop the service and broker but never call Close on
+	// the durable layer, so no final snapshot is written and recovery must
+	// come from the logs. The WAL file handles are closed only so the dead
+	// generation's flusher goroutines stop.
 	f.svc.Close()
 	f.brk.Close()
+	_ = durStore.WAL().Close()
+	_ = durBroker.WAL().Close()
 
-	// --- second life: restore from snapshots ---
-	store2 := statestore.New()
-	if err := store2.Restore(storeImg); err != nil {
+	// --- second life: replay the WALs ---
+	durStore2, err := durable.OpenStore(durable.StoreOptions{Dir: dir + "/state", SnapshotEvery: -1})
+	if err != nil {
 		t.Fatal(err)
 	}
-	brk2 := broker.New()
-	defer brk2.Close()
-	if err := brk2.Restore(brokerImg); err != nil {
+	durBroker2, err := durable.OpenBroker(durable.BrokerOptions{Dir: dir + "/broker", SnapshotEvery: -1})
+	if err != nil {
 		t.Fatal(err)
 	}
 	auth2 := auth.NewService()
-	svc2, err := New(Config{Store: store2, Broker: brk2, Objects: objectstore.New(), Auth: auth2})
+	svc2, err := New(Config{Store: durStore2.State, Broker: durBroker2.B, Objects: objectstore.New(), Auth: auth2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer svc2.Close()
-	// The endpoint re-registers with its existing ID (agent restart),
-	// which re-attaches the result processor.
-	if _, err := svc2.RegisterEndpoint(RegisterEndpointRequest{ID: ep, Name: "offline-hpc", Owner: "o"}); err != nil {
+	t.Cleanup(func() {
+		svc2.Close()
+		durBroker2.B.Close()
+		_ = durStore2.Close()
+		_ = durBroker2.Close()
+	})
+	// No re-registration: the endpoint record was recovered from the WAL, so
+	// ResumeEndpoints re-declares its queues and re-attaches its result
+	// processor — the same thing cmd/gc-webservice does with -data-dir.
+	if err := svc2.ResumeEndpoints(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -77,12 +104,12 @@ func TestCloudRestartRecovery(t *testing.T) {
 			t.Fatalf("task %s already terminal: %s", id, st.State)
 		}
 	}
-	if d, _ := brk2.Depth(TaskQueue(ep)); d != 3 {
+	if d, _ := durBroker2.B.Depth(TaskQueue(ep)); d != 3 {
 		t.Fatalf("restored depth = %d", d)
 	}
 
 	// The endpoint comes online and drains the backlog.
-	f2 := &fixture{svc: svc2, store: store2, brk: brk2, objs: objectstore.New(), authS: auth2}
+	f2 := &fixture{svc: svc2, store: durStore2.State, brk: durBroker2.B, objs: objectstore.New(), authS: auth2}
 	f2.fakeAgent(t, ep)
 	for _, id := range ids {
 		deadline := time.Now().Add(10 * time.Second)

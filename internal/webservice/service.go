@@ -79,6 +79,11 @@ type Config struct {
 	// Logs is the ring buffer served by GET /debug/logs (default: the
 	// process pipeline's buffer).
 	Logs *obs.LogBuffer
+	// DurableMetrics, when the service runs on a durable store (see
+	// internal/durable), is that layer's registry; /metrics exposes it under
+	// the gc_durable prefix (WAL appends/fsyncs, snapshot age, replay
+	// timings). Nil when running in-memory.
+	DurableMetrics *metrics.Registry
 }
 
 // Service is the web service core, independent of its HTTP front end.
@@ -272,6 +277,36 @@ func (s *Service) RegisterEndpoint(req RegisterEndpointRequest) (protocol.UUID, 
 	s.audit(req.Owner, "register_endpoint", id, nil, detail)
 	s.Metrics.Counter("endpoints_registered").Inc()
 	return id, nil
+}
+
+// ResumeEndpoints re-attaches the service to every endpoint already present
+// in the statestore: queues are re-declared and result processors restarted.
+// A service restarted on a durable store calls this after recovery so
+// buffered results drain immediately instead of waiting for each agent to
+// re-register.
+func (s *Service) ResumeEndpoints() error {
+	resumed := 0
+	for _, ep := range s.cfg.Store.ListEndpoints(statestore.EndpointFilter{}) {
+		if err := s.cfg.Broker.Declare(TaskQueue(ep.ID)); err != nil {
+			return err
+		}
+		if err := s.cfg.Broker.Declare(ResultQueue(ep.ID)); err != nil {
+			return err
+		}
+		if ep.MultiUser {
+			if err := s.cfg.Broker.Declare(CommandQueue(ep.ID)); err != nil {
+				return err
+			}
+		}
+		if err := s.startResultProcessor(ep.ID); err != nil {
+			return err
+		}
+		resumed++
+	}
+	if resumed > 0 {
+		s.log.Info("resumed recovered endpoints", "endpoints", resumed)
+	}
+	return nil
 }
 
 // SetEndpointStatus records an agent heartbeat.
