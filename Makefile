@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos crash obs-smoke examples experiments fuzz clean
+.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos crash overload overload-race obs-smoke examples experiments fuzz clean
 
-all: build vet test trace-race chaos crash obs-smoke bench-smoke bench-compare
+all: build vet test trace-race chaos crash overload obs-smoke bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,22 @@ chaos:
 crash:
 	GC_CRASH=1 $(GO) test -count=1 -timeout 300s -v -run TestCrashRecovery ./internal/crash/
 
+# Overload-protection suite: seeded tenant floods against the full
+# in-process stack. Asserts a noisy tenant at 10x cannot move a well-behaved
+# tenant's p99 beyond 2x its solo baseline, every shed carries Retry-After,
+# every admitted task reaches exactly one terminal state, and idempotent
+# retries replay the original task IDs across a -data-dir restart (see
+# docs/ROBUSTNESS.md). Gated on GC_OVERLOAD so plain `go test ./...` stays
+# fast; also runs the admission/fairshare/webservice packages under the race
+# detector via overload-race.
+overload: overload-race
+	GC_OVERLOAD=1 $(GO) test -race -count=1 -timeout 300s -v -run TestOverload ./internal/overload/
+
+# The overload-protection hot paths (token buckets, in-flight accounting,
+# idempotency stripes, priority queues) under the race detector.
+overload-race:
+	$(GO) test -race ./internal/scheduler/... ./internal/webservice/... ./internal/broker/... ./internal/statestore/...
+
 # Observability smoke: boots the in-process testbed, scrapes and lints the
 # /metrics/fleet federation format, then kills an endpoint under load and
 # asserts the staleness and failure-rate SLOs fire on /debug/fleet and
@@ -58,15 +74,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Fast saturation run recording the current task-path numbers (now with the
-# wal-on/wal-off durability arms) into BENCH_pr6.json — see
+# admit-on/admit-off overload-protection arms) into BENCH_pr7.json — see
 # docs/PERFORMANCE.md for how to read it.
 bench-smoke:
-	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr6.json
+	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr7.json
 
-# Regression gate: diff the fresh run against the recorded PR-5 baseline and
+# Regression gate: diff the fresh run against the recorded PR-6 baseline and
 # fail on a >10% tasks/s drop (or p50/p99 rise) in any arm present in both.
 bench-compare:
-	$(GO) run ./cmd/gc-bench -compare BENCH_pr5.json,BENCH_pr6.json
+	$(GO) run ./cmd/gc-bench -compare BENCH_pr6.json,BENCH_pr7.json
 
 examples:
 	$(GO) run ./examples/quickstart

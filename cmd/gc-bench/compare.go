@@ -17,10 +17,12 @@ const compareTolerance = 0.10
 // movement is treated as noise: a p50 going 80us -> 120us is a scheduler
 // wobble, not a regression, so the rise must clear both the relative
 // tolerance and this many microseconds. The floor is sized to the sampling
-// error of the smoke run: p99 over a 3000-task arm is the ~30 worst samples,
-// which wobble by the better part of a millisecond run-to-run on a shared
-// machine even with identical code.
-const latencySlackUS = 1000
+// error of the smoke run: p99 over a paced arm is its ~20 worst samples,
+// and back-to-back runs of identical code on a shared machine move the
+// full-agent (ep-*) and fsync-bound (wal-on) paced tails by 1.3-2.9ms —
+// engine scheduling, GC, and disk contention, not code. The floor sits
+// just above that measured identical-code wobble.
+const latencySlackUS = 3000
 
 // compareSaturation diffs two saturation JSON artifacts (old, new), prints a
 // per-arm table, and returns an error if any arm present in both files

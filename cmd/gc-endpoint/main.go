@@ -157,11 +157,18 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("gc-endpoint: shutting down")
+	fmt.Println("gc-endpoint: draining")
+	// Agent.Stop is the graceful drain: it cancels the task subscription
+	// (stop intake; unacked deliveries redeliver elsewhere), stops the
+	// engines after in-flight tasks finish, flushes the egress tail so no
+	// computed result is dropped, and sends a final offline heartbeat so the
+	// service marks the endpoint stopped instead of waiting for the
+	// watchdog. Only then is the broker connection torn down (deferred).
 	agent.Stop()
 	if sched != nil {
 		sched.Close()
 	}
+	fmt.Println("gc-endpoint: drained cleanly")
 }
 
 // dialBroker connects plain or over TLS when a CA file is supplied. Wire

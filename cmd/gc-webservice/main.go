@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +20,7 @@ import (
 	"globuscompute/internal/durable"
 	"globuscompute/internal/metrics"
 	"globuscompute/internal/objectstore"
+	"globuscompute/internal/scheduler"
 	"globuscompute/internal/statestore"
 	"globuscompute/internal/trace"
 	"globuscompute/internal/webservice"
@@ -36,6 +38,12 @@ func main() {
 		taskLease   = flag.Duration("task-lease", 0, "fail non-terminal tasks stuck this long on offline endpoints (0 = buffer forever)")
 		dataDir     = flag.String("data-dir", "", "directory for the durable control plane (WAL + snapshots); empty = in-memory only")
 		snapEvery   = flag.Duration("snapshot-every", durable.DefaultSnapshotEvery, "snapshot + log compaction cadence with -data-dir")
+		admitRate   = flag.Float64("admit-rate", 0, "per-tenant admitted tasks/sec before 429 sheds (0 = admission off)")
+		admitBurst  = flag.Float64("admit-burst", 0, "per-tenant burst allowance in tasks (0 = 2x -admit-rate)")
+		maxInFlight = flag.Int("max-inflight", 0, "per-tenant in-flight task cap (0 = 4x burst, requires -admit-rate)")
+		queueLimit  = flag.Int("queue-limit", 0, "per-endpoint broker queue depth bound (0 = unbounded)")
+		backlogShed = flag.Int("backlog-shed", 0, "shed batch submits when an endpoint reports this much egress backlog (0 = off)")
+		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight HTTP requests on SIGTERM")
 	)
 	flag.Parse()
 
@@ -85,10 +93,23 @@ func main() {
 	}
 	brk.Tracer = trace.NewTracer("broker", traces)
 
+	// Overload protection: per-tenant token-bucket admission at the front
+	// door, bounded per-endpoint broker queues, and backlog-driven sheds.
+	var admission *scheduler.Admission
+	if *admitRate > 0 {
+		admission = scheduler.NewAdmission(scheduler.AdmissionConfig{
+			FillRate:    *admitRate,
+			Burst:       *admitBurst,
+			MaxInFlight: *maxInFlight,
+		})
+	}
 	svc, err := webservice.New(webservice.Config{
 		Store: store, Broker: brk, Objects: objects, Auth: authSvc,
-		Tracer:         tracer,
-		DurableMetrics: durableMetrics,
+		Tracer:               tracer,
+		DurableMetrics:       durableMetrics,
+		Admission:            admission,
+		QueueLimit:           *queueLimit,
+		BacklogShedThreshold: *backlogShed,
 	})
 	if err != nil {
 		log.Fatalf("gc-webservice: %v", err)
@@ -137,18 +158,15 @@ func main() {
 	// for silent endpoints, and (when -task-lease is set) bounded in-flight
 	// leases so tasks on dead endpoints fail instead of pending forever.
 	stopSweeper := svc.StartRetentionSweeper(webservice.ResultRetention, time.Hour)
-	defer stopSweeper()
 	stopWatchdog := svc.StartWatchdog(webservice.WatchdogConfig{
 		HeartbeatTimeout: 30 * time.Second,
 		Interval:         10 * time.Second,
 		TaskLease:        *taskLease,
 	})
-	defer stopWatchdog()
 	// Fleet SLO evaluation on a timer, not just on /debug/fleet scrapes, so
 	// alert transitions (and their notifier/log hooks) happen even when no
 	// one is watching.
 	stopSLO := svc.StartSLOEvaluator(15 * time.Second)
-	defer stopSLO()
 
 	tok, err := authSvc.Issue(
 		auth.Identity{Username: *user, Provider: "bootstrap"},
@@ -175,8 +193,22 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	fmt.Println("gc-webservice: shutting down")
-	httpSrv.Close()
+	fmt.Println("gc-webservice: draining")
+	// Drain order matters: (1) stop intake gracefully so accepted submits
+	// finish journaling instead of being torn off mid-handler; (2) stop the
+	// background mutators (watchdog lease expiry, retention sweeps) BEFORE
+	// the durable layer closes — they journal through the same WAL and must
+	// not write to a closed log; (3) drain the service's result processors;
+	// (4) close the wire servers and broker; (5) final WAL fsync + close.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("gc-webservice: http drain: %v (closing)", err)
+		httpSrv.Close()
+	}
+	cancel()
+	stopSLO()
+	stopWatchdog()
+	stopSweeper()
 	svc.Close()
 	brokerSrv.Close()
 	objectsSrv.Close()
@@ -191,4 +223,5 @@ func main() {
 			log.Printf("gc-webservice: durable broker close: %v", err)
 		}
 	}
+	fmt.Println("gc-webservice: drained cleanly")
 }

@@ -31,7 +31,17 @@ var (
 	ErrClosed         = errors.New("broker: closed")
 	ErrUnknownTag     = errors.New("broker: unknown delivery tag")
 	ErrConsumerClosed = errors.New("broker: consumer closed")
+	// ErrQueueFull reports a publish shed by a queue's depth limit (see
+	// SetQueueLimit). The caller decides whether to surface it as overload
+	// (the webservice returns 503 + Retry-After) or retry later.
+	ErrQueueFull = errors.New("broker: queue full")
 )
+
+// shedWatermark is the soft fill fraction at which batch-priority
+// publishes shed; interactive publishes may fill to the hard limit. The
+// gap reserves headroom so interactive traffic keeps flowing while batch
+// backs off first.
+const shedWatermark = 0.8
 
 // Message is a delivered queue entry. Tag identifies it for Ack/Nack on the
 // consumer that received it.
@@ -167,34 +177,39 @@ func (b *Broker) Publish(name string, body []byte) error {
 // message to its consumer, and queue transit is recorded as a child
 // "broker.deliver" span when the broker has a Tracer.
 func (b *Broker) PublishTraced(name string, body []byte, tc *trace.Context) error {
-	q, err := b.lookup(name)
-	if err != nil {
-		return err
-	}
-	var id uint64
-	var done func()
-	if b.jrnl != nil {
-		id = b.nextMsgID.Add(1)
-		if done, err = b.jrnl.LogPublish(name, []uint64{id}, [][]byte{body}); err != nil {
-			return err
-		}
-	}
-	err = q.publish(id, body, tc)
-	if done != nil {
-		done()
-	}
-	return err
+	return b.publishPriority(name, [][]byte{body}, []*trace.Context{tc}, false)
 }
 
 // PublishBatch appends several messages to one queue under a single lock
 // acquisition and a single dispatch pass — the in-process half of wire
 // batching. traces may be nil (no message traced) or parallel to bodies.
+// Messages publish at batch (normal) priority.
 func (b *Broker) PublishBatch(name string, bodies [][]byte, traces []*trace.Context) error {
+	return b.publishPriority(name, bodies, traces, false)
+}
+
+// PublishBatchInteractive publishes at interactive priority: the messages
+// dispatch ahead of batch-priority traffic and, on a depth-limited queue,
+// may fill past the batch shed watermark up to the hard limit.
+func (b *Broker) PublishBatchInteractive(name string, bodies [][]byte, traces []*trace.Context) error {
+	return b.publishPriority(name, bodies, traces, true)
+}
+
+// publishPriority is the shared publish path. The depth-limit check runs
+// before journaling so a shed publish is never written to the WAL (a
+// replayed record must correspond to a message the caller was told was
+// accepted). The check and the enqueue are separate lock acquisitions, so
+// concurrent publishers can overshoot the limit by at most the in-flight
+// batch sizes — watermark shedding is a pressure valve, not an exact cap.
+func (b *Broker) publishPriority(name string, bodies [][]byte, traces []*trace.Context, interactive bool) error {
 	if len(bodies) == 0 {
 		return nil
 	}
 	q, err := b.lookup(name)
 	if err != nil {
+		return err
+	}
+	if err := q.admit(len(bodies), interactive); err != nil {
 		return err
 	}
 	var ids []uint64
@@ -208,11 +223,27 @@ func (b *Broker) PublishBatch(name string, bodies [][]byte, traces []*trace.Cont
 			return err
 		}
 	}
-	err = q.publishBatch(ids, bodies, traces)
+	err = q.publishBatch(ids, bodies, traces, interactive)
 	if done != nil {
 		done()
 	}
 	return err
+}
+
+// SetQueueLimit bounds the named queue's ready depth: batch-priority
+// publishes shed (ErrQueueFull) once depth reaches shedWatermark*limit,
+// interactive publishes at limit. limit <= 0 restores unbounded growth.
+// Requeues and redeliveries are never shed — bounding applies to new
+// offered load only, so at-least-once delivery is unaffected.
+func (b *Broker) SetQueueLimit(name string, limit int) error {
+	q, err := b.lookup(name)
+	if err != nil {
+		return err
+	}
+	q.mu.Lock()
+	q.limit = limit
+	q.mu.Unlock()
+	return nil
 }
 
 // Depth returns the number of messages waiting (not yet delivered) in the
@@ -297,24 +328,34 @@ func (b *Broker) lookup(name string) (*queue, error) {
 // queue holds messages and dispatches them to consumers round-robin,
 // honoring each consumer's prefetch credit.
 type queue struct {
-	mu           sync.Mutex
-	b            *Broker
-	name         string
-	ready        *list.List // of *entry
-	consumers    []*Consumer
-	nextRR       int // round-robin cursor
-	nextTag      uint64
-	closed       bool
+	mu   sync.Mutex
+	b    *Broker
+	name string
+	// Two-level priority: readyHigh (interactive) drains completely before
+	// ready (batch). Requeues return to the front of their original level,
+	// preserving redelivery-first ordering within each class.
+	ready     *list.List // of *entry, batch priority
+	readyHigh *list.List // of *entry, interactive priority
+	consumers []*Consumer
+	nextRR    int // round-robin cursor
+	nextTag   uint64
+	closed    bool
+	// limit, when > 0, bounds ready depth; see SetQueueLimit.
+	limit        int
 	published    *metrics.Counter
 	delivered    *metrics.Counter
 	acked        *metrics.Counter
 	requeued     *metrics.Counter
 	deadlettered *metrics.Counter
+	shed         *metrics.Counter
+	depthGauge   *metrics.Gauge
 }
 
 type entry struct {
 	body        []byte
 	redelivered bool
+	// interactive marks the entry's priority level for requeue placement.
+	interactive bool
 	// id is the journal's broker-unique message ID (0 when not journaling).
 	id uint64
 	// tc is the publisher's trace context; it survives requeues so a
@@ -331,57 +372,77 @@ func newQueue(b *Broker, name string) *queue {
 		b:            b,
 		name:         name,
 		ready:        list.New(),
+		readyHigh:    list.New(),
 		published:    reg.Counter("published." + name),
 		delivered:    reg.Counter("delivered." + name),
 		acked:        reg.Counter("acked." + name),
 		requeued:     reg.Counter("requeued." + name),
 		deadlettered: reg.Counter("deadlettered." + name),
+		shed:         reg.Counter("shed." + name),
+		depthGauge:   reg.Gauge("depth." + name),
 	}
 }
 
-func (q *queue) publish(id uint64, body []byte, tc *trace.Context) error {
+// admit applies the depth limit to a publish of n new messages. Interactive
+// traffic may fill to the hard limit; batch sheds at the watermark.
+func (q *queue) admit(n int, interactive bool) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrClosed
 	}
-	// Copy so callers may reuse their buffer.
-	e := &entry{body: append([]byte(nil), body...), id: id, tc: tc, enqueued: time.Now()}
-	q.ready.PushBack(e)
-	q.published.Inc()
-	q.dispatchLocked()
+	if q.limit <= 0 {
+		return nil
+	}
+	lim := q.limit
+	if !interactive {
+		if lim = int(shedWatermark * float64(q.limit)); lim < 1 {
+			lim = 1
+		}
+	}
+	if depth := q.depthLocked(); depth+n > lim {
+		q.shed.Add(int64(n))
+		return fmt.Errorf("%w: %s depth %d (+%d) over limit %d", ErrQueueFull, q.name, depth, n, lim)
+	}
 	return nil
 }
 
 // publishBatch appends all bodies and dispatches once: N messages cost one
 // mutex round trip and one dispatch pass instead of N.
-func (q *queue) publishBatch(ids []uint64, bodies [][]byte, traces []*trace.Context) error {
+func (q *queue) publishBatch(ids []uint64, bodies [][]byte, traces []*trace.Context, interactive bool) error {
 	now := time.Now()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrClosed
 	}
+	dst := q.ready
+	if interactive {
+		dst = q.readyHigh
+	}
 	for i, body := range bodies {
 		var tc *trace.Context
 		if i < len(traces) {
 			tc = traces[i]
 		}
-		e := &entry{body: append([]byte(nil), body...), tc: tc, enqueued: now}
+		e := &entry{body: append([]byte(nil), body...), tc: tc, enqueued: now, interactive: interactive}
 		if i < len(ids) {
 			e.id = ids[i]
 		}
-		q.ready.PushBack(e)
+		dst.PushBack(e)
 	}
 	q.published.Add(int64(len(bodies)))
 	q.dispatchLocked()
+	q.depthGauge.Set(int64(q.depthLocked()))
 	return nil
 }
+
+func (q *queue) depthLocked() int { return q.ready.Len() + q.readyHigh.Len() }
 
 func (q *queue) depth() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.ready.Len()
+	return q.depthLocked()
 }
 
 func (q *queue) unackedCount() int {
@@ -417,19 +478,24 @@ func (q *queue) addConsumer(prefetch int) *Consumer {
 }
 
 // dispatchLocked hands ready messages to consumers with available credit,
-// round-robin across consumers. Caller holds q.mu.
+// round-robin across consumers, draining the interactive level before the
+// batch level. Caller holds q.mu.
 func (q *queue) dispatchLocked() {
 	if len(q.consumers) == 0 {
 		return
 	}
-	for q.ready.Len() > 0 {
+	for q.depthLocked() > 0 {
 		c := q.pickConsumerLocked()
 		if c == nil {
 			return // everyone is at their prefetch window
 		}
-		front := q.ready.Front()
+		src := q.readyHigh
+		if src.Len() == 0 {
+			src = q.ready
+		}
+		front := src.Front()
 		e := front.Value.(*entry)
-		q.ready.Remove(front)
+		src.Remove(front)
 		q.nextTag++
 		tag := q.nextTag
 		c.unacked[tag] = e
@@ -445,6 +511,7 @@ func (q *queue) dispatchLocked() {
 		// so this send cannot block.
 		c.ch <- Message{Tag: tag, Body: e.body, Redelivered: e.redelivered, Trace: tc}
 	}
+	q.depthGauge.Set(int64(q.depthLocked()))
 }
 
 func (q *queue) pickConsumerLocked() *Consumer {
@@ -561,17 +628,23 @@ func (q *queue) nack(c *Consumer, tag uint64) error {
 	return nil
 }
 
-// requeueLocked returns e to the front of the ready list, re-stamping its
-// transit clock and recording a "requeue" span under the message's original
-// trace. Caller holds q.mu.
+// requeueLocked returns e to the front of its priority level's ready list,
+// re-stamping its transit clock and recording a "requeue" span under the
+// message's original trace. Requeues bypass the depth limit: the message
+// was already accepted once and must not be lost. Caller holds q.mu.
 func (q *queue) requeueLocked(e *entry, reason string) {
 	if e.tc.Valid() {
 		now := time.Now()
 		q.b.Tracer.Record(e.tc, "requeue", now, now, "queue", q.name, "reason", reason)
 	}
 	e.enqueued = time.Now()
-	q.ready.PushFront(e)
+	if e.interactive {
+		q.readyHigh.PushFront(e)
+	} else {
+		q.ready.PushFront(e)
+	}
 	q.requeued.Inc()
+	q.depthGauge.Set(int64(q.depthLocked()))
 }
 
 // removeConsumer detaches c, requeueing everything it had not acked.

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 )
@@ -23,6 +24,10 @@ type QueueImage struct {
 	// IDs are the journal message IDs parallel to Messages (absent or zero
 	// when the broker was not journaling).
 	IDs []uint64 `json:"ids,omitempty"`
+	// Interactive, when present, is parallel to Messages and marks which
+	// entries belong to the interactive priority level (see
+	// PublishBatchInteractive). Absent (older images) means all batch.
+	Interactive []bool `json:"interactive,omitempty"`
 }
 
 // Image is the broker's full persisted form.
@@ -54,16 +59,21 @@ func (b *Broker) SnapshotImage() Image {
 			for _, e := range c.unacked {
 				qi.Messages = append(qi.Messages, append([]byte(nil), e.body...))
 				qi.IDs = append(qi.IDs, e.id)
+				qi.Interactive = append(qi.Interactive, e.interactive)
 			}
 		}
 		qi.RedeliverTo = len(qi.Messages)
-		for el := q.ready.Front(); el != nil; el = el.Next() {
-			e := el.Value.(*entry)
-			qi.Messages = append(qi.Messages, append([]byte(nil), e.body...))
-			qi.IDs = append(qi.IDs, e.id)
-			if e.redelivered && qi.RedeliverTo < len(qi.Messages) {
-				// preserve redelivery flags for already-requeued entries
-				qi.RedeliverTo = len(qi.Messages)
+		// Ready levels in dispatch order: interactive first, then batch.
+		for _, lst := range []*list.List{q.readyHigh, q.ready} {
+			for el := lst.Front(); el != nil; el = el.Next() {
+				e := el.Value.(*entry)
+				qi.Messages = append(qi.Messages, append([]byte(nil), e.body...))
+				qi.IDs = append(qi.IDs, e.id)
+				qi.Interactive = append(qi.Interactive, e.interactive)
+				if e.redelivered && qi.RedeliverTo < len(qi.Messages) {
+					// preserve redelivery flags for already-requeued entries
+					qi.RedeliverTo = len(qi.Messages)
+				}
 			}
 		}
 		q.mu.Unlock()
@@ -100,7 +110,12 @@ func (b *Broker) RestoreImage(img Image) error {
 					maxID = e.id + 1
 				}
 			}
-			q.ready.PushBack(e)
+			if i < len(qi.Interactive) && qi.Interactive[i] {
+				e.interactive = true
+				q.readyHigh.PushBack(e)
+			} else {
+				q.ready.PushBack(e)
+			}
 		}
 		q.dispatchLocked()
 		q.mu.Unlock()

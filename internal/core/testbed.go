@@ -49,6 +49,14 @@ type Options struct {
 	// SLORules overrides the service's SLO rule set (nil = obs.DefaultRules).
 	// Chaos tests shrink the burn-rate windows to milliseconds here.
 	SLORules []obs.Rule
+	// Admission enables front-door per-tenant overload protection
+	// (nil = admission off, the default).
+	Admission *scheduler.Admission
+	// QueueLimit bounds each endpoint's broker task queue (0 = unbounded).
+	QueueLimit int
+	// BacklogShedThreshold sheds batch submits targeting endpoints whose
+	// reported egress backlog is at or past this depth (0 = off).
+	BacklogShedThreshold int
 }
 
 // Testbed is a running deployment.
@@ -91,10 +99,13 @@ func NewTestbed(opts Options) (*Testbed, error) {
 	tb.Broker.Tracer = trace.NewTracer("broker", tb.Traces)
 	svc, err := webservice.New(webservice.Config{
 		Store: tb.Store, Broker: tb.Broker, Objects: tb.Objects, Auth: tb.Auth,
-		InlineThreshold: opts.InlineThreshold,
-		Tracer:          trace.NewTracer("webservice", tb.Traces),
-		Fleet:           obs.NewFleetStore(opts.FleetConfig),
-		SLORules:        opts.SLORules,
+		InlineThreshold:      opts.InlineThreshold,
+		Tracer:               trace.NewTracer("webservice", tb.Traces),
+		Fleet:                obs.NewFleetStore(opts.FleetConfig),
+		SLORules:             opts.SLORules,
+		Admission:            opts.Admission,
+		QueueLimit:           opts.QueueLimit,
+		BacklogShedThreshold: opts.BacklogShedThreshold,
 	})
 	if err != nil {
 		return nil, err

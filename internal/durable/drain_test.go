@@ -1,0 +1,103 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"globuscompute/internal/metrics"
+	"globuscompute/internal/protocol"
+)
+
+// TestWALCleanCloseNoTailRepairs is the graceful-drain contract at the log
+// layer: a Close() that ran to completion (the last step of the SIGTERM
+// drain) leaves no torn tail, so the next OpenWAL performs zero truncation
+// repairs. A crash mid-write, by contrast, is repaired and counted.
+func TestWALCleanCloseNoTailRepairs(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	w := openTestWAL(t, dir, WALOptions{Metrics: reg})
+	for i := 0; i < 20; i++ {
+		if _, err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	reg2 := metrics.NewRegistry()
+	w2 := openTestWAL(t, dir, WALOptions{Metrics: reg2})
+	if got := w2.TailRepairs(); got != 0 {
+		t.Fatalf("tail repairs after clean close = %d, want 0", got)
+	}
+	if snap := reg2.TakeSnapshot(); snap.Counters["wal_tail_repairs"] != 0 {
+		t.Fatalf("wal_tail_repairs counter = %d, want 0", snap.Counters["wal_tail_repairs"])
+	}
+	if lsns, _ := collect(t, w2, 1); len(lsns) != 20 {
+		t.Fatalf("replayed %d records, want 20", len(lsns))
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Now the crash case: a half-written final record must be repaired
+	// exactly once and show up in the counter.
+	seg := activeSegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	w3 := openTestWAL(t, dir, WALOptions{Metrics: metrics.NewRegistry()})
+	defer w3.Close()
+	if got := w3.TailRepairs(); got != 1 {
+		t.Fatalf("tail repairs after torn tail = %d, want 1", got)
+	}
+}
+
+// TestStoreDrainRestartNoTornTail models the gc-webservice SIGTERM drain end
+// to end at the store layer: mutate state (what the handlers, watchdog, and
+// sweeper do), Close() as the drain's final step, then restart on the same
+// -data-dir. The restart must replay every record with zero torn-tail
+// truncations — the WAL was fsynced and whole when the process exited.
+func TestStoreDrainRestartNoTornTail(t *testing.T) {
+	dir := t.TempDir()
+	d := openStore(t, dir)
+	ep := protocol.NewUUID()
+	ids := seedTasks(t, d.State, ep, 8)
+	if err := d.State.TransitionTasks(ids, protocol.StateWaiting); err != nil {
+		t.Fatalf("TransitionTasks: %v", err)
+	}
+	if err := d.State.TransitionTasks(ids[:1], protocol.StateDelivered); err != nil {
+		t.Fatalf("TransitionTasks: %v", err)
+	}
+	errs := d.State.CompleteTasks([]protocol.Result{
+		{TaskID: ids[0], State: protocol.StateSuccess, Output: []byte("ok")},
+	})
+	if errs[0] != nil {
+		t.Fatalf("CompleteTasks: %v", errs[0])
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	reg := metrics.NewRegistry()
+	d2, err := OpenStore(StoreOptions{Dir: dir, SnapshotEvery: -1, Metrics: reg})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	defer d2.Close()
+	if snap := reg.TakeSnapshot(); snap.Counters["wal_tail_repairs"] != 0 {
+		t.Fatalf("restart repaired %d torn tails, want 0", snap.Counters["wal_tail_repairs"])
+	}
+	rec, err := d2.State.GetTask(ids[0])
+	if err != nil || rec.State != protocol.StateSuccess {
+		t.Fatalf("task 0 after restart = %v, %v", rec.State, err)
+	}
+	if n := d2.State.CountTasks(); n != 8 {
+		t.Fatalf("restart replayed %d tasks, want 8", n)
+	}
+}

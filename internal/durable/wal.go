@@ -69,8 +69,9 @@ type WALOptions struct {
 	// <0 disables the background flusher).
 	FlushEvery time.Duration
 	// Metrics receives wal_appends (exported wal_appends_total), wal_fsync
-	// (exported wal_fsync_seconds), wal_segment_bytes, and wal_segments. Nil
-	// uses a private registry.
+	// (exported wal_fsync_seconds), wal_segment_bytes, wal_segments, and
+	// wal_tail_repairs (incremented when OpenWAL truncates a torn tail left
+	// by a crash mid-write). Nil uses a private registry.
 	Metrics *metrics.Registry
 }
 
@@ -101,10 +102,11 @@ type WAL struct {
 	stopFlush chan struct{}
 	flushDone chan struct{}
 
-	appends  *metrics.Counter
-	fsyncs   *metrics.Histogram
-	segBytes *metrics.Gauge
-	segCount *metrics.Gauge
+	appends     *metrics.Counter
+	fsyncs      *metrics.Histogram
+	segBytes    *metrics.Gauge
+	segCount    *metrics.Gauge
+	tailRepairs *metrics.Counter
 }
 
 // OpenWAL opens (or creates) the log in opts.Dir, scans the existing
@@ -125,11 +127,12 @@ func OpenWAL(opts WALOptions) (*WAL, error) {
 		return nil, fmt.Errorf("durable: wal dir: %w", err)
 	}
 	w := &WAL{
-		opts:     opts,
-		appends:  opts.Metrics.Counter("wal_appends"), // exports as wal_appends_total
-		fsyncs:   opts.Metrics.Histogram("wal_fsync"),
-		segBytes: opts.Metrics.Gauge("wal_segment_bytes"),
-		segCount: opts.Metrics.Gauge("wal_segments"),
+		opts:        opts,
+		appends:     opts.Metrics.Counter("wal_appends"), // exports as wal_appends_total
+		fsyncs:      opts.Metrics.Histogram("wal_fsync"),
+		segBytes:    opts.Metrics.Gauge("wal_segment_bytes"),
+		segCount:    opts.Metrics.Gauge("wal_segments"),
+		tailRepairs: opts.Metrics.Counter("wal_tail_repairs"),
 	}
 	w.cond = sync.NewCond(&w.mu)
 
@@ -164,6 +167,9 @@ func OpenWAL(opts WALOptions) (*WAL, error) {
 					if err := os.Truncate(seg.path, goodOff); err != nil {
 						return nil, fmt.Errorf("durable: wal tail repair: %w", err)
 					}
+					// A clean shutdown leaves no torn tail; this only fires
+					// when recovering from a crash mid-write.
+					w.tailRepairs.Inc()
 				}
 				f, err := os.OpenFile(seg.path, os.O_WRONLY, 0o644)
 				if err != nil {
@@ -496,6 +502,12 @@ func (w *WAL) LastLSN() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.nextLSN - 1
+}
+
+// TailRepairs returns how many torn-tail truncations OpenWAL performed when
+// this log was opened. Zero after a clean shutdown and reopen.
+func (w *WAL) TailRepairs() int64 {
+	return w.tailRepairs.Value()
 }
 
 // Segments returns the number of on-disk segment files.

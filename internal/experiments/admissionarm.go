@@ -1,0 +1,143 @@
+// Admission arms for the saturation experiment: the PR-7 overload-protection
+// work puts a per-tenant token-bucket admission controller, in-flight
+// accounting, and fairshare charging on the webservice submit path. These
+// arms measure that front door with admission on vs off — same store,
+// broker, and echo agent — so BENCH_pr7.json records the bookkeeping tax
+// (the acceptance bar is <= 5% at saturation).
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"globuscompute/internal/auth"
+	"globuscompute/internal/broker"
+	"globuscompute/internal/objectstore"
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/scheduler"
+	"globuscompute/internal/statestore"
+	"globuscompute/internal/webservice"
+)
+
+// admissionArm drives n tasks through the full submit front door —
+// SubmitBatch validation, (optionally) admission, broker publish, an echo
+// agent, and result processing back to terminal state — and reports
+// sustained admitted tasks/s plus p50/p99 per-batch submit-call latency.
+func admissionArm(admitted bool, offered, n int) (SaturationPoint, error) {
+	runtime.GC()
+	store, brk := statestore.New(), broker.New()
+	objects, authSvc := objectstore.New(), auth.NewService()
+	cfg := webservice.Config{Store: store, Broker: brk, Objects: objects, Auth: authSvc}
+	mode := "admit-off"
+	if admitted {
+		mode = "admit-on"
+		// Generous limits: the arm measures the accounting overhead of the
+		// admitted path, not shedding, so nothing may be rejected.
+		cfg.Admission = scheduler.NewAdmission(scheduler.AdmissionConfig{
+			FillRate: 5_000_000, Burst: 10_000_000, MaxInFlight: 10 * n,
+		})
+	}
+	svc, err := webservice.New(cfg)
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+	defer func() { svc.Close(); brk.Close() }()
+
+	tok, err := authSvc.Issue(
+		auth.Identity{Username: "bench@example.edu", Provider: "bench"},
+		[]string{auth.ScopeCompute, auth.ScopeManage}, time.Hour, time.Time{})
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+	ep, err := svc.RegisterEndpoint(webservice.RegisterEndpointRequest{Name: "bench-ep", Owner: "bench@example.edu"})
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+	fn, err := svc.RegisterFunction("bench@example.edu", protocol.KindPython, []byte(`{"entrypoint":"identity"}`))
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+
+	// Echo agent: consume the task queue, publish an immediate success for
+	// each task so the service's result processors drive every admitted
+	// task to terminal (exercising in-flight release on the admit-on arm).
+	consumer, err := brk.Consume(webservice.TaskQueue(ep), 4*satBatch)
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+	defer consumer.Close()
+	go func() {
+		for m := range consumer.Messages() {
+			var task protocol.Task
+			if err := json.Unmarshal(m.Body, &task); err == nil {
+				res := protocol.Result{
+					TaskID: task.ID, State: protocol.StateSuccess,
+					Output: []byte("1"), EndpointID: ep,
+					Started: time.Now(), Completed: time.Now(),
+				}
+				body, _ := json.Marshal(res)
+				_ = brk.Publish(webservice.ResultQueue(ep), body)
+			}
+			_ = consumer.Ack(m.Tag)
+		}
+	}()
+
+	batch := make([]webservice.SubmitRequest, satBatch)
+	for i := range batch {
+		batch[i] = webservice.SubmitRequest{EndpointID: ep, FunctionID: fn, Payload: []byte(`{"entrypoint":"identity","args":[1]}`)}
+	}
+	latencies := make([]time.Duration, 0, n/satBatch+1)
+	start := time.Now()
+	submitted := 0
+	for submitted < n {
+		if offered > 0 {
+			due := start.Add(time.Duration(submitted) * time.Second / time.Duration(offered))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		k := satBatch
+		if n-submitted < k {
+			k = n - submitted
+		}
+		callStart := time.Now()
+		_, err := svc.Submit(tok, batch[:k])
+		if err != nil {
+			var oe *webservice.OverloadError
+			if errors.As(err, &oe) {
+				return SaturationPoint{}, fmt.Errorf("admission arm shed (%s): the arm must measure overhead, not shedding", oe.Reason)
+			}
+			return SaturationPoint{}, err
+		}
+		latencies = append(latencies, time.Since(callStart))
+		submitted += k
+	}
+	// Wait for every admitted task to settle terminal so the measured rate
+	// covers the whole admit -> publish -> result -> release pipeline.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		byState := store.CountTasksByState()
+		if byState[protocol.StateSuccess]+byState[protocol.StateFailed] >= n {
+			break
+		}
+		if time.Now().After(deadline) {
+			return SaturationPoint{}, fmt.Errorf("admission arm stalled: %v", byState)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	return SaturationPoint{
+		Transport:    "inproc",
+		Mode:         mode,
+		Batch:        satBatch,
+		OfferedPerS:  offered,
+		Tasks:        n,
+		AchievedPerS: float64(n) / elapsed.Seconds(),
+		P50US:        percentileUS(latencies, 0.50),
+		P99US:        percentileUS(latencies, 0.99),
+	}, nil
+}

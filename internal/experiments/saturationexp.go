@@ -34,8 +34,12 @@ type SaturationPoint struct {
 // SatMeasureVersion identifies the saturation measurement methodology.
 // Version 1 added calibrated re-measurement of saturation arms (see
 // satMinMeasure); version 0 artifacts recorded short bursts, so their
-// saturation tasks/s are not comparable across versions.
-const SatMeasureVersion = 1
+// saturation tasks/s are not comparable across versions. Version 2 reflects
+// the overload-protection work: every publish now crosses an admission
+// check and a two-level (interactive/batch) ready queue, and journaled
+// publishes carry a priority flag in the WAL record, so absolute saturation
+// rates re-baseline while paced arms remain comparable.
+const SatMeasureVersion = 2
 
 // SaturationResult is the JSON artifact gc-bench -json writes.
 type SaturationResult struct {
@@ -55,8 +59,14 @@ type SaturationResult struct {
 	// WALCost is the durability tax: achieved tasks/s with the broker
 	// journaling every publish to a fsync-batched WAL (wal-on) divided by
 	// the in-memory broker (wal-off), both at saturation. 1.0 = free.
-	WALCost float64  `json:"wal_on_vs_off_at_saturation"`
-	Notes   []string `json:"notes"`
+	WALCost float64 `json:"wal_on_vs_off_at_saturation"`
+	// AdmissionCost is the overload-protection tax: achieved tasks/s
+	// through the webservice submit front door with per-tenant admission
+	// (token bucket + in-flight + fairshare accounting) divided by the
+	// same path with admission off, both at saturation. 1.0 = free; the
+	// acceptance bar is >= 0.95 (<= 5% overhead).
+	AdmissionCost float64  `json:"admission_on_vs_off_at_saturation"`
+	Notes         []string `json:"notes"`
 }
 
 // satBatch is the batch size for the batched arms (the acceptance bar asks
@@ -127,6 +137,18 @@ func Saturation(n int) (Report, *SaturationResult, error) {
 			}})
 		}
 	}
+	// Admission arms: the webservice submit front door (validation, broker
+	// publish, echo agent, result processing) with per-tenant admission
+	// accounting on vs off.
+	admN := epN
+	for _, admitted := range []bool{false, true} {
+		admitted := admitted
+		for _, offered := range []int{paced, 0} {
+			specs = append(specs, armSpec{offered, func(offered int) (SaturationPoint, error) {
+				return admissionArm(admitted, offered, admN)
+			}})
+		}
+	}
 	points := make([]SaturationPoint, len(specs))
 	for pass := 0; pass < 2; pass++ {
 		for i, s := range specs {
@@ -164,11 +186,15 @@ func Saturation(n int) (Report, *SaturationResult, error) {
 	if v := sat("inproc", "wal-off", satBatch); v > 0 {
 		res.WALCost = sat("inproc", "wal-on", satBatch) / v
 	}
+	if v := sat("inproc", "admit-off", satBatch); v > 0 {
+		res.AdmissionCost = sat("inproc", "admit-on", satBatch) / v
+	}
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("unbatched = one publish/ack round trip per task (before); batched = %d tasks per frame (after)", satBatch),
 		"tcp arms cross the framed-TCP broker protocol; inproc arms measure the sharded queue map alone",
 		"ep-single = per-task agent hot path (before); ep-pipelined = batched intake + engine batch submit + group-commit egress (after)",
 		"wal-on = every publish journaled + fsynced (group commit) before enqueue; wal-off = in-memory broker",
+		"admit-on = per-tenant token-bucket admission + in-flight + fairshare accounting on the submit front door; admit-off = same path, no admission",
 	)
 
 	rep := Report{
@@ -189,7 +215,8 @@ func Saturation(n int) (Report, *SaturationResult, error) {
 		fmt.Sprintf("inproc speedup at saturation: %.1fx", res.InprocSpeedup),
 		fmt.Sprintf("tcp endpoint speedup at saturation: %.1fx pipelined vs single", res.TCPEndpointSpeedup),
 		fmt.Sprintf("inproc endpoint speedup at saturation: %.1fx", res.InprocEndpointSpeedup),
-		fmt.Sprintf("wal durability cost at saturation: wal-on achieves %.0f%% of wal-off throughput", 100*res.WALCost))
+		fmt.Sprintf("wal durability cost at saturation: wal-on achieves %.0f%% of wal-off throughput", 100*res.WALCost),
+		fmt.Sprintf("admission cost at saturation: admit-on achieves %.0f%% of admit-off throughput (bar: >= 95%%)", 100*res.AdmissionCost))
 	return rep, res, nil
 }
 

@@ -85,6 +85,17 @@ func DefaultRules() []Rule {
 			FastWindow: time.Minute, SlowWindow: 5 * time.Minute,
 		},
 		{
+			// Shed ratio per endpoint: the service counts every submit
+			// attempt targeting an endpoint and every shed (queue depth or
+			// egress-backlog pressure) against it. Sustained shedding above
+			// 10% of offered load means the endpoint is saturated, not
+			// blipping.
+			Name: "shed_ratio", Kind: RuleFailureRatio,
+			BadCounter: "ws_sheds", TotalCounter: "ws_submit_attempts",
+			Objective: 0.10, BurnRate: 2,
+			FastWindow: time.Minute, SlowWindow: 5 * time.Minute,
+		},
+		{
 			Name: "egress_backlog", Kind: RuleGaugeMax,
 			Gauge: "egress_backlog", Max: 1000,
 			FastWindow: time.Minute, SlowWindow: 5 * time.Minute,

@@ -50,6 +50,10 @@ type Client struct {
 	BytesReceived atomic.Int64
 	// Retries counts retried attempts (the robustness dashboards read it).
 	Retries atomic.Int64
+	// Sheds counts overload rejections observed (429, or 503 carrying
+	// Retry-After) across all attempts, retried or not — the client-side
+	// view of the service's gc_shed_total.
+	Sheds atomic.Int64
 
 	// sleep and jitter are test seams (nil selects time.Sleep and a
 	// seeded source).
@@ -78,13 +82,40 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("sdk: api error %d: %s", e.Status, e.Message)
 }
 
+// ErrOverloaded is the sentinel for overload sheds: the service rejected the
+// request to protect itself (429 admission control, 503 downstream
+// saturation). Match with errors.Is; the concrete *OverloadedError carries
+// the server's backoff hint.
+var ErrOverloaded = errors.New("sdk: service overloaded")
+
+// OverloadedError is returned when the retry budget drains against a
+// shedding service. It unwraps to both ErrOverloaded and its *APIError, so
+// callers can branch on overload generally or inspect the raw response.
+type OverloadedError struct {
+	API *APIError
+	// RetryAfter is the server's backoff hint from the last shed response.
+	RetryAfter time.Duration
+	// RetryAt is the wall-clock deadline the hint resolves to: submitting
+	// again before it will almost certainly shed again.
+	RetryAt time.Time
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("sdk: overloaded (status %d, retry after %s): %s",
+		e.API.Status, e.RetryAfter, e.API.Message)
+}
+
+// Unwrap exposes both the sentinel and the underlying API error to
+// errors.Is/As.
+func (e *OverloadedError) Unwrap() []error { return []error{ErrOverloaded, e.API} }
+
 // do performs a JSON request/response round trip. Transient failures —
 // transport errors, 429, and 5xx — retry with jittered exponential backoff
 // under the client's retry budget, honoring Retry-After when the server
-// sends one. Note the at-least-once caveat: a retried submit whose first
-// attempt was processed but whose response was lost enqueues fresh task IDs
-// the client never learns; the service's task state machine still guarantees
-// exactly one terminal state per known task.
+// sends one. Retried submits are made exactly-once by attaching an
+// idempotency key (see SubmitBatchOpts): a retry whose first attempt was
+// processed but whose response was lost replays the original task IDs
+// instead of enqueuing duplicates.
 func (c *Client) do(method, path string, body, out any) error {
 	var encoded []byte
 	if body != nil {
@@ -139,9 +170,18 @@ func (c *Client) do(method, path string, body, out any) error {
 			if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
 				msg = apiErr.Error
 			}
-			lastErr = &APIError{Status: resp.StatusCode, Message: msg}
+			api := &APIError{Status: resp.StatusCode, Message: msg}
+			lastErr = api
+			ra := retryAfter(resp)
+			if resp.StatusCode == http.StatusTooManyRequests ||
+				(resp.StatusCode == http.StatusServiceUnavailable && ra > 0) {
+				// An overload shed, not a failure: type it so callers can
+				// schedule around the server's hint instead of hammering.
+				c.Sheds.Add(1)
+				lastErr = &OverloadedError{API: api, RetryAfter: ra, RetryAt: time.Now().Add(ra)}
+			}
 			if retryableStatus(resp.StatusCode) && attempt+1 < attempts {
-				c.backoff(attempt, retryAfter(resp))
+				c.backoff(attempt, ra)
 				continue
 			}
 			return lastErr
@@ -285,13 +325,27 @@ func (c *Client) HeartbeatReport(ep protocol.UUID, online bool, load *statestore
 
 // SubmitBatch submits tasks and returns their IDs in order.
 func (c *Client) SubmitBatch(tasks []webservice.SubmitRequest) ([]protocol.UUID, error) {
+	return c.SubmitBatchOpts(tasks, webservice.SubmitOptions{})
+}
+
+// SubmitBatchOpts submits tasks with overload-protection options. Setting
+// IdempotencyKey makes the POST safely retryable — the retry loop in do()
+// can replay it after a lost response and receive the original task IDs.
+func (c *Client) SubmitBatchOpts(tasks []webservice.SubmitRequest, opts webservice.SubmitOptions) ([]protocol.UUID, error) {
 	if len(tasks) == 0 {
 		return nil, errors.New("sdk: empty batch")
+	}
+	body := map[string]any{"tasks": tasks}
+	if opts.IdempotencyKey != "" {
+		body["idempotency_key"] = opts.IdempotencyKey
+	}
+	if opts.Interactive {
+		body["priority"] = "interactive"
 	}
 	var resp struct {
 		TaskIDs []protocol.UUID `json:"task_uuids"`
 	}
-	err := c.do("POST", "/v2/submit", map[string]any{"tasks": tasks}, &resp)
+	err := c.do("POST", "/v2/submit", body, &resp)
 	if err != nil {
 		return nil, err
 	}

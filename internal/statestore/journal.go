@@ -33,6 +33,8 @@ const (
 	OpCompleteTask      MutationOp = "complete_task"
 	OpCompleteTasks     MutationOp = "complete_tasks"
 	OpPurgeBefore       MutationOp = "purge_before"
+	OpPutIdempotency    MutationOp = "put_idempotency"
+	OpPurgeIdempotency  MutationOp = "purge_idempotency"
 )
 
 // Mutation is one journaled operation. Only the fields relevant to Op are
@@ -42,17 +44,18 @@ type Mutation struct {
 	Op MutationOp `json:"op"`
 	At time.Time  `json:"at"`
 
-	Function   *FunctionRecord    `json:"function,omitempty"`
-	Endpoint   *EndpointRecord    `json:"endpoint,omitempty"`
-	EndpointID protocol.UUID      `json:"endpoint_id,omitempty"`
-	Status     EndpointStatus     `json:"status,omitempty"`
-	Task       *protocol.Task     `json:"task,omitempty"`
-	Tasks      []protocol.Task    `json:"tasks,omitempty"`
-	TaskIDs    []protocol.UUID    `json:"task_ids,omitempty"`
-	State      protocol.TaskState `json:"state,omitempty"`
-	Result     *protocol.Result   `json:"result,omitempty"`
-	Results    []protocol.Result  `json:"results,omitempty"`
-	Cutoff     time.Time          `json:"cutoff,omitempty"`
+	Function    *FunctionRecord    `json:"function,omitempty"`
+	Endpoint    *EndpointRecord    `json:"endpoint,omitempty"`
+	EndpointID  protocol.UUID      `json:"endpoint_id,omitempty"`
+	Status      EndpointStatus     `json:"status,omitempty"`
+	Task        *protocol.Task     `json:"task,omitempty"`
+	Tasks       []protocol.Task    `json:"tasks,omitempty"`
+	TaskIDs     []protocol.UUID    `json:"task_ids,omitempty"`
+	State       protocol.TaskState `json:"state,omitempty"`
+	Result      *protocol.Result   `json:"result,omitempty"`
+	Results     []protocol.Result  `json:"results,omitempty"`
+	Cutoff      time.Time          `json:"cutoff,omitempty"`
+	Idempotency *IdempotencyRecord `json:"idempotency,omitempty"`
 }
 
 // Journal is the write-ahead hook. LogMutation must make m durable before
@@ -141,6 +144,14 @@ func (s *Store) ApplyMutation(m Mutation) error {
 		return nil
 	case OpPurgeBefore:
 		s.PurgeTasksBefore(m.Cutoff)
+		return nil
+	case OpPutIdempotency:
+		if m.Idempotency == nil {
+			return fmt.Errorf("statestore: replay %s: missing record", m.Op)
+		}
+		return s.PutIdempotency(m.Idempotency.Owner, m.Idempotency.Key, m.Idempotency.TaskIDs)
+	case OpPurgeIdempotency:
+		s.PurgeIdempotencyBefore(m.Cutoff)
 		return nil
 	default:
 		return fmt.Errorf("statestore: replay: unknown op %q", m.Op)

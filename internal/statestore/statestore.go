@@ -129,6 +129,10 @@ type Store struct {
 	tasks [taskShards]taskShard
 	byEp  [taskShards]idxShard
 
+	// idem maps (owner, idempotency key) -> created task IDs (see
+	// idempotency.go).
+	idem idemTable
+
 	// jrnl, when set, receives every mutation before it is applied (see
 	// journal.go). Attached once at startup, after recovery replay.
 	jrnl Journal
@@ -149,6 +153,7 @@ func New() *Store {
 	for i := range s.byEp {
 		s.byEp[i].m = make(map[protocol.UUID][]protocol.UUID)
 	}
+	s.idem.init()
 	return s
 }
 
@@ -694,9 +699,10 @@ func (s *Store) unindexTask(ep, id protocol.UUID) {
 
 // snapshot is the JSON image of the full store.
 type snapshot struct {
-	Functions []FunctionRecord `json:"functions"`
-	Endpoints []EndpointRecord `json:"endpoints"`
-	Tasks     []TaskRecord     `json:"tasks"`
+	Functions   []FunctionRecord    `json:"functions"`
+	Endpoints   []EndpointRecord    `json:"endpoints"`
+	Tasks       []TaskRecord        `json:"tasks"`
+	Idempotency []IdempotencyRecord `json:"idempotency,omitempty"`
 }
 
 // Snapshot serializes the store to JSON. Each table (and task shard) is
@@ -723,6 +729,11 @@ func (s *Store) Snapshot() ([]byte, error) {
 		}
 		sh.mu.RUnlock()
 	}
+	s.idem.mu.RLock()
+	for _, rec := range s.idem.m {
+		snap.Idempotency = append(snap.Idempotency, *rec)
+	}
+	s.idem.mu.RUnlock()
 	return json.Marshal(snap)
 }
 
@@ -816,5 +827,12 @@ func (s *Store) Restore(data []byte) error {
 		sh.mu.Unlock()
 		s.indexTask(t.Task.EndpointID, t.Task.ID)
 	}
+	s.idem.mu.Lock()
+	s.idem.m = make(map[string]*IdempotencyRecord, len(snap.Idempotency))
+	for i := range snap.Idempotency {
+		rec := snap.Idempotency[i]
+		s.idem.m[idemKey(rec.Owner, rec.Key)] = &rec
+	}
+	s.idem.mu.Unlock()
 	return nil
 }

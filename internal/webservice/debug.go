@@ -114,6 +114,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := s.svc.Metrics.WriteText(w, "gc_webservice"); err != nil {
 		return
 	}
+	// Overload-protection series export under the bare gc prefix so the
+	// names the runbooks quote (gc_admission_*_total, gc_shed_total) hold
+	// regardless of which component enforces them.
+	if err := s.svc.Overload.WriteText(w, "gc"); err != nil {
+		return
+	}
 	if s.svc.cfg.Broker != nil {
 		_ = s.svc.cfg.Broker.Metrics.WriteText(w, "gc_broker")
 	}

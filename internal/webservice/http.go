@@ -1,11 +1,13 @@
 package webservice
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -68,8 +70,16 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close stops the HTTP listener (the service itself is closed separately).
 func (s *Server) Close() { s.http.Close() }
 
+// Shutdown stops accepting new connections and waits for in-flight requests
+// to finish (or ctx to expire). Used by the SIGTERM drain path so accepted
+// submits are journaled rather than torn off mid-handler.
+func (s *Server) Shutdown(ctx context.Context) error { return s.http.Shutdown(ctx) }
+
 type errorResponse struct {
 	Error string `json:"error"`
+	// RetryAfter mirrors the Retry-After header (in seconds) on overload
+	// sheds, for clients that only read bodies.
+	RetryAfter int `json:"retry_after,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -79,12 +89,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	resp := errorResponse{Error: err.Error()}
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		// Retry-After is whole seconds, rounded up so clients never retry
+		// before the deficit has actually refilled.
+		secs := int((oe.RetryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		resp.RetryAfter = secs
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, status, resp)
 }
 
 // statusFor maps service errors onto HTTP statuses.
 func statusFor(err error) int {
+	var oe *OverloadError
 	switch {
+	case errors.As(err, &oe):
+		return oe.Status // 429 admission, 503 downstream pressure
 	case errors.Is(err, statestore.ErrNotFound):
 		return http.StatusNotFound
 	case errors.Is(err, auth.ErrPolicyDenied), errors.Is(err, ErrFunctionNotAllowed):
@@ -236,6 +261,12 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request, _ auth.
 
 type submitRequest struct {
 	Tasks []SubmitRequest `json:"tasks"`
+	// IdempotencyKey makes the whole batch idempotent per authenticated
+	// identity: retries with the same key return the original task IDs.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Priority "interactive" dispatches ahead of batch traffic and sheds
+	// later; anything else (or absent) is batch priority.
+	Priority string `json:"priority,omitempty"`
 }
 
 type submitResponse struct {
@@ -248,7 +279,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, tok auth.T
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	ids, err := s.svc.Submit(tok, req.Tasks)
+	opts := SubmitOptions{
+		IdempotencyKey: req.IdempotencyKey,
+		Interactive:    req.Priority == "interactive",
+	}
+	ids, err := s.svc.SubmitBatch(tok, req.Tasks, opts)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return

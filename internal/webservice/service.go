@@ -24,6 +24,7 @@ import (
 	"globuscompute/internal/objectstore"
 	"globuscompute/internal/obs"
 	"globuscompute/internal/protocol"
+	"globuscompute/internal/scheduler"
 	"globuscompute/internal/serialize"
 	"globuscompute/internal/statestore"
 	"globuscompute/internal/trace"
@@ -84,6 +85,18 @@ type Config struct {
 	// the gc_durable prefix (WAL appends/fsyncs, snapshot age, replay
 	// timings). Nil when running in-memory.
 	DurableMetrics *metrics.Registry
+	// Admission, when set, gates every submission through per-tenant
+	// token-bucket rate limiting and in-flight caps (see
+	// internal/scheduler.Admission and overload.go). Nil admits everything.
+	Admission *scheduler.Admission
+	// QueueLimit, when > 0, bounds every endpoint task queue's depth in the
+	// broker; batch-priority publishes shed at the 80% watermark and
+	// interactive ones at the limit. Zero leaves queues unbounded.
+	QueueLimit int
+	// BacklogShedThreshold, when > 0, sheds batch submissions targeting an
+	// endpoint whose heartbeat-reported egress backlog meets the threshold
+	// (interactive submissions tolerate twice it). Zero disables the signal.
+	BacklogShedThreshold int
 }
 
 // Service is the web service core, independent of its HTTP front end.
@@ -99,6 +112,12 @@ type Service struct {
 	auditTrail *auditLog
 	log        *obs.Logger
 	Metrics    *metrics.Registry
+
+	// Overload is the overload-protection registry, exported on /metrics
+	// under the bare gc prefix (gc_admission_*_total, gc_shed_total).
+	Overload *metrics.Registry
+	// idemMu stripes submissions by idempotency key (see overload.go).
+	idemMu [idemStripes]sync.Mutex
 
 	// Fleet is the per-endpoint metrics time-series store fed by heartbeat
 	// snapshots; SLO evaluates burn-rate rules over it. Both back the
@@ -134,6 +153,7 @@ func New(cfg Config) (*Service, error) {
 		auditTrail:      newAuditLog(0),
 		log:             cfg.Log,
 		Metrics:         metrics.NewRegistry(),
+		Overload:        metrics.NewRegistry(),
 		Fleet:           fleet,
 		SLO:             obs.NewSLOEngine(fleet, cfg.SLORules),
 	}
@@ -256,7 +276,7 @@ func (s *Service) RegisterEndpoint(req RegisterEndpointRequest) (protocol.UUID, 
 	if err := s.cfg.Store.UpsertEndpoint(rec); err != nil {
 		return "", err
 	}
-	if err := s.cfg.Broker.Declare(TaskQueue(id)); err != nil {
+	if err := s.declareTaskQueue(id); err != nil {
 		return "", err
 	}
 	if err := s.cfg.Broker.Declare(ResultQueue(id)); err != nil {
@@ -287,7 +307,7 @@ func (s *Service) RegisterEndpoint(req RegisterEndpointRequest) (protocol.UUID, 
 func (s *Service) ResumeEndpoints() error {
 	resumed := 0
 	for _, ep := range s.cfg.Store.ListEndpoints(statestore.EndpointFilter{}) {
-		if err := s.cfg.Broker.Declare(TaskQueue(ep.ID)); err != nil {
+		if err := s.declareTaskQueue(ep.ID); err != nil {
 			return err
 		}
 		if err := s.cfg.Broker.Declare(ResultQueue(ep.ID)); err != nil {
@@ -305,6 +325,22 @@ func (s *Service) ResumeEndpoints() error {
 	}
 	if resumed > 0 {
 		s.log.Info("resumed recovered endpoints", "endpoints", resumed)
+	}
+	return nil
+}
+
+// declareTaskQueue declares an endpoint's task queue and applies the
+// configured depth bound so the broker sheds publishes once the endpoint
+// falls behind.
+func (s *Service) declareTaskQueue(id protocol.UUID) error {
+	q := TaskQueue(id)
+	if err := s.cfg.Broker.Declare(q); err != nil {
+		return err
+	}
+	if s.cfg.QueueLimit > 0 {
+		if err := s.cfg.Broker.SetQueueLimit(q, s.cfg.QueueLimit); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -477,6 +513,7 @@ func (s *Service) processResultBatch(c *broker.Consumer, batch []broker.Message)
 		rec, ok := recs[p.res.TaskID]
 		if ok {
 			s.observeResult(p.res, rec.Created)
+			s.releaseTerminal(rec.Task, rec.Created)
 		} else {
 			s.observeResult(p.res, time.Time{})
 		}
@@ -583,13 +620,70 @@ type SubmitRequest struct {
 	Trace *trace.Context `json:"trace,omitempty"`
 }
 
+// SubmitOptions modifies a batch submission.
+type SubmitOptions struct {
+	// IdempotencyKey, when non-empty, makes the submission idempotent per
+	// authenticated identity: a retry carrying the same key returns the task
+	// IDs minted by the first attempt instead of enqueuing duplicates. The
+	// mapping is journaled through the statestore WAL, so it survives
+	// restarts of a durable deployment.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// Interactive marks the batch latency-sensitive: it dispatches ahead of
+	// batch-priority traffic and is shed only at the hard queue limit and at
+	// twice the backlog threshold (batch traffic sheds at the watermarks).
+	Interactive bool `json:"interactive,omitempty"`
+}
+
 // Submit validates and enqueues a batch of tasks under one authenticated
 // identity, returning a task ID per request in order. The whole batch is
 // validated before any task is enqueued.
 func (s *Service) Submit(tok auth.Token, reqs []SubmitRequest) ([]protocol.UUID, error) {
+	return s.SubmitBatch(tok, reqs, SubmitOptions{})
+}
+
+// SubmitBatch is Submit with overload-protection options. The admission
+// order is: idempotency replay (free — no tokens charged), per-tenant
+// admission, then per-target backlog checks inside validation; a rejection
+// at any stage returns an OverloadError carrying Retry-After.
+func (s *Service) SubmitBatch(tok auth.Token, reqs []SubmitRequest, opts SubmitOptions) ([]protocol.UUID, error) {
 	if len(reqs) == 0 {
 		return nil, errors.New("webservice: empty batch")
 	}
+	user := tok.Identity.Username
+	if opts.IdempotencyKey != "" {
+		// Serialize same-key submissions so two racing retries cannot both
+		// miss the lookup and double-enqueue.
+		unlock := s.lockIdem(user, opts.IdempotencyKey)
+		defer unlock()
+		if ids, ok := s.cfg.Store.GetIdempotency(user, opts.IdempotencyKey); ok {
+			s.Overload.Counter("idempotent_replays").Inc()
+			s.audit(user, "submit_replay", "", nil, opts.IdempotencyKey)
+			return ids, nil
+		}
+	}
+	if err := s.admit(user, len(reqs)); err != nil {
+		return nil, err
+	}
+	ids, handedOff, err := s.submitAdmitted(tok, reqs, opts)
+	if err != nil {
+		// Tasks already handed to the broker settle their slots at their
+		// terminal transition; only the ones that never made it are returned
+		// here.
+		s.release(user, len(reqs)-handedOff)
+		return nil, err
+	}
+	if opts.IdempotencyKey != "" {
+		if perr := s.cfg.Store.PutIdempotency(user, opts.IdempotencyKey, ids); perr != nil {
+			s.log.Warn("idempotency record not stored", "key", opts.IdempotencyKey, "error", perr)
+		}
+	}
+	return ids, nil
+}
+
+// submitAdmitted is the post-admission submit path. It returns the minted
+// task IDs and, on error, how many tasks were already published (their
+// admission slots settle at their terminal state, not in the error path).
+func (s *Service) submitAdmitted(tok auth.Token, reqs []SubmitRequest, opts SubmitOptions) ([]protocol.UUID, int, error) {
 	arrived := time.Now()
 	type prepared struct {
 		task   protocol.Task
@@ -600,31 +694,35 @@ func (s *Service) Submit(tok auth.Token, reqs []SubmitRequest) ([]protocol.UUID,
 	for i, req := range reqs {
 		fn, err := s.cfg.Store.GetFunction(req.FunctionID)
 		if err != nil {
-			return nil, fmt.Errorf("task %d: %w", i, err)
+			return nil, 0, fmt.Errorf("task %d: %w", i, err)
 		}
 		ep, err := s.cfg.Store.GetEndpoint(req.EndpointID)
 		if err != nil {
-			return nil, fmt.Errorf("task %d: %w", i, err)
+			return nil, 0, fmt.Errorf("task %d: %w", i, err)
 		}
 		if err := s.cfg.Auth.EvaluatePolicy(ep.AuthPolicy, tok); err != nil {
 			s.audit(tok.Identity.Username, "submit", ep.ID, err, "auth policy denied")
-			return nil, fmt.Errorf("task %d: %w", i, err)
+			return nil, 0, fmt.Errorf("task %d: %w", i, err)
 		}
 		if len(ep.AllowedFunctions) > 0 && !containsUUID(ep.AllowedFunctions, req.FunctionID) {
 			s.audit(tok.Identity.Username, "submit", ep.ID, ErrFunctionNotAllowed, string(req.FunctionID))
-			return nil, fmt.Errorf("task %d: %w: %s", i, ErrFunctionNotAllowed, req.FunctionID)
+			return nil, 0, fmt.Errorf("task %d: %w: %s", i, ErrFunctionNotAllowed, req.FunctionID)
 		}
 		if len(req.Payload) > s.cfg.PayloadLimit {
-			return nil, fmt.Errorf("task %d: %w", i, serialize.ErrPayloadTooLarge)
+			return nil, 0, fmt.Errorf("task %d: %w", i, serialize.ErrPayloadTooLarge)
 		}
 
 		target := ep.ID
 		if ep.MultiUser {
 			child, err := s.resolveUserEndpoint(tok, ep, req.UserEndpointConfig)
 			if err != nil {
-				return nil, fmt.Errorf("task %d: %w", i, err)
+				return nil, 0, fmt.Errorf("task %d: %w", i, err)
 			}
 			target = child
+		}
+		s.observeSubmitAttempt(target, 1)
+		if err := s.checkBacklog(target, opts.Interactive); err != nil {
+			return nil, 0, fmt.Errorf("task %d: %w", i, err)
 		}
 
 		task := protocol.Task{
@@ -641,7 +739,7 @@ func (s *Service) Submit(tok auth.Token, reqs []SubmitRequest) ([]protocol.UUID,
 		if len(task.Payload) > s.cfg.InlineThreshold {
 			key, err := s.cfg.Objects.PutContent(task.Payload)
 			if err != nil {
-				return nil, fmt.Errorf("task %d: %w", i, err)
+				return nil, 0, fmt.Errorf("task %d: %w", i, err)
 			}
 			task.PayloadRef = key
 			task.Payload = nil
@@ -657,11 +755,11 @@ func (s *Service) Submit(tok auth.Token, reqs []SubmitRequest) ([]protocol.UUID,
 	tasks := make([]protocol.Task, len(batch))
 	spans := make([]*trace.ActiveSpan, len(batch))
 	bodies := make([][]byte, len(batch))
-	fail := func(err error) ([]protocol.UUID, error) {
+	fail := func(err error) ([]protocol.UUID, int, error) {
 		for _, sp := range spans {
 			sp.EndStatus("error")
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	for i := range batch {
 		p := &batch[i]
@@ -695,14 +793,45 @@ func (s *Service) Submit(tok auth.Token, reqs []SubmitRequest) ([]protocol.UUID,
 		}
 		queueIdx[q] = append(queueIdx[q], i)
 	}
-	for _, q := range queueOrder {
+	publish := s.cfg.Broker.PublishBatch
+	if opts.Interactive {
+		publish = s.cfg.Broker.PublishBatchInteractive
+	}
+	for qi, q := range queueOrder {
 		idxs := queueIdx[q]
 		qBodies := make([][]byte, len(idxs))
 		qTraces := make([]*trace.Context, len(idxs))
 		for j, i := range idxs {
 			qBodies[j], qTraces[j] = bodies[i], tasks[i].Trace
 		}
-		if err := s.cfg.Broker.PublishBatch(q, qBodies, qTraces); err != nil {
+		if err := publish(q, qBodies, qTraces); err != nil {
+			if errors.Is(err, broker.ErrQueueFull) {
+				// The broker shed this queue's batch. Tasks already published
+				// to earlier queues proceed (mark them Delivered so their
+				// results record legally); the rest never reach an endpoint,
+				// so fail them now — every created task still lands on
+				// exactly one terminal state.
+				var publishedIDs, shedIDs []protocol.UUID
+				for _, q2 := range queueOrder[:qi] {
+					for _, i := range queueIdx[q2] {
+						publishedIDs = append(publishedIDs, ids[i])
+					}
+				}
+				for _, q2 := range queueOrder[qi:] {
+					for _, i := range queueIdx[q2] {
+						shedIDs = append(shedIDs, ids[i])
+					}
+				}
+				if len(publishedIDs) > 0 {
+					_ = s.cfg.Store.TransitionTasks(publishedIDs, protocol.StateDelivered)
+				}
+				_ = s.cfg.Store.TransitionTasks(shedIDs, protocol.StateFailed)
+				for _, sp := range spans {
+					sp.EndStatus("error")
+				}
+				target := batch[idxs[0]].target
+				return nil, len(publishedIDs), s.queueFullError(target, err)
+			}
 			return fail(err)
 		}
 	}
@@ -715,7 +844,7 @@ func (s *Service) Submit(tok auth.Token, reqs []SubmitRequest) ([]protocol.UUID,
 	s.Metrics.Counter("tasks_submitted").Add(int64(len(ids)))
 	s.audit(tok.Identity.Username, "submit", reqs[0].EndpointID, nil,
 		fmt.Sprintf("%d tasks", len(ids)))
-	return ids, nil
+	return ids, len(ids), nil
 }
 
 // resolveUserEndpoint maps (MEP, identity, config hash) to a user endpoint,
@@ -749,7 +878,7 @@ func (s *Service) resolveUserEndpoint(tok auth.Token, mep statestore.EndpointRec
 	if err := s.cfg.Store.UpsertEndpoint(rec); err != nil {
 		return "", err
 	}
-	if err := s.cfg.Broker.Declare(TaskQueue(childID)); err != nil {
+	if err := s.declareTaskQueue(childID); err != nil {
 		return "", err
 	}
 	if err := s.cfg.Broker.Declare(ResultQueue(childID)); err != nil {
@@ -899,6 +1028,7 @@ func (s *Service) CancelTask(tok auth.Token, id protocol.UUID) error {
 		return err
 	}
 	s.Metrics.Counter("tasks_cancelled").Inc()
+	s.releaseTerminal(rec.Task, rec.Created)
 	// Stream the cancellation to the executor's group queue so futures
 	// resolve promptly.
 	if rec.Task.GroupID != "" {
@@ -991,6 +1121,7 @@ func (s *Service) expireLeases(lease time.Duration) {
 			}
 			s.Metrics.Counter("lease_expired").Inc()
 			s.observeResult(res, rec.Created)
+			s.releaseTerminal(rec.Task, rec.Created)
 			s.log.WithTask(string(id)).WithEndpoint(string(ep.ID)).
 				Warn("task lease expired on offline endpoint", "lease", lease.String())
 			if rec.Task.GroupID != "" {
