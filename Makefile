@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos crash overload overload-race obs-smoke examples experiments fuzz clean
+.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos crash overload overload-race obs-smoke examples experiments fuzz fuzz-codec clean
 
-all: build vet test trace-race chaos crash overload obs-smoke bench-smoke bench-compare
+all: build vet test trace-race chaos crash overload obs-smoke fuzz-codec bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -74,15 +74,16 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Fast saturation run recording the current task-path numbers (now with the
-# admit-on/admit-off overload-protection arms) into BENCH_pr7.json — see
-# docs/PERFORMANCE.md for how to read it.
+# codec-bin/codec-json arms and the dedup fan-out byte accounting) into
+# BENCH_pr8.json — see docs/PERFORMANCE.md for how to read it.
 bench-smoke:
-	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr7.json
+	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr8.json
 
-# Regression gate: diff the fresh run against the recorded PR-6 baseline and
-# fail on a >10% tasks/s drop (or p50/p99 rise) in any arm present in both.
+# Regression gate: diff the fresh run against the recorded PR-7 baseline and
+# fail on a >10% tasks/s drop (or p50/p99 rise) in any arm present in both,
+# or a >10% drop in the codec-speedup / dedup-reduction headline ratios.
 bench-compare:
-	$(GO) run ./cmd/gc-bench -compare BENCH_pr6.json,BENCH_pr7.json
+	$(GO) run ./cmd/gc-bench -compare BENCH_pr7.json,BENCH_pr8.json
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -99,6 +100,12 @@ fuzz:
 	$(GO) test -fuzz FuzzFrameReader -fuzztime 30s ./internal/protocol/
 	$(GO) test -fuzz FuzzRender -fuzztime 30s ./internal/template/
 	$(GO) test -fuzz FuzzParseRules -fuzztime 30s ./internal/idmap/
+
+# Short codec fuzz pass run as part of `make all`: binary<->JSON equivalence
+# and binary-decode hardening (see docs/PROTOCOL.md "Binary encoding").
+fuzz-codec:
+	$(GO) test -fuzz FuzzCodecEquivalence -fuzztime 10s ./internal/protocol/
+	$(GO) test -fuzz FuzzBinaryDecode -fuzztime 10s ./internal/protocol/
 
 clean:
 	$(GO) clean ./...

@@ -106,6 +106,29 @@ func compareSaturation(oldPath, newPath string) error {
 			np.Transport, np.Mode, np.Batch, offered,
 			op.AchievedPerS, np.AchievedPerS, op.P50US, np.P50US, op.P99US, np.P99US, verdict)
 	}
+	// Headline ratio fields gate like arms when both files record them: the
+	// codec speedup is saturation-derived (so it re-baselines across a
+	// measure_version bump), the dedup byte reduction is deterministic byte
+	// accounting and always gates.
+	for _, r := range []struct {
+		name         string
+		old, new     float64
+		saturational bool
+	}{
+		{"codec_on_vs_off_at_saturation", oldRes.CodecSpeedup, newRes.CodecSpeedup, true},
+		{"dedup_byte_reduction_fanout16", oldRes.DedupByteReduction, newRes.DedupByteReduction, false},
+	} {
+		if r.old <= 0 || r.new <= 0 || (r.saturational && skipSaturation) {
+			continue
+		}
+		shared++
+		verdict := "ok"
+		if r.new < r.old*(1-compareTolerance) {
+			failures++
+			verdict = fmt.Sprintf("REGRESSED [%.2fx -> %.2fx]", r.old, r.new)
+		}
+		fmt.Printf("%-38s %.2fx -> %.2fx | %s\n", r.name, r.old, r.new, verdict)
+	}
 	if shared == 0 {
 		return fmt.Errorf("no shared arms between %s and %s", oldPath, newPath)
 	}

@@ -42,6 +42,8 @@ func main() {
 		transport   = flag.String("transport", "channel", "engine interchange transport: channel or tcp")
 		brokerCA    = flag.String("broker-ca", "", "CA PEM for a TLS broker (from gc-webservice -broker-tls)")
 		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (agent + engine registries, Prometheus text) on this address")
+		spillAt     = flag.Int("spill-threshold", 64<<10, "result bytes above which outputs spill to the object store as references (0 = always inline)")
+		dedupCache  = flag.Int64("dedup-cache", 64<<20, "bytes of fetched payloads cached for fan-out dedup (0 = no cache)")
 	)
 	flag.Parse()
 	if *token == "" {
@@ -74,8 +76,16 @@ func main() {
 	}
 	defer conn.Close()
 	objects := objectstore.NewClient(reg.ObjectsAddr)
+	// A bounded LRU in front of the store client: a fan-out of tasks sharing
+	// one large content-addressed payload fetches it over the wire once.
+	fetcher := endpoint.ObjectFetcher(objects)
+	var dedup *objectstore.DedupCache
+	if *dedupCache > 0 {
+		dedup = objectstore.NewDedupCache(objects, *dedupCache)
+		fetcher = dedup
+	}
 
-	runner := endpoint.NewRunner(registry.Builtins(), shellfn.Options{SandboxRoot: *sandbox}, objects)
+	runner := endpoint.NewRunner(registry.Builtins(), shellfn.Options{SandboxRoot: *sandbox}, fetcher)
 	eng, err := engine.New(engine.Config{
 		Provider: provider.NewLocal(*workers), Run: runner,
 		InitBlocks: 1, MinBlocks: 1, MaxBlocks: 1,
@@ -89,7 +99,8 @@ func main() {
 		EndpointID: reg.EndpointID,
 		Conn:       conn,
 		Engine:     eng,
-		Objects:    objects,
+		Objects:    fetcher,
+		Spill:      objects, SpillThreshold: *spillAt,
 		Heartbeat: func(online bool) {
 			var err error
 			if agentRef != nil {
@@ -136,6 +147,11 @@ func main() {
 		log.Fatalf("gc-endpoint: %v", err)
 	}
 	agentRef = agent
+	if dedup != nil {
+		// Report cache hits/misses/evictions through the agent registry so
+		// they ride /metrics and the heartbeat federation snapshots.
+		dedup.Metrics = agent.Metrics
+	}
 	if err := agent.Start(); err != nil {
 		log.Fatalf("gc-endpoint: start: %v", err)
 	}
@@ -172,8 +188,9 @@ func main() {
 }
 
 // dialBroker connects plain or over TLS when a CA file is supplied. Wire
-// batching is enabled either way so the agent's pipelined intake and
-// group-commit egress ride batch frames instead of per-message round trips.
+// batching and the binary hot-path codec are enabled either way: batch
+// frames replace per-message round trips, and the codec kicks in when the
+// server confirms it (old servers leave the connection on JSON).
 func dialBroker(addr, caPath string) (*broker.Client, error) {
 	var bc *broker.Client
 	var err error
@@ -194,5 +211,6 @@ func dialBroker(addr, caPath string) (*broker.Client, error) {
 		return nil, err
 	}
 	bc.EnableBatching(broker.BatchConfig{})
+	bc.EnableBinary()
 	return bc, nil
 }

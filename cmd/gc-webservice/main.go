@@ -44,11 +44,24 @@ func main() {
 		queueLimit  = flag.Int("queue-limit", 0, "per-endpoint broker queue depth bound (0 = unbounded)")
 		backlogShed = flag.Int("backlog-shed", 0, "shed batch submits when an endpoint reports this much egress backlog (0 = off)")
 		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight HTTP requests on SIGTERM")
+		spillAt     = flag.Int("spill-threshold", 0, "payload/result bytes above which data spills to the object store as a content-addressed reference (0 = default 64KiB)")
 	)
 	flag.Parse()
 
 	authSvc := auth.NewService()
-	objects := objectstore.New()
+	// With -data-dir the object store is file-backed under it, so spilled
+	// payload/result references recorded in the durable WAL stay resolvable
+	// across a crash/restart.
+	var objects *objectstore.Store
+	if *dataDir != "" {
+		var err error
+		objects, err = objectstore.OpenDir(*dataDir + "/objects")
+		if err != nil {
+			log.Fatalf("gc-webservice: object store: %v", err)
+		}
+	} else {
+		objects = objectstore.New()
+	}
 
 	// Cloud-side task tracing: the service and broker share one collector,
 	// browsable at /debug/traces. Agent-side spans live in the agent
@@ -110,6 +123,7 @@ func main() {
 		Admission:            admission,
 		QueueLimit:           *queueLimit,
 		BacklogShedThreshold: *backlogShed,
+		InlineThreshold:      *spillAt,
 	})
 	if err != nil {
 		log.Fatalf("gc-webservice: %v", err)

@@ -62,6 +62,12 @@ type Client struct {
 	closed   bool
 	closeErr error
 
+	// wantBin (EnableBinary) advertises the binary codec on every declare/
+	// consume; binOK flips when the server confirms, after which the writer
+	// emits binary frames. Readers are always bilingual.
+	wantBin bool
+	binOK   bool
+
 	// Wire batching (EnableBatching). pubQ/ackQ are guarded by mu; flushCh
 	// wakes the flusher; done stops it.
 	batch   *BatchConfig
@@ -122,6 +128,25 @@ func (c *Client) EnableBatching(cfg BatchConfig) {
 	go c.flusher(cfg, flushCh, done)
 }
 
+// EnableBinary opts this client into the binary hot-path codec. Call before
+// issuing traffic: each Declare/Consume advertises the capability, and the
+// writer switches to binary frames once the server confirms (old servers
+// ignore the advertisement and the connection stays JSON). Safe to combine
+// with EnableBatching; the negotiated codec applies to batch frames too.
+func (c *Client) EnableBinary() {
+	c.mu.Lock()
+	c.wantBin = true
+	c.mu.Unlock()
+}
+
+// BinaryNegotiated reports whether the server confirmed the binary codec
+// for this connection.
+func (c *Client) BinaryNegotiated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.binOK
+}
+
 // Close disconnects. Server-side, unacked deliveries are requeued.
 func (c *Client) Close() error {
 	c.mu.Lock()
@@ -158,6 +183,18 @@ func (c *Client) readLoop() {
 		}
 		switch env.Type {
 		case protocol.EnvOK:
+			// A non-empty OK body is the server's codec confirmation: flip
+			// the writer to binary before completing the request so the next
+			// frame out already uses the negotiated codec.
+			if env.Bin != nil || len(env.Body) > 0 {
+				var ok okBody
+				if derr := env.Decode(&ok); derr == nil && ok.Bin {
+					c.w.EnableBinary()
+					c.mu.Lock()
+					c.binOK = true
+					c.mu.Unlock()
+				}
+			}
 			c.complete(env.ID, nil)
 		case protocol.EnvError:
 			var body errorBody
@@ -239,12 +276,11 @@ func (c *Client) callTraced(typ string, body any, tc *trace.Context) error {
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	env, err := protocol.NewEnvelope(typ, id, body)
-	if err != nil {
-		c.complete(id, nil)
-		return err
-	}
-	env.Trace = tc
+	// The body rides as Envelope.Bin: a binary-negotiated writer encodes it
+	// structurally; a JSON writer marshals it through a pooled scratch
+	// buffer — the wire bytes there are identical to the old
+	// NewEnvelope(json.Marshal) path.
+	env := protocol.Envelope{Type: typ, ID: id, Trace: tc, Bin: body}
 	if err := c.w.Write(env); err != nil {
 		c.complete(id, nil)
 		return fmt.Errorf("broker: send %s: %w", typ, err)
@@ -257,9 +293,17 @@ func (c *Client) callTraced(typ string, body any, tc *trace.Context) error {
 	}
 }
 
+// advertiseBin reports whether declare/consume requests should advertise
+// the binary codec.
+func (c *Client) advertiseBin() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wantBin
+}
+
 // Declare creates a queue on the remote broker.
 func (c *Client) Declare(queue string) error {
-	return c.call(protocol.EnvDeclare, declareBody{Queue: queue})
+	return c.call(protocol.EnvDeclare, &declareBody{Queue: queue, Bin: c.advertiseBin()})
 }
 
 // Publish appends body to the remote queue.
@@ -278,7 +322,7 @@ func (c *Client) PublishTraced(queue string, body []byte, tc *trace.Context) err
 	if batching {
 		return c.enqueuePub(queue, body, tc)
 	}
-	return c.callTraced(protocol.EnvPublish, publishBody{Queue: queue, Body: body}, tc)
+	return c.callTraced(protocol.EnvPublish, &publishBody{Queue: queue, Body: body}, tc)
 }
 
 // PublishBatch sends every body to one queue in a single publish_batch
@@ -288,7 +332,7 @@ func (c *Client) PublishBatch(queue string, bodies [][]byte, traces []*trace.Con
 	if len(bodies) == 0 {
 		return nil
 	}
-	return c.call(protocol.EnvPublishBatch, publishBatchBody{Queue: queue, Bodies: bodies, Traces: traces})
+	return c.call(protocol.EnvPublishBatch, &publishBatchBody{Queue: queue, Bodies: bodies, Traces: traces})
 }
 
 // enqueuePub hands a publish to the flusher and waits for its completion.
@@ -408,7 +452,7 @@ func (c *Client) flushPubs(pubs []pendingPub, maxBatch int) {
 			chunk := group[:n]
 			group = group[n:]
 			if n == 1 {
-				chunk[0].done <- c.callTraced(protocol.EnvPublish, publishBody{Queue: q, Body: chunk[0].body}, chunk[0].tc)
+				chunk[0].done <- c.callTraced(protocol.EnvPublish, &publishBody{Queue: q, Body: chunk[0].body}, chunk[0].tc)
 				continue
 			}
 			bodies := make([][]byte, n)
@@ -424,7 +468,7 @@ func (c *Client) flushPubs(pubs []pendingPub, maxBatch int) {
 					traces[i] = p.tc
 				}
 			}
-			err := c.call(protocol.EnvPublishBatch, publishBatchBody{Queue: q, Bodies: bodies, Traces: traces})
+			err := c.call(protocol.EnvPublishBatch, &publishBatchBody{Queue: q, Bodies: bodies, Traces: traces})
 			for _, p := range chunk {
 				p.done <- err
 			}
@@ -452,14 +496,14 @@ func (c *Client) flushAcks(acks []pendingAck, maxBatch int) {
 			chunk := group[:n]
 			group = group[n:]
 			if n == 1 {
-				chunk[0].done <- c.call(protocol.EnvAck, ackBody{Queue: q, Tag: chunk[0].tag})
+				chunk[0].done <- c.call(protocol.EnvAck, &ackBody{Queue: q, Tag: chunk[0].tag})
 				continue
 			}
 			tags := make([]uint64, n)
 			for i, a := range chunk {
 				tags[i] = a.tag
 			}
-			err := c.call(protocol.EnvAckBatch, ackBatchBody{Queue: q, Tags: tags})
+			err := c.call(protocol.EnvAckBatch, &ackBatchBody{Queue: q, Tags: tags})
 			for _, a := range chunk {
 				a.done <- err
 			}
@@ -475,7 +519,7 @@ func (c *Client) Ping() error {
 // DeleteQueue removes a queue on the remote broker, dropping its messages
 // and closing its consumers.
 func (c *Client) DeleteQueue(queue string) error {
-	return c.call(protocol.EnvShutdown, declareBody{Queue: queue})
+	return c.call(protocol.EnvShutdown, &declareBody{Queue: queue})
 }
 
 // RemoteConsumer mirrors Consumer for a TCP client: a delivery channel plus
@@ -502,7 +546,7 @@ func (c *Client) Consume(queue string, prefetch int) (*RemoteConsumer, error) {
 	c.streams[queue] = rc
 	batch := c.batch
 	c.mu.Unlock()
-	req := consumeBody{Queue: queue, Prefetch: prefetch}
+	req := &consumeBody{Queue: queue, Prefetch: prefetch, Bin: c.advertiseBin()}
 	if batch != nil {
 		req.Batch = true
 		req.MaxBatch = batch.MaxBatch
@@ -530,7 +574,7 @@ func (rc *RemoteConsumer) Ack(tag uint64) error {
 	if batching {
 		return rc.c.enqueueAck(rc.queue, tag)
 	}
-	return rc.c.call(protocol.EnvAck, ackBody{Queue: rc.queue, Tag: tag})
+	return rc.c.call(protocol.EnvAck, &ackBody{Queue: rc.queue, Tag: tag})
 }
 
 // AckBatch acknowledges many tags in one ack_batch frame and one broker
@@ -539,23 +583,23 @@ func (rc *RemoteConsumer) AckBatch(tags []uint64) error {
 	if len(tags) == 0 {
 		return nil
 	}
-	return rc.c.call(protocol.EnvAckBatch, ackBatchBody{Queue: rc.queue, Tags: tags})
+	return rc.c.call(protocol.EnvAckBatch, &ackBatchBody{Queue: rc.queue, Tags: tags})
 }
 
 // Nack rejects a delivery; the server requeues it.
 func (rc *RemoteConsumer) Nack(tag uint64) error {
-	return rc.c.call(protocol.EnvNack, ackBody{Queue: rc.queue, Tag: tag})
+	return rc.c.call(protocol.EnvNack, &ackBody{Queue: rc.queue, Tag: tag})
 }
 
 // Reject dead-letters a delivery to "<queue>.dlq" on the server.
 func (rc *RemoteConsumer) Reject(tag uint64) error {
-	return rc.c.call(protocol.EnvNack, ackBody{Queue: rc.queue, Tag: tag, DeadLetter: true})
+	return rc.c.call(protocol.EnvNack, &ackBody{Queue: rc.queue, Tag: tag, DeadLetter: true})
 }
 
 // Cancel stops consuming: the server detaches the consumer (requeueing
 // anything unacknowledged) and the local delivery channel closes.
 func (rc *RemoteConsumer) Cancel() error {
-	err := rc.c.call(protocol.EnvDrain, declareBody{Queue: rc.queue})
+	err := rc.c.call(protocol.EnvDrain, &declareBody{Queue: rc.queue})
 	rc.c.mu.Lock()
 	if _, ok := rc.c.streams[rc.queue]; ok {
 		delete(rc.c.streams, rc.queue)

@@ -11,86 +11,35 @@ import (
 
 	"globuscompute/internal/obs"
 	"globuscompute/internal/protocol"
-	"globuscompute/internal/trace"
 )
 
-// Wire bodies for the framed-TCP broker protocol. Byte slices marshal as
-// base64 under encoding/json.
+// Wire bodies for the framed-TCP broker protocol now live in
+// internal/protocol (wire.go) so the binary hot-path codec can encode them
+// structurally; the aliases keep the broker's handler code unchanged.
 
-type declareBody struct {
-	Queue string `json:"queue"`
-}
-
-type publishBody struct {
-	Queue string `json:"queue"`
-	Body  []byte `json:"body"`
-}
-
-// publishBatchBody carries N messages for one queue in a single frame.
-// Traces, when present, is parallel to Bodies (nil entries = untraced).
-type publishBatchBody struct {
-	Queue  string           `json:"queue"`
-	Bodies [][]byte         `json:"bodies"`
-	Traces []*trace.Context `json:"traces,omitempty"`
-}
-
-type consumeBody struct {
-	Queue    string `json:"queue"`
-	Prefetch int    `json:"prefetch"`
-	// Batch opts this consumer into delivery_batch frames. Old servers
-	// ignore the field and keep sending plain deliveries; old clients never
-	// set it, so they keep receiving plain deliveries from new servers.
-	Batch bool `json:"batch,omitempty"`
-	// MaxBatch bounds deliveries per delivery_batch frame (default 64).
-	MaxBatch int `json:"max_batch,omitempty"`
-	// FlushWindowUS, when > 0, lets the server wait up to this many
-	// microseconds for more deliveries before flushing a partial batch.
-	FlushWindowUS int64 `json:"flush_window_us,omitempty"`
-}
-
-type ackBody struct {
-	Queue string `json:"queue"`
-	Tag   uint64 `json:"tag"`
-	// DeadLetter turns a nack into a reject (dead-letter) request.
-	DeadLetter bool `json:"dead_letter,omitempty"`
-}
-
-// ackBatchBody acknowledges N tags on one queue in a single frame.
-type ackBatchBody struct {
-	Queue string   `json:"queue"`
-	Tags  []uint64 `json:"tags"`
-}
-
-type deliveryBody struct {
-	Queue       string `json:"queue"`
-	Tag         uint64 `json:"tag"`
-	Body        []byte `json:"body"`
-	Redelivered bool   `json:"redelivered,omitempty"`
-}
-
-// deliveryItem is one delivery inside a delivery_batch frame.
-type deliveryItem struct {
-	Tag         uint64         `json:"tag"`
-	Body        []byte         `json:"body"`
-	Redelivered bool           `json:"redelivered,omitempty"`
-	Trace       *trace.Context `json:"trace,omitempty"`
-}
-
-// deliveryBatchBody carries N deliveries for one queue in a single frame.
-type deliveryBatchBody struct {
-	Queue string         `json:"queue"`
-	Items []deliveryItem `json:"items"`
-}
-
-type errorBody struct {
-	Message string `json:"message"`
-}
+type declareBody = protocol.DeclareBody
+type publishBody = protocol.PublishBody
+type publishBatchBody = protocol.PublishBatchBody
+type consumeBody = protocol.ConsumeBody
+type ackBody = protocol.AckBody
+type ackBatchBody = protocol.AckBatchBody
+type deliveryBody = protocol.DeliveryBody
+type deliveryItem = protocol.DeliveryItem
+type deliveryBatchBody = protocol.DeliveryBatchBody
+type errorBody = protocol.ErrorBody
+type okBody = protocol.OKBody
 
 // Server exposes a Broker over framed TCP so that endpoint agents and SDK
 // result streams in other processes can reach it.
 type Server struct {
 	B  *Broker
 	ln net.Listener
+
+	// DisableBinary makes the server behave like one that predates the
+	// binary hot-path codec: client Bin advertisements are ignored and every
+	// reply stays JSON. Used by interop tests; production servers leave it
+	// false.
+	DisableBinary bool
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -171,10 +120,29 @@ func (s *Server) handle(conn net.Conn) {
 
 	reply := func(id string, err error) {
 		if err != nil {
-			_ = w.Write(protocol.MustEnvelope(protocol.EnvError, id, errorBody{Message: err.Error()}))
+			_ = w.Write(protocol.Envelope{Type: protocol.EnvError, ID: id, Bin: &errorBody{Message: err.Error()}})
 			return
 		}
-		_ = w.Write(protocol.MustEnvelope(protocol.EnvOK, id, nil))
+		_ = w.Write(protocol.Envelope{Type: protocol.EnvOK, ID: id})
+	}
+	// negotiated tracks whether this connection's writes use the binary
+	// codec. A client advertises Bin on declare/consume when it can decode
+	// binary frames; the server (whose reader is always bilingual) confirms
+	// with OKBody{Bin:true}, flips its writer, and the client flips its own
+	// writer on seeing the confirmation. Old clients never advertise, old
+	// servers (DisableBinary) never confirm — both sides stay on JSON.
+	negotiated := false
+	replyNegotiate := func(id string, advertise bool, err error) {
+		if err != nil || !advertise || s.DisableBinary {
+			reply(id, err)
+			return
+		}
+		if !negotiated {
+			negotiated = true
+			w.EnableBinary()
+			s.B.Metrics.Counter("codec_binary_conns").Inc()
+		}
+		_ = w.Write(protocol.Envelope{Type: protocol.EnvOK, ID: id, Bin: &protocol.OKBody{Bin: true}})
 	}
 
 	for {
@@ -192,7 +160,7 @@ func (s *Server) handle(conn net.Conn) {
 				reply(env.ID, err)
 				continue
 			}
-			reply(env.ID, s.B.Declare(body.Queue))
+			replyNegotiate(env.ID, body.Bin, s.B.Declare(body.Queue))
 
 		case protocol.EnvPublish:
 			var body publishBody
@@ -226,7 +194,7 @@ func (s *Server) handle(conn net.Conn) {
 				continue
 			}
 			consumers[body.Queue] = c
-			reply(env.ID, nil)
+			replyNegotiate(env.ID, body.Bin, nil)
 			wg.Add(1)
 			go s.deliveryPump(&wg, w, body, c)
 
@@ -312,10 +280,9 @@ func (s *Server) deliveryPump(wg *sync.WaitGroup, w *protocol.FrameWriter, opts 
 	window := time.Duration(opts.FlushWindowUS) * time.Microsecond
 	for m := range c.Messages() {
 		if !opts.Batch {
-			e := protocol.MustEnvelope(protocol.EnvDelivery, "", deliveryBody{
+			e := protocol.Envelope{Type: protocol.EnvDelivery, Trace: m.Trace, Bin: &deliveryBody{
 				Queue: opts.Queue, Tag: m.Tag, Body: m.Body, Redelivered: m.Redelivered,
-			})
-			e.Trace = m.Trace
+			}}
 			if err := w.Write(e); err != nil {
 				c.Close()
 				return
@@ -326,14 +293,13 @@ func (s *Server) deliveryPump(wg *sync.WaitGroup, w *protocol.FrameWriter, opts 
 		items = drainDeliveries(c, items, maxBatch, window)
 		var e protocol.Envelope
 		if len(items) == 1 {
-			e = protocol.MustEnvelope(protocol.EnvDelivery, "", deliveryBody{
+			e = protocol.Envelope{Type: protocol.EnvDelivery, Trace: m.Trace, Bin: &deliveryBody{
 				Queue: opts.Queue, Tag: m.Tag, Body: m.Body, Redelivered: m.Redelivered,
-			})
-			e.Trace = m.Trace
+			}}
 		} else {
-			e = protocol.MustEnvelope(protocol.EnvDeliveryBatch, "", deliveryBatchBody{
+			e = protocol.Envelope{Type: protocol.EnvDeliveryBatch, Bin: &deliveryBatchBody{
 				Queue: opts.Queue, Items: items,
-			})
+			}}
 		}
 		if err := w.Write(e); err != nil {
 			c.Close()

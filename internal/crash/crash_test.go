@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"globuscompute/internal/broker"
+	"globuscompute/internal/objectstore"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/sdk"
 	"globuscompute/internal/webservice"
@@ -108,7 +109,12 @@ func startWS(t *testing.T, bin, httpAddr, brokerAddr, objectsAddr, dataDir strin
 	t.Helper()
 	cmd := exec.Command(bin,
 		"-http", httpAddr, "-broker", brokerAddr, "-objects", objectsAddr,
-		"-data-dir", dataDir, "-snapshot-every", "300ms")
+		"-data-dir", dataDir, "-snapshot-every", "300ms",
+		// Low spill threshold: storm payloads and echoed results travel as
+		// content-addressed references, so recovery also proves spilled
+		// objects survive the kills (the store is file-backed under the
+		// data dir).
+		"-spill-threshold", "256")
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -192,6 +198,9 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 			if err != nil {
 				return nil, err
 			}
+			// Negotiate the binary hot-path codec on every (re)dial: the
+			// recovery guarantees must hold on the compact encoding too.
+			bc.EnableBinary()
 			return bc.AsConn(), nil
 		},
 	})
@@ -203,6 +212,7 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	objects := objectstore.NewClient(reg.ObjectsAddr)
 	go func() {
 		for m := range sub.Messages() {
 			var task protocol.Task
@@ -210,9 +220,20 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 				_ = sub.Ack(m.Tag)
 				continue
 			}
+			payload := task.Payload
+			if task.PayloadRef != "" {
+				data, err := objects.Get(task.PayloadRef)
+				if err != nil {
+					// Object store mid-crash: leave the delivery unacked;
+					// the recovered broker redelivers and the (recovered,
+					// file-backed) store resolves the reference then.
+					continue
+				}
+				payload = data
+			}
 			res := protocol.Result{
 				TaskID: task.ID, State: protocol.StateSuccess,
-				Output: task.Payload, EndpointID: ep,
+				Output: payload, EndpointID: ep,
 				Started: time.Now(), Completed: time.Now(),
 			}
 			body, _ := json.Marshal(res)
@@ -255,9 +276,11 @@ func TestCrashRecoverySIGKILL(t *testing.T) {
 			c.MaxRetries = -1                 // the loop itself is the retry
 			batch := make([]webservice.SubmitRequest, batchSize)
 			for i := range batch {
+				// Payloads are padded past the 256-byte spill threshold so
+				// every one crosses as an object-store reference.
 				batch[i] = webservice.SubmitRequest{
 					EndpointID: ep, FunctionID: fn,
-					Payload: []byte(fmt.Sprintf(`"storm-%d-%d"`, seq, i)),
+					Payload: []byte(fmt.Sprintf(`"storm-%d-%d-%s"`, seq, i, strings.Repeat("x", 512))),
 				}
 			}
 			seq++

@@ -34,6 +34,13 @@ type ObjectFetcher interface {
 	Get(key string) ([]byte, error)
 }
 
+// ObjectStorer spills large blobs to the object store by content key — the
+// write side of the pass-by-reference data plane (objectstore.Store and
+// objectstore.Client both implement it).
+type ObjectStorer interface {
+	PutContent(data []byte) (string, error)
+}
+
 // Config assembles an agent.
 type Config struct {
 	EndpointID protocol.UUID
@@ -44,6 +51,13 @@ type Config struct {
 	MPI *mpiengine.Engine
 	// Objects resolves PayloadRef tasks (optional).
 	Objects ObjectFetcher
+	// Spill, with SpillThreshold > 0, spills result outputs larger than the
+	// threshold to the object store on the endpoint side: the result then
+	// crosses the broker as a content-addressed OutputRef instead of inline
+	// bytes. A spill failure falls back to inline (correctness over
+	// optimization).
+	Spill          ObjectStorer
+	SpillThreshold int
 	// Heartbeat, when set, is called periodically with online=true and at
 	// shutdown with online=false. The closure typically posts to the web
 	// service and may piggyback a metrics snapshot (see SnapshotMetrics).
@@ -675,6 +689,21 @@ func (a *Agent) publishResults(batch []protocol.Result) {
 	}()
 	for i := range batch {
 		batch[i].EndpointID = a.cfg.EndpointID
+		// Egress-side spill: ship oversized outputs to the object store and
+		// publish a content-addressed reference so the broker hot path never
+		// carries bulk data.
+		if a.cfg.Spill != nil && a.cfg.SpillThreshold > 0 &&
+			batch[i].OutputRef == "" && len(batch[i].Output) > a.cfg.SpillThreshold {
+			if key, err := a.cfg.Spill.PutContent(batch[i].Output); err == nil {
+				a.Metrics.Counter("spill_results").Inc()
+				a.Metrics.Counter("spill_result_bytes").Add(int64(len(batch[i].Output)))
+				batch[i].OutputRef = key
+				batch[i].Output = nil
+			} else {
+				a.log.WithTask(string(batch[i].TaskID)).
+					Warn("result spill failed; sending inline", "error", err)
+			}
+		}
 		buf := resultBufPool.Get().(*bytes.Buffer)
 		buf.Reset()
 		if err := json.NewEncoder(buf).Encode(&batch[i]); err != nil {

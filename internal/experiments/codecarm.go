@@ -1,0 +1,48 @@
+// Codec arms: the PR-8 binary hot-path codec measured against the JSON
+// encoding on the framed-TCP batched broker path. Both arms run the exact
+// same workload through the same batched client; the only difference is
+// whether the client negotiated the compact binary frame encoding at
+// declare/consume time.
+package experiments
+
+import (
+	"fmt"
+
+	"globuscompute/internal/broker"
+)
+
+// codecArm runs the batched TCP workload with the binary codec on or off.
+// Negotiation is verified before the measurement starts: a codec-bin arm
+// that silently fell back to JSON would record a meaningless comparison.
+func codecArm(binaryOn bool, offered, n int) (SaturationPoint, error) {
+	b := broker.New()
+	defer b.Close()
+	const queue = "sat"
+	if err := b.Declare(queue); err != nil {
+		return SaturationPoint{}, err
+	}
+	srv, err := broker.Serve(b, "127.0.0.1:0")
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+	defer srv.Close()
+	bc, err := broker.DialBatched(srv.Addr(), broker.BatchConfig{MaxBatch: satBatch})
+	if err != nil {
+		return SaturationPoint{}, err
+	}
+	defer bc.Close()
+
+	mode := "codec-json"
+	if binaryOn {
+		bc.EnableBinary()
+		mode = "codec-bin"
+	}
+	conn := bc.AsConn()
+	if err := conn.Declare(queue); err != nil {
+		return SaturationPoint{}, err
+	}
+	if binaryOn && !bc.BinaryNegotiated() {
+		return SaturationPoint{}, fmt.Errorf("binary codec was not negotiated")
+	}
+	return runArm(conn, queue, "tcp", mode, satBatch, offered, n)
+}

@@ -1,0 +1,58 @@
+// Data-plane arm: the PR-8 pass-by-reference fan-out measurement. One large
+// content-addressed payload is fanned out to many tasks on one endpoint;
+// without the endpoint dedup cache every task fetches the object over HTTP,
+// with it the object crosses the wire once and the LRU serves the rest.
+// Bytes moved are read from the object store server's egress counter, so
+// the reduction is measured where the network cost actually accrues.
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"globuscompute/internal/objectstore"
+)
+
+// dedupFanout returns server egress bytes for a fanout-way fetch of one
+// payloadBytes-sized object, without and with the endpoint dedup cache.
+func dedupFanout(fanout, payloadBytes int) (bytesOff, bytesOn int64, err error) {
+	s := objectstore.New()
+	srv, err := objectstore.ServeHTTP(s, "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, err
+	}
+	defer srv.Close()
+	c := objectstore.NewClient(srv.Addr())
+
+	payload := bytes.Repeat([]byte("fanout-payload-"), payloadBytes/15+1)[:payloadBytes]
+	key, err := c.PutContent(payload)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	egress := s.Metrics.Counter("egress_bytes")
+
+	// Dedup off: every fan-out task resolves the reference over the wire.
+	before := egress.Value()
+	for i := 0; i < fanout; i++ {
+		if _, err := c.Get(key); err != nil {
+			return 0, 0, err
+		}
+	}
+	bytesOff = egress.Value() - before
+
+	// Dedup on: the bounded LRU in front of the client (exactly how
+	// gc-endpoint wires it) absorbs the repeated fetches.
+	cache := objectstore.NewDedupCache(c, int64(2*payloadBytes))
+	before = egress.Value()
+	for i := 0; i < fanout; i++ {
+		if _, err := cache.Get(key); err != nil {
+			return 0, 0, err
+		}
+	}
+	bytesOn = egress.Value() - before
+	if bytesOn <= 0 {
+		return 0, 0, fmt.Errorf("dedup-on arm moved %d bytes (want > 0)", bytesOn)
+	}
+	return bytesOff, bytesOn, nil
+}

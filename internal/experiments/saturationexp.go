@@ -65,8 +65,16 @@ type SaturationResult struct {
 	// (token bucket + in-flight + fairshare accounting) divided by the
 	// same path with admission off, both at saturation. 1.0 = free; the
 	// acceptance bar is >= 0.95 (<= 5% overhead).
-	AdmissionCost float64  `json:"admission_on_vs_off_at_saturation"`
-	Notes         []string `json:"notes"`
+	AdmissionCost float64 `json:"admission_on_vs_off_at_saturation"`
+	// CodecSpeedup compares the binary hot-path frame codec against the
+	// JSON encoding on the batched TCP arm at saturation (PR 8; the
+	// acceptance bar is >= 1.2x).
+	CodecSpeedup float64 `json:"codec_on_vs_off_at_saturation"`
+	// DedupByteReduction is server egress bytes without the endpoint dedup
+	// cache divided by bytes with it, for a 16-way fan-out of one large
+	// content-addressed payload (PR 8; the acceptance bar is >= 5x).
+	DedupByteReduction float64  `json:"dedup_byte_reduction_fanout16"`
+	Notes              []string `json:"notes"`
 }
 
 // satBatch is the batch size for the batched arms (the acceptance bar asks
@@ -149,6 +157,16 @@ func Saturation(n int) (Report, *SaturationResult, error) {
 			}})
 		}
 	}
+	// Codec arms: the batched TCP workload with the binary hot-path frame
+	// encoding negotiated vs the JSON encoding.
+	for _, binaryOn := range []bool{false, true} {
+		binaryOn := binaryOn
+		for _, offered := range []int{paced, 0} {
+			specs = append(specs, armSpec{offered, func(offered int) (SaturationPoint, error) {
+				return codecArm(binaryOn, offered, n)
+			}})
+		}
+	}
 	points := make([]SaturationPoint, len(specs))
 	for pass := 0; pass < 2; pass++ {
 		for i, s := range specs {
@@ -189,12 +207,24 @@ func Saturation(n int) (Report, *SaturationResult, error) {
 	if v := sat("inproc", "admit-off", satBatch); v > 0 {
 		res.AdmissionCost = sat("inproc", "admit-on", satBatch) / v
 	}
+	if v := sat("tcp", "codec-json", satBatch); v > 0 {
+		res.CodecSpeedup = sat("tcp", "codec-bin", satBatch) / v
+	}
+	// The data-plane arm measures bytes moved, not tasks/s, so it lives in
+	// its own field rather than the point grid.
+	bytesOff, bytesOn, err := dedupFanout(16, 1<<20)
+	if err != nil {
+		return Report{}, nil, fmt.Errorf("dedup fan-out arm: %w", err)
+	}
+	res.DedupByteReduction = float64(bytesOff) / float64(bytesOn)
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("unbatched = one publish/ack round trip per task (before); batched = %d tasks per frame (after)", satBatch),
 		"tcp arms cross the framed-TCP broker protocol; inproc arms measure the sharded queue map alone",
 		"ep-single = per-task agent hot path (before); ep-pipelined = batched intake + engine batch submit + group-commit egress (after)",
 		"wal-on = every publish journaled + fsynced (group commit) before enqueue; wal-off = in-memory broker",
 		"admit-on = per-tenant token-bucket admission + in-flight + fairshare accounting on the submit front door; admit-off = same path, no admission",
+		"codec-bin = binary hot-path frame encoding negotiated at declare/consume; codec-json = same batched TCP path on the JSON encoding",
+		fmt.Sprintf("dedup fan-out: 16-way fetch of one 1MiB payload moved %d bytes without the endpoint cache, %d with it", bytesOff, bytesOn),
 	)
 
 	rep := Report{
@@ -216,7 +246,9 @@ func Saturation(n int) (Report, *SaturationResult, error) {
 		fmt.Sprintf("tcp endpoint speedup at saturation: %.1fx pipelined vs single", res.TCPEndpointSpeedup),
 		fmt.Sprintf("inproc endpoint speedup at saturation: %.1fx", res.InprocEndpointSpeedup),
 		fmt.Sprintf("wal durability cost at saturation: wal-on achieves %.0f%% of wal-off throughput", 100*res.WALCost),
-		fmt.Sprintf("admission cost at saturation: admit-on achieves %.0f%% of admit-off throughput (bar: >= 95%%)", 100*res.AdmissionCost))
+		fmt.Sprintf("admission cost at saturation: admit-on achieves %.0f%% of admit-off throughput (bar: >= 95%%)", 100*res.AdmissionCost),
+		fmt.Sprintf("codec speedup at saturation: %.1fx binary vs json on the batched tcp arm (bar: >= 1.2x)", res.CodecSpeedup),
+		fmt.Sprintf("dedup byte reduction: %.1fx fewer bytes moved for a 16-way fan-out of identical input (bar: >= 5x)", res.DedupByteReduction))
 	return rep, res, nil
 }
 

@@ -1,0 +1,142 @@
+package objectstore
+
+import (
+	"container/list"
+	"sync"
+
+	"globuscompute/internal/metrics"
+)
+
+// Fetcher fetches an object by key — the read side of Store and Client,
+// and the shape the endpoint runner and SDK executor use to resolve
+// pass-by-reference payloads.
+type Fetcher interface {
+	Get(key string) ([]byte, error)
+}
+
+// DedupCache is a bounded, byte-budgeted LRU read-through cache in front of
+// a Fetcher. Endpoints put one in front of their object-store client so a
+// 16-way fan-out of the same large input crosses the wire once: keys are
+// content-addressed (SHA-256 of the bytes), so a cached entry can never be
+// stale. Concurrent misses on one key are coalesced (singleflight) — the
+// wire sees a single fetch even when every worker asks at once.
+type DedupCache struct {
+	src Fetcher
+	max int64
+
+	mu       sync.Mutex
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*fetchCall
+
+	Metrics *metrics.Registry
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// fetchCall is one in-flight source fetch that any number of callers wait
+// on.
+type fetchCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// NewDedupCache caches up to maxBytes of objects fetched from src. A
+// maxBytes <= 0 disables caching (every Get passes through).
+func NewDedupCache(src Fetcher, maxBytes int64) *DedupCache {
+	return &DedupCache{
+		src:      src,
+		max:      maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*fetchCall),
+		Metrics:  metrics.NewRegistry(),
+	}
+}
+
+// Get returns the object under key, from cache when possible. Objects
+// larger than the cache budget are fetched but not retained.
+func (d *DedupCache) Get(key string) ([]byte, error) {
+	if d.max <= 0 {
+		return d.src.Get(key)
+	}
+	d.mu.Lock()
+	if el, ok := d.items[key]; ok {
+		d.ll.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		d.mu.Unlock()
+		d.Metrics.Counter("dedup_cache_hits").Inc()
+		return data, nil
+	}
+	if call, ok := d.inflight[key]; ok {
+		// Another goroutine is already fetching this key: wait for it
+		// rather than issuing a duplicate wire transfer.
+		d.mu.Unlock()
+		<-call.done
+		if call.err == nil {
+			d.Metrics.Counter("dedup_cache_hits").Inc()
+		}
+		return call.data, call.err
+	}
+	call := &fetchCall{done: make(chan struct{})}
+	d.inflight[key] = call
+	d.mu.Unlock()
+
+	d.Metrics.Counter("dedup_cache_misses").Inc()
+	call.data, call.err = d.src.Get(key)
+	close(call.done)
+
+	d.mu.Lock()
+	delete(d.inflight, key)
+	if call.err == nil {
+		d.add(key, call.data)
+	}
+	d.mu.Unlock()
+	return call.data, call.err
+}
+
+// add inserts an entry and evicts from the LRU tail until the byte budget
+// holds. Caller holds d.mu.
+func (d *DedupCache) add(key string, data []byte) {
+	if int64(len(data)) > d.max {
+		return // larger than the whole budget: serve, don't retain
+	}
+	if el, ok := d.items[key]; ok {
+		d.ll.MoveToFront(el)
+		return
+	}
+	d.items[key] = d.ll.PushFront(&cacheEntry{key: key, data: data})
+	d.bytes += int64(len(data))
+	for d.bytes > d.max {
+		tail := d.ll.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*cacheEntry)
+		d.ll.Remove(tail)
+		delete(d.items, ent.key)
+		d.bytes -= int64(len(ent.data))
+		d.Metrics.Counter("dedup_cache_evictions").Inc()
+	}
+	d.Metrics.Gauge("dedup_cache_bytes").Set(d.bytes)
+	d.Metrics.Gauge("dedup_cache_objects").Set(int64(d.ll.Len()))
+}
+
+// Len returns the number of cached objects.
+func (d *DedupCache) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ll.Len()
+}
+
+// Bytes returns the cached byte total.
+func (d *DedupCache) Bytes() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytes
+}

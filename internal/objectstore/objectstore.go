@@ -1,11 +1,14 @@
 // Package objectstore is the S3 substitute: a keyed blob store used by the
 // web service to hold task payloads and results that exceed the inline
 // threshold, and by ProxyStore as one of its storage connectors. It offers
-// an in-process API plus an HTTP server (PUT/GET/DELETE /objects/<key>) for
-// cross-process access.
+// an in-process API plus an HTTP server (PUT/GET/HEAD/DELETE
+// /objects/<key>) for cross-process access, an optional file-backed mode
+// (OpenDir) whose objects survive restarts, and a bounded LRU read-through
+// cache (DedupCache) for endpoint-side fan-out dedup.
 package objectstore
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -13,6 +16,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -26,23 +32,92 @@ var (
 	ErrClosed   = errors.New("objectstore: closed")
 )
 
-// Store is an in-memory blob store safe for concurrent use.
+// Store is a blob store safe for concurrent use. By default it is purely
+// in-memory; OpenDir adds a file-backed mode where every object is also
+// persisted to disk and reloaded on open, so content-addressed references
+// held by tasks in a durable WAL stay resolvable across a restart.
 type Store struct {
 	mu      sync.RWMutex
 	objects map[string][]byte
 	closed  bool
+	dir     string // "" = memory only
 	// MaxObject bounds a single object size; 0 means unlimited.
 	MaxObject int
 	Metrics   *metrics.Registry
 }
 
-// New returns an empty store.
+// New returns an empty in-memory store.
 func New() *Store {
 	return &Store{objects: make(map[string][]byte), Metrics: metrics.NewRegistry()}
 }
 
+// OpenDir returns a store whose objects are persisted under dir (one
+// "<hex(key)>.obj" file per object, written atomically) and eagerly
+// reloaded from it, so spilled payload/result references survive a process
+// restart. The directory is created if missing.
+func OpenDir(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("objectstore: open %s: %w", dir, err)
+	}
+	s := New()
+	s.dir = dir
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("objectstore: open %s: %w", dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".obj") {
+			continue
+		}
+		rawKey, err := hex.DecodeString(strings.TrimSuffix(name, ".obj"))
+		if err != nil {
+			continue // foreign file; not one of ours
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("objectstore: reload %s: %w", name, err)
+		}
+		s.objects[string(rawKey)] = data
+	}
+	return s, nil
+}
+
+// objectPath maps a key to its backing file. Keys are hex-armored so any
+// string key yields a safe filename.
+func (s *Store) objectPath(key string) string {
+	return filepath.Join(s.dir, hex.EncodeToString([]byte(key))+".obj")
+}
+
+// persist writes data for key to the backing directory via temp+rename so a
+// crash never leaves a truncated object.
+func (s *Store) persist(key string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.objectPath(key))
+}
+
 // Put stores data under key, replacing any existing object.
 func (s *Store) Put(key string, data []byte) error {
+	return s.putOwned(key, append([]byte(nil), data...))
+}
+
+// putOwned stores data, taking ownership of the slice (no defensive copy).
+func (s *Store) putOwned(key string, data []byte) error {
 	if key == "" {
 		return errors.New("objectstore: empty key")
 	}
@@ -54,7 +129,12 @@ func (s *Store) Put(key string, data []byte) error {
 	if s.closed {
 		return ErrClosed
 	}
-	s.objects[key] = append([]byte(nil), data...)
+	if s.dir != "" {
+		if err := s.persist(key, data); err != nil {
+			return fmt.Errorf("objectstore: persist %q: %w", key, err)
+		}
+	}
+	s.objects[key] = data
 	s.Metrics.Counter("puts").Inc()
 	// "ingress_bytes" (not "bytes_in") so the exported counter reads
 	// ingress_bytes_total with the unit suffix ahead of _total, per
@@ -63,11 +143,70 @@ func (s *Store) Put(key string, data []byte) error {
 	return nil
 }
 
-// PutContent stores data under its SHA-256 hex digest and returns the key.
-// Identical content deduplicates to the same key.
-func (s *Store) PutContent(data []byte) (string, error) {
+// PutReader streams r into the store under key, reading exactly once into
+// the stored buffer (no second copy — sizeHint, when >= 0, pre-sizes it).
+// Used by the HTTP server so a multi-MB PUT is not double-buffered.
+func (s *Store) PutReader(key string, r io.Reader, sizeHint int64) (int64, error) {
+	limit := int64(-1)
+	if s.MaxObject > 0 {
+		limit = int64(s.MaxObject)
+	}
+	data, err := readAllHint(r, sizeHint, limit)
+	if err != nil {
+		return 0, fmt.Errorf("objectstore: put %q: %w", key, err)
+	}
+	if err := s.putOwned(key, data); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// readAllHint reads r to EOF into a buffer pre-sized by hint. limit >= 0
+// rejects inputs beyond limit bytes.
+func readAllHint(r io.Reader, hint, limit int64) ([]byte, error) {
+	if limit >= 0 {
+		lr := io.LimitReader(r, limit+1)
+		data, err := io.ReadAll(lr)
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(data)) > limit {
+			return nil, fmt.Errorf("exceeds %d byte cap", limit)
+		}
+		return data, nil
+	}
+	var buf bytes.Buffer
+	if hint > 0 {
+		buf.Grow(int(hint))
+	}
+	if _, err := io.Copy(&buf, r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ContentKey returns the store key for data: its SHA-256 hex digest.
+func ContentKey(data []byte) string {
 	sum := sha256.Sum256(data)
-	key := hex.EncodeToString(sum[:])
+	return hex.EncodeToString(sum[:])
+}
+
+// PutContent stores data under its SHA-256 hex digest and returns the key.
+// Identical content deduplicates to the same key — and skips the write
+// entirely when the key is already present (counted as dedup_hits).
+func (s *Store) PutContent(data []byte) (string, error) {
+	key := ContentKey(data)
+	s.mu.RLock()
+	_, exists := s.objects[key]
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return "", ErrClosed
+	}
+	if exists {
+		s.Metrics.Counter("dedup_hits").Inc()
+		return key, nil
+	}
 	if err := s.Put(key, data); err != nil {
 		return "", err
 	}
@@ -86,7 +225,27 @@ func (s *Store) Get(key string) ([]byte, error) {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	s.Metrics.Counter("gets").Inc()
+	s.Metrics.Counter("egress_bytes").Add(int64(len(data)))
 	return append([]byte(nil), data...), nil
+}
+
+// GetReader returns a streaming reader over the object under key and its
+// size, without copying the stored bytes. The stored slice is never
+// mutated after Put, so reading concurrently with other operations is safe.
+func (s *Store) GetReader(key string) (io.ReadCloser, int64, error) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, 0, ErrClosed
+	}
+	data, ok := s.objects[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	s.Metrics.Counter("gets").Inc()
+	s.Metrics.Counter("egress_bytes").Add(int64(len(data)))
+	return io.NopCloser(bytes.NewReader(data)), int64(len(data)), nil
 }
 
 // Delete removes the object under key. Deleting a missing key returns
@@ -101,6 +260,9 @@ func (s *Store) Delete(key string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	delete(s.objects, key)
+	if s.dir != "" {
+		_ = os.Remove(s.objectPath(key))
+	}
 	s.Metrics.Counter("deletes").Inc()
 	return nil
 }
@@ -142,7 +304,8 @@ func (s *Store) TotalBytes() int64 {
 	return n
 }
 
-// Close marks the store closed; subsequent operations fail.
+// Close marks the store closed; subsequent operations fail. File-backed
+// objects stay on disk for the next OpenDir.
 func (s *Store) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -152,8 +315,9 @@ func (s *Store) Close() {
 
 // Server exposes a Store over HTTP, mimicking presigned-URL style access:
 //
-//	PUT    /objects/<key>   store body
-//	GET    /objects/<key>   fetch
+//	PUT    /objects/<key>   store body (streamed; Content-Length pre-sizes)
+//	GET    /objects/<key>   fetch (streamed with Content-Length)
+//	HEAD   /objects/<key>   existence + size probe (dedup fast path)
 //	DELETE /objects/<key>   remove
 //	GET    /healthz         liveness
 type Server struct {
@@ -193,18 +357,15 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 	}
 	switch r.Method {
 	case http.MethodPut:
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<30))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if err := s.store.Put(key, body); err != nil {
+		// Stream the body straight into the stored buffer — no ReadAll-
+		// then-copy double buffering for multi-MB payloads.
+		if _, err := s.store.PutReader(key, io.LimitReader(r.Body, 1<<30), r.ContentLength); err != nil {
 			http.Error(w, err.Error(), http.StatusInsufficientStorage)
 			return
 		}
 		w.WriteHeader(http.StatusCreated)
 	case http.MethodGet:
-		data, err := s.store.Get(key)
+		rd, size, err := s.store.GetReader(key)
 		if errors.Is(err, ErrNotFound) {
 			http.NotFound(w, r)
 			return
@@ -213,8 +374,19 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		defer rd.Close()
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Write(data)
+		w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+		io.Copy(w, rd)
+	case http.MethodHead:
+		size, err := s.store.Size(key)
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(size))
+		w.WriteHeader(http.StatusOK)
 	case http.MethodDelete:
 		err := s.store.Delete(key)
 		if errors.Is(err, ErrNotFound) {
@@ -242,9 +414,10 @@ func NewClient(addr string) *Client {
 	return &Client{base: "http://" + addr, hc: &http.Client{Timeout: 30 * time.Second}}
 }
 
-// Put stores data under key on the remote store.
+// Put stores data under key on the remote store. bytes.Reader gives the
+// request a Content-Length so the server pre-sizes its buffer.
 func (c *Client) Put(key string, data []byte) error {
-	req, err := http.NewRequest(http.MethodPut, c.base+"/objects/"+key, strings.NewReader(string(data)))
+	req, err := http.NewRequest(http.MethodPut, c.base+"/objects/"+key, bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
@@ -259,20 +432,88 @@ func (c *Client) Put(key string, data []byte) error {
 	return nil
 }
 
-// Get fetches the object under key from the remote store.
-func (c *Client) Get(key string) ([]byte, error) {
-	resp, err := c.hc.Get(c.base + "/objects/" + key)
+// PutReader streams r (size bytes) to the remote store under key without
+// buffering the whole object client-side.
+func (c *Client) PutReader(key string, r io.Reader, size int64) error {
+	req, err := http.NewRequest(http.MethodPut, c.base+"/objects/"+key, r)
 	if err != nil {
-		return nil, fmt.Errorf("objectstore: get: %w", err)
+		return err
+	}
+	if size >= 0 {
+		req.ContentLength = size
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("objectstore: put: %w", err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("objectstore: put %q: status %s", key, resp.Status)
+	}
+	return nil
+}
+
+// PutContent stores data under its content key, probing with HEAD first so
+// re-uploads of content the store already holds (fan-out inputs, retried
+// results) skip the body transfer entirely.
+func (c *Client) PutContent(data []byte) (string, error) {
+	key := ContentKey(data)
+	if ok, err := c.Exists(key); err == nil && ok {
+		return key, nil
+	}
+	if err := c.Put(key, data); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// Exists probes the remote store for key with a HEAD request.
+func (c *Client) Exists(key string) (bool, error) {
+	req, err := http.NewRequest(http.MethodHead, c.base+"/objects/"+key, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return false, fmt.Errorf("objectstore: head: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("objectstore: head %q: status %s", key, resp.Status)
+	}
+}
+
+// Get fetches the object under key from the remote store.
+func (c *Client) Get(key string) ([]byte, error) {
+	rd, size, err := c.GetReader(key)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	return readAllHint(rd, size, -1)
+}
+
+// GetReader streams the object under key from the remote store; the
+// returned size is -1 when the server did not send Content-Length.
+func (c *Client) GetReader(key string) (io.ReadCloser, int64, error) {
+	resp, err := c.hc.Get(c.base + "/objects/" + key)
+	if err != nil {
+		return nil, 0, fmt.Errorf("objectstore: get: %w", err)
+	}
 	if resp.StatusCode == http.StatusNotFound {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		resp.Body.Close()
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("objectstore: get %q: status %s", key, resp.Status)
+		resp.Body.Close()
+		return nil, 0, fmt.Errorf("objectstore: get %q: status %s", key, resp.Status)
 	}
-	return io.ReadAll(resp.Body)
+	return resp.Body, resp.ContentLength, nil
 }
 
 // Delete removes the object under key on the remote store.

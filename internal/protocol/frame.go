@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"globuscompute/internal/trace"
 )
@@ -24,6 +25,12 @@ type Envelope struct {
 	// wire format is decodable unchanged).
 	Trace *trace.Context  `json:"trace,omitempty"`
 	Body  json.RawMessage `json:"body,omitempty"`
+	// Bin, when non-nil, is the pre-parsed body (a *PublishBody,
+	// *DeliveryBatchBody, ...). Writers encode it directly — structurally on
+	// a binary connection, marshalled into Body on a JSON one — and binary
+	// reads land hot-path bodies here so Decode can copy without a JSON
+	// round trip. Call sites that set Bin are codec-agnostic.
+	Bin any `json:"-"`
 }
 
 // Envelope type tags used across the system.
@@ -83,12 +90,103 @@ func MustEnvelope(typ, id string, body any) Envelope {
 	return env
 }
 
-// Decode unmarshals the envelope body into v.
+// Decode unmarshals the envelope body into v. When the envelope carries a
+// pre-parsed Bin body of the same type (a binary read, or a same-process
+// handoff), the body is copied without touching JSON at all.
 func (e Envelope) Decode(v any) error {
+	if e.Bin != nil {
+		if copyBinBody(e.Bin, v) {
+			return nil
+		}
+		b, err := marshalBody(e.Bin)
+		if err != nil {
+			return fmt.Errorf("protocol: decode %s envelope: %w", e.Type, err)
+		}
+		e.Body = b
+	}
 	if err := json.Unmarshal(e.Body, v); err != nil {
 		return fmt.Errorf("protocol: decode %s envelope: %w", e.Type, err)
 	}
 	return nil
+}
+
+// copyBinBody copies a pre-parsed body into a destination of the same
+// concrete type. Returns false on any type mismatch so Decode can fall back
+// to the JSON route.
+func copyBinBody(src, dst any) bool {
+	switch s := src.(type) {
+	case *PublishBody:
+		if d, ok := dst.(*PublishBody); ok {
+			*d = *s
+			return true
+		}
+	case *PublishBatchBody:
+		if d, ok := dst.(*PublishBatchBody); ok {
+			*d = *s
+			return true
+		}
+	case *DeliveryBody:
+		if d, ok := dst.(*DeliveryBody); ok {
+			*d = *s
+			return true
+		}
+	case *DeliveryBatchBody:
+		if d, ok := dst.(*DeliveryBatchBody); ok {
+			*d = *s
+			return true
+		}
+	case *AckBody:
+		if d, ok := dst.(*AckBody); ok {
+			*d = *s
+			return true
+		}
+	case *AckBatchBody:
+		if d, ok := dst.(*AckBatchBody); ok {
+			*d = *s
+			return true
+		}
+	case *ConsumeBody:
+		if d, ok := dst.(*ConsumeBody); ok {
+			*d = *s
+			return true
+		}
+	case *DeclareBody:
+		if d, ok := dst.(*DeclareBody); ok {
+			*d = *s
+			return true
+		}
+	case *ErrorBody:
+		if d, ok := dst.(*ErrorBody); ok {
+			*d = *s
+			return true
+		}
+	case *OKBody:
+		if d, ok := dst.(*OKBody); ok {
+			*d = *s
+			return true
+		}
+	}
+	return false
+}
+
+// marshalBody JSON-encodes a pre-parsed body.
+func marshalBody(v any) (json.RawMessage, error) {
+	return json.Marshal(v)
+}
+
+// Normalize returns the envelope with Bin materialized into Body, so
+// envelopes decoded from either codec compare equal.
+func (e Envelope) Normalize() (Envelope, error) {
+	if e.Bin == nil {
+		return e, nil
+	}
+	b, err := marshalBody(e.Bin)
+	if err != nil {
+		return e, err
+	}
+	e.Body = b
+	e.Bin = nil
+	return e, nil
 }
 
 // encodeBufPool recycles the per-frame encode buffers across every
@@ -102,12 +200,14 @@ var encodeBufPool = sync.Pool{
 
 const pooledBufLimit = 1 << 20
 
-// FrameWriter writes length-prefixed JSON envelopes. It is safe for
-// concurrent use: the engine multiplexes many logical streams over one
-// manager connection.
+// FrameWriter writes length-prefixed envelopes — JSON by default, the
+// binary hot-path codec once EnableBinary is called (after negotiation). It
+// is safe for concurrent use: the engine multiplexes many logical streams
+// over one manager connection.
 type FrameWriter struct {
-	mu sync.Mutex
-	w  *bufio.Writer
+	mu  sync.Mutex
+	w   *bufio.Writer
+	bin atomic.Bool
 }
 
 // NewFrameWriter wraps w.
@@ -115,14 +215,55 @@ func NewFrameWriter(w io.Writer) *FrameWriter {
 	return &FrameWriter{w: bufio.NewWriter(w)}
 }
 
-// encodeFrame renders env (header + JSON) into a pooled buffer. The caller
-// must return the buffer with putEncodeBuf.
-func encodeFrame(env Envelope) (*bytes.Buffer, error) {
+// EnableBinary switches subsequent writes to the binary codec. Call only
+// after the peer has advertised (or confirmed) that it decodes binary
+// frames; readers are always bilingual, so flipping mid-stream is safe.
+func (fw *FrameWriter) EnableBinary() { fw.bin.Store(true) }
+
+// BinaryEnabled reports whether writes use the binary codec.
+func (fw *FrameWriter) BinaryEnabled() bool { return fw.bin.Load() }
+
+// encodeFrame renders env (header + payload) into a pooled buffer. The
+// caller must return the buffer with putEncodeBuf.
+func encodeFrame(env Envelope, bin bool) (*bytes.Buffer, error) {
 	buf := encodeBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if bin {
+		if err := appendBinaryEnvelope(buf, env); err != nil {
+			putEncodeBuf(buf)
+			return nil, err
+		}
+		n := buf.Len() - 4
+		if n > MaxFrame {
+			putEncodeBuf(buf)
+			return nil, ErrFrameTooLarge
+		}
+		binary.BigEndian.PutUint32(buf.Bytes()[:4], uint32(n))
+		return buf, nil
+	}
+	// JSON path: a pre-parsed Bin body is marshalled into Body through a
+	// second pooled scratch buffer, so setting Bin at call sites costs no
+	// more than the old json.Marshal-into-NewEnvelope pattern (and the
+	// scratch is reused across frames).
+	var bodyBuf *bytes.Buffer
+	if env.Bin != nil && env.Body == nil {
+		bodyBuf = encodeBufPool.Get().(*bytes.Buffer)
+		bodyBuf.Reset()
+		if err := json.NewEncoder(bodyBuf).Encode(env.Bin); err != nil {
+			putEncodeBuf(bodyBuf)
+			putEncodeBuf(buf)
+			return nil, fmt.Errorf("protocol: marshal envelope body: %w", err)
+		}
+		b := bodyBuf.Bytes()
+		env.Body = b[:len(b)-1] // drop Encode's trailing newline
+	}
 	enc := json.NewEncoder(buf)
-	if err := enc.Encode(env); err != nil {
+	err := enc.Encode(env)
+	if bodyBuf != nil {
+		putEncodeBuf(bodyBuf)
+	}
+	if err != nil {
 		putEncodeBuf(buf)
 		return nil, fmt.Errorf("protocol: marshal frame: %w", err)
 	}
@@ -148,7 +289,7 @@ func putEncodeBuf(buf *bytes.Buffer) {
 // flushes. Encoding happens outside the writer lock (in a pooled buffer) so
 // concurrent writers only serialize on the actual socket write.
 func (fw *FrameWriter) Write(env Envelope) error {
-	buf, err := encodeFrame(env)
+	buf, err := encodeFrame(env, fw.bin.Load())
 	if err != nil {
 		return err
 	}
@@ -173,8 +314,9 @@ func (fw *FrameWriter) WriteAll(envs []Envelope) error {
 			putEncodeBuf(b)
 		}
 	}()
+	bin := fw.bin.Load()
 	for _, env := range envs {
-		buf, err := encodeFrame(env)
+		buf, err := encodeFrame(env, bin)
 		if err != nil {
 			return err
 		}
@@ -226,7 +368,18 @@ func (fr *FrameReader) Read() (Envelope, error) {
 		return Envelope{}, fmt.Errorf("protocol: short frame: %w", err)
 	}
 	var env Envelope
-	if err := json.Unmarshal(buf, &env); err != nil {
+	if n > 0 && buf[0] == binMagic {
+		// Binary frame: readers need no negotiation — 0xBF can never begin
+		// a JSON envelope. DecodeBinaryEnvelope copies everything it
+		// retains out of the reused buffer.
+		var err error
+		if env, err = DecodeBinaryEnvelope(buf); err != nil {
+			if n > pooledBufLimit {
+				fr.buf = nil
+			}
+			return Envelope{}, err
+		}
+	} else if err := json.Unmarshal(buf, &env); err != nil {
 		return Envelope{}, fmt.Errorf("protocol: bad frame: %w", err)
 	}
 	// Frames over the pooling limit are one-off payload spills; do not let

@@ -69,6 +69,70 @@ func BenchmarkFrameWriteAll(b *testing.B) {
 	}
 }
 
+// benchBinEnvelope is the binary-codec equivalent of benchEnvelope: the
+// same 512-byte task body as a structured publish envelope.
+func benchBinEnvelope() Envelope {
+	task := Task{ID: NewUUID(), Kind: KindPython, Payload: bytes.Repeat([]byte("p"), 512)}
+	body, err := json.Marshal(task)
+	if err != nil {
+		panic(err)
+	}
+	return Envelope{Type: EnvPublish, ID: "17",
+		Bin: &PublishBody{Queue: "tasks." + string(NewUUID()), Body: body}}
+}
+
+// BenchmarkFrameWriteBinBodyJSON measures the JSON writer fed a structured
+// Bin body: the body marshals through the second pooled scratch buffer, so
+// allocs/op stays flat against the premarshaled path above.
+func BenchmarkFrameWriteBinBodyJSON(b *testing.B) {
+	env := benchBinEnvelope()
+	w := NewFrameWriter(io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameWriteBinary measures the binary codec's encode path: no
+// JSON marshal, no base64, varint lengths into the pooled frame buffer.
+func BenchmarkFrameWriteBinary(b *testing.B) {
+	env := benchBinEnvelope()
+	w := NewFrameWriter(io.Discard)
+	w.EnableBinary()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameReadBinary measures the binary decode path against
+// BenchmarkFrameRead's JSON unmarshal.
+func BenchmarkFrameReadBinary(b *testing.B) {
+	var raw bytes.Buffer
+	w := NewFrameWriter(&raw)
+	w.EnableBinary()
+	if err := w.Write(benchBinEnvelope()); err != nil {
+		b.Fatal(err)
+	}
+	frame := raw.Bytes()
+	rd := bytes.NewReader(frame)
+	r := NewFrameReader(rd)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rd.Reset(frame)
+		if _, err := r.Read(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFrameRead measures the reusable-read-buffer decode path.
 func BenchmarkFrameRead(b *testing.B) {
 	var raw bytes.Buffer

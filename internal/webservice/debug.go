@@ -126,6 +126,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.svc.cfg.DurableMetrics != nil {
 		_ = s.svc.cfg.DurableMetrics.WriteText(w, "gc_durable")
 	}
+	if s.svc.cfg.Objects != nil && s.svc.cfg.Objects.Metrics != nil {
+		_ = s.svc.cfg.Objects.Metrics.WriteText(w, "gc_objectstore")
+	}
 }
 
 // handleMetricsFleet writes the federated fleet view: every tracked

@@ -571,12 +571,14 @@ func (s *Service) prepareResult(body []byte, tc *trace.Context) (protocol.Result
 		return res, nil, fmt.Errorf("non-terminal result state %q for task %s", res.State, res.TaskID)
 	}
 	// Spill oversized outputs to the object store before recording.
-	if len(res.Output) > s.cfg.InlineThreshold {
+	if len(res.Output) > s.cfg.InlineThreshold && res.OutputRef == "" {
 		key, err := s.cfg.Objects.PutContent(res.Output)
 		if err != nil {
 			sp.EndStatus("error")
 			return res, nil, err
 		}
+		s.Metrics.Counter("spill_results").Inc()
+		s.Metrics.Counter("spill_result_bytes").Add(int64(len(res.Output)))
 		res.OutputRef = key
 		res.Output = nil
 	}
@@ -741,6 +743,8 @@ func (s *Service) submitAdmitted(tok auth.Token, reqs []SubmitRequest, opts Subm
 			if err != nil {
 				return nil, 0, fmt.Errorf("task %d: %w", i, err)
 			}
+			s.Metrics.Counter("spill_payloads").Inc()
+			s.Metrics.Counter("spill_payload_bytes").Add(int64(len(task.Payload)))
 			task.PayloadRef = key
 			task.Payload = nil
 		}
