@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos crash overload overload-race obs-smoke examples experiments fuzz fuzz-codec clean
+.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos crash overload overload-race obs-smoke route-smoke examples experiments fuzz fuzz-codec clean
 
-all: build vet test trace-race chaos crash overload obs-smoke fuzz-codec bench-smoke bench-compare
+all: build vet test trace-race chaos crash overload obs-smoke route-smoke fuzz-codec bench-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -32,7 +32,8 @@ chaos:
 	$(GO) test -race ./internal/chaos/
 	$(GO) test -race -run 'TestChaos|TestReconnecting|TestWatchdog|TestHeartbeats|TestLease|TestPoison|TestWorkerCrash|TestDo' \
 		./internal/core/ ./internal/broker/ \
-		./internal/webservice/ ./internal/engine/ ./internal/sdk/
+		./internal/webservice/ ./internal/engine/ ./internal/sdk/ \
+		./internal/experiments/
 
 # Crash-recovery suite: builds the real gc-webservice binary, runs it with
 # -data-dir, SIGKILLs it 3 times in the middle of a task storm, and asserts
@@ -73,17 +74,26 @@ trace-bench:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Fast saturation run recording the current task-path numbers (now with the
-# codec-bin/codec-json arms and the dedup fan-out byte accounting) into
-# BENCH_pr8.json — see docs/PERFORMANCE.md for how to read it.
-bench-smoke:
-	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -json BENCH_pr8.json
+# Routing placement smoke: 1000 simulated endpoints (2% of them 10x slower)
+# under the race detector, routed by random vs power-of-two-choices at the
+# same offered load. Asserts p2c holds p99 task latency to <= 0.5x random's
+# without losing throughput (see docs/PERFORMANCE.md "Load-aware placement").
+# Gated on GC_ROUTE so plain `go test ./...` stays fast.
+route-smoke:
+	GC_ROUTE=1 $(GO) test -race -count=1 -timeout 600s -v -run TestRouteSmoke ./internal/experiments/
 
-# Regression gate: diff the fresh run against the recorded PR-7 baseline and
+# Fast saturation run recording the current task-path numbers (now with the
+# route-random/route-p2c placement arms over a 10k-endpoint simulated fleet)
+# into BENCH_pr9.json — see docs/PERFORMANCE.md for how to read it.
+bench-smoke:
+	$(GO) run ./cmd/gc-bench -exp saturation -n 3000 -fleet 10000 -json BENCH_pr9.json
+
+# Regression gate: diff the fresh run against the recorded PR-8 baseline and
 # fail on a >10% tasks/s drop (or p50/p99 rise) in any arm present in both,
-# or a >10% drop in the codec-speedup / dedup-reduction headline ratios.
+# a >10% drop in the codec-speedup / dedup-reduction headline ratios, or a
+# route-p2c p99 improvement below its 2x floor.
 bench-compare:
-	$(GO) run ./cmd/gc-bench -compare BENCH_pr7.json,BENCH_pr8.json
+	$(GO) run ./cmd/gc-bench -compare BENCH_pr8.json,BENCH_pr9.json
 
 examples:
 	$(GO) run ./examples/quickstart

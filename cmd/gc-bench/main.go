@@ -35,6 +35,7 @@ func main() {
 		full    = flag.Bool("full", false, "print full per-day series for fig2")
 		csvDir  = flag.String("csv", "", "also write each report's rows to <dir>/<id>.csv")
 		jsonOut = flag.String("json", "", "write the saturation experiment's structured result to this file")
+		fleetN  = flag.Int("fleet", 10000, "simulated endpoint count for the saturation route arms")
 		compare = flag.String("compare", "", "old.json,new.json: diff two saturation results and fail on >10% regression in shared arms")
 	)
 	flag.Parse()
@@ -104,7 +105,7 @@ func main() {
 			return experiments.Fairshare(12)
 		}},
 		{"saturation", "broker saturation: wire batching vs per-task round trips (PR 3)", func() (experiments.Report, error) {
-			rep, data, err := experiments.Saturation(*n)
+			rep, data, err := experiments.Saturation(*n, *fleetN)
 			satResult = data
 			return rep, err
 		}},

@@ -86,7 +86,7 @@ func render(w io.Writer, rep fleetReport, prevRes map[string]int64, since time.D
 	fmt.Fprintf(w, "\n%s  fleet: %d endpoints, %d online\n",
 		rep.Fleet.Time.Format("15:04:05"), rep.Fleet.EndpointsTotal, rep.Fleet.EndpointsOnline)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "ENDPOINT\tSTATE\tWORKERS\tUTIL\tPENDING\tBACKLOG\tTASKS/S\tP99\tFAIL%\tALERTS")
+	fmt.Fprintln(tw, "ENDPOINT\tSTATE\tWORKERS\tUTIL\tPENDING\tBACKLOG\tROUTED\tRT%\tTASKS/S\tP99\tFAIL%\tALERTS")
 	eps := append([]obs.EndpointHealth(nil), rep.Fleet.Endpoints...)
 	sort.Slice(eps, func(i, j int) bool { return eps[i].EndpointID < eps[j].EndpointID })
 	for _, ep := range eps {
@@ -105,13 +105,21 @@ func render(w io.Writer, rep fleetReport, prevRes map[string]int64, since time.D
 		if prev, ok := prevRes[ep.EndpointID]; ok && since > 0 && ep.ResultsPublished >= prev {
 			rate = fmt.Sprintf("%.1f", float64(ep.ResultsPublished-prev)/since.Seconds())
 		}
+		// Routing-group placement columns: how many submissions the placement
+		// layer resolved onto this endpoint, and its share of the fleet's
+		// routed total. "-" for endpoints no policy has ever picked.
+		routed, share := "-", "-"
+		if ep.Routed > 0 {
+			routed = fmt.Sprintf("%d", ep.Routed)
+			share = fmt.Sprintf("%.1f", 100*ep.RoutedShare)
+		}
 		alerts := strings.Join(byEp[ep.EndpointID], " ")
 		if alerts == "" {
 			alerts = "ok"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%.0f%%\t%d\t%s\t%s\t%.3fs\t%.1f\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%.0f%%\t%d\t%s\t%s\t%s\t%s\t%.3fs\t%.1f\t%s\n",
 			ep.EndpointID, state, ep.FreeWorkers, ep.TotalWorkers,
-			100*ep.WorkerUtilization, ep.PendingTasks, backlog, rate,
+			100*ep.WorkerUtilization, ep.PendingTasks, backlog, routed, share, rate,
 			ep.P99LatencySeconds, 100*ep.FailureRatio, alerts)
 	}
 	tw.Flush()

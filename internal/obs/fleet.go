@@ -360,8 +360,14 @@ type EndpointHealth struct {
 	// EgressBacklog is nil when the agent has not reported the gauge —
 	// distinguishable from a genuine zero backlog.
 	EgressBacklog     *int64  `json:"egress_backlog,omitempty"`
-	TasksReceived     int64   `json:"tasks_received"`
-	ResultsPublished  int64   `json:"results_published"`
+	TasksReceived    int64 `json:"tasks_received"`
+	ResultsPublished int64 `json:"results_published"`
+	// Routed counts policy-driven placements onto this endpoint (submissions
+	// addressed to a routing group the placement layer resolved here);
+	// RoutedShare is this endpoint's fraction of all routed placements in the
+	// fleet — the live view of how a placement policy is spreading load.
+	Routed            int64   `json:"routed,omitempty"`
+	RoutedShare       float64 `json:"routed_share,omitempty"`
 	DeadLettered      int64   `json:"dead_lettered"`
 	Requeued          int64   `json:"requeued"`
 	DeadLetterPerMin  float64 `json:"dead_letter_per_min"`
@@ -419,6 +425,7 @@ func (f *FleetStore) Health(now time.Time) FleetHealth {
 		}
 		eh.TasksReceived = s.Counters["tasks_received"]
 		eh.ResultsPublished = s.Counters["results_published"]
+		eh.Routed = s.Counters["ws_routed"]
 		eh.DeadLettered = counterAny(s, "dead_lettered", "engine_deadlettered_tasks")
 		eh.Requeued = counterAny(s, "engine_requeued")
 		if d, span, ok := f.CounterDelta(id, "dead_lettered", f.cfg.HealthWindow, now); ok && span > 0 {
@@ -438,6 +445,15 @@ func (f *FleetStore) Health(now time.Time) FleetHealth {
 		h.EndpointsTotal++
 		if eh.Online {
 			h.EndpointsOnline++
+		}
+	}
+	var routedTotal int64
+	for i := range h.Endpoints {
+		routedTotal += h.Endpoints[i].Routed
+	}
+	if routedTotal > 0 {
+		for i := range h.Endpoints {
+			h.Endpoints[i].RoutedShare = float64(h.Endpoints[i].Routed) / float64(routedTotal)
 		}
 	}
 	return h

@@ -156,7 +156,14 @@ type Task struct {
 	UserIdentity string `json:"user_identity,omitempty"`
 	// GroupID ties the task to the submitting executor's task group so
 	// results can be streamed back over the group result queue.
-	GroupID   UUID      `json:"group_id,omitempty"`
+	GroupID UUID `json:"group_id,omitempty"`
+	// RoutingGroup records the routing-group UUID the task was submitted
+	// through when placement (rather than the client) chose EndpointID;
+	// empty for direct submits.
+	RoutingGroup UUID `json:"routing_group,omitempty"`
+	// Rerouted counts placement retries before EndpointID accepted the task
+	// (first-choice members that were shedding when picked).
+	Rerouted  int       `json:"rerouted,omitempty"`
 	Submitted time.Time `json:"submitted"`
 	// Attempts counts delivery/execution attempts consumed so far. It rides
 	// on the task across requeues (engine interchange, broker redelivery of

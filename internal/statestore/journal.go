@@ -35,6 +35,7 @@ const (
 	OpPurgeBefore       MutationOp = "purge_before"
 	OpPutIdempotency    MutationOp = "put_idempotency"
 	OpPurgeIdempotency  MutationOp = "purge_idempotency"
+	OpPutRoutingGroup   MutationOp = "put_routing_group"
 )
 
 // Mutation is one journaled operation. Only the fields relevant to Op are
@@ -54,8 +55,9 @@ type Mutation struct {
 	State       protocol.TaskState `json:"state,omitempty"`
 	Result      *protocol.Result   `json:"result,omitempty"`
 	Results     []protocol.Result  `json:"results,omitempty"`
-	Cutoff      time.Time          `json:"cutoff,omitempty"`
-	Idempotency *IdempotencyRecord `json:"idempotency,omitempty"`
+	Cutoff       time.Time           `json:"cutoff,omitempty"`
+	Idempotency  *IdempotencyRecord  `json:"idempotency,omitempty"`
+	RoutingGroup *RoutingGroupRecord `json:"routing_group,omitempty"`
 }
 
 // Journal is the write-ahead hook. LogMutation must make m durable before
@@ -153,6 +155,11 @@ func (s *Store) ApplyMutation(m Mutation) error {
 	case OpPurgeIdempotency:
 		s.PurgeIdempotencyBefore(m.Cutoff)
 		return nil
+	case OpPutRoutingGroup:
+		if m.RoutingGroup == nil {
+			return fmt.Errorf("statestore: replay %s: missing routing group", m.Op)
+		}
+		return s.PutRoutingGroup(*m.RoutingGroup)
 	default:
 		return fmt.Errorf("statestore: replay: unknown op %q", m.Op)
 	}

@@ -69,8 +69,21 @@ type EndpointRecord struct {
 	AllowedFunctions []protocol.UUID `json:"allowed_functions,omitempty"`
 	// AuthPolicy names a Globus-Auth-style policy checked at submit time.
 	AuthPolicy string `json:"auth_policy,omitempty"`
-	// Load is the agent's most recent self-reported status.
-	Load *EndpointLoad `json:"load,omitempty"`
+	// Load is the agent's most recent self-reported status; LoadAt stamps
+	// when it arrived. A dead endpoint's last report would otherwise read
+	// as current forever — placement and the backlog-shed path treat
+	// reports older than three heartbeat intervals as unknown.
+	Load   *EndpointLoad `json:"load,omitempty"`
+	LoadAt time.Time     `json:"load_at,omitempty"`
+}
+
+// LoadAge returns how old the endpoint's load report is, or -1 when it has
+// never reported load.
+func (r EndpointRecord) LoadAge(now time.Time) time.Duration {
+	if r.Load == nil || r.LoadAt.IsZero() {
+		return -1
+	}
+	return now.Sub(r.LoadAt)
 }
 
 // EndpointLoad is the agent-reported utilization carried in heartbeats.
@@ -105,10 +118,14 @@ type TaskRecord struct {
 // modulo compiles to a mask.
 const taskShards = 16
 
-// taskShard is one slice of the task table.
+// taskShard is one slice of the task table. counts tallies the shard's
+// tasks per state incrementally, so state counts never require a table
+// scan — pollers (benchmark drains, gc-top) read them at fixed cost no
+// matter how many tasks the table holds.
 type taskShard struct {
-	mu sync.RWMutex
-	m  map[protocol.UUID]*TaskRecord
+	mu     sync.RWMutex
+	m      map[protocol.UUID]*TaskRecord
+	counts map[protocol.TaskState]int
 }
 
 // idxShard is one slice of the endpoint → task-IDs secondary index
@@ -133,6 +150,9 @@ type Store struct {
 	// idempotency.go).
 	idem idemTable
 
+	// groups is the routing-group table (see routinggroup.go).
+	groups groupTable
+
 	// jrnl, when set, receives every mutation before it is applied (see
 	// journal.go). Attached once at startup, after recovery replay.
 	jrnl Journal
@@ -149,11 +169,13 @@ func New() *Store {
 	}
 	for i := range s.tasks {
 		s.tasks[i].m = make(map[protocol.UUID]*TaskRecord)
+		s.tasks[i].counts = make(map[protocol.TaskState]int)
 	}
 	for i := range s.byEp {
 		s.byEp[i].m = make(map[protocol.UUID][]protocol.UUID)
 	}
 	s.idem.init()
+	s.groups.init()
 	return s
 }
 
@@ -273,7 +295,9 @@ func (s *Store) SetEndpointStatus(id protocol.UUID, status EndpointStatus) error
 	return nil
 }
 
-// SetEndpointLoad records an agent's self-reported load.
+// SetEndpointLoad records an agent's self-reported load, stamped with the
+// store clock so readers can tell a live report from a dead endpoint's last
+// words.
 func (s *Store) SetEndpointLoad(id protocol.UUID, load EndpointLoad) error {
 	s.epMu.Lock()
 	defer s.epMu.Unlock()
@@ -282,7 +306,52 @@ func (s *Store) SetEndpointLoad(id protocol.UUID, load EndpointLoad) error {
 		return fmt.Errorf("%w: endpoint %s", ErrNotFound, id)
 	}
 	rec.Load = &load
+	rec.LoadAt = s.now()
 	return nil
+}
+
+// SetEndpointHeartbeat records one heartbeat — liveness plus (optionally) the
+// agent's load report — under a single lock acquisition. At fleet scale the
+// heartbeat stream is the endpoint table's hottest writer; taking the lock
+// once per report instead of once per field keeps a 10k-endpoint fleet's
+// heartbeats from starving the submit path's reads.
+func (s *Store) SetEndpointHeartbeat(id protocol.UUID, status EndpointStatus, load *EndpointLoad) error {
+	done, err := s.logMutation(Mutation{Op: OpSetEndpointStatus, EndpointID: id, Status: status})
+	if err != nil {
+		return err
+	}
+	if done != nil {
+		defer done()
+	}
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	rec, ok := s.endpoints[id]
+	if !ok {
+		return fmt.Errorf("%w: endpoint %s", ErrNotFound, id)
+	}
+	rec.Status = status
+	rec.LastHeartbeat = s.now()
+	if load != nil {
+		l := *load
+		rec.Load = &l
+		rec.LoadAt = s.now()
+	}
+	return nil
+}
+
+// GetEndpoints fetches a batch of endpoint records under one read lock, in
+// input order; missing IDs are skipped. The routing hot path snapshots a
+// group's members through this instead of N GetEndpoint round trips.
+func (s *Store) GetEndpoints(ids []protocol.UUID) []EndpointRecord {
+	out := make([]EndpointRecord, 0, len(ids))
+	s.epMu.RLock()
+	defer s.epMu.RUnlock()
+	for _, id := range ids {
+		if rec, ok := s.endpoints[id]; ok {
+			out = append(out, *rec)
+		}
+	}
+	return out
 }
 
 // EndpointFilter selects endpoints in ListEndpoints.
@@ -366,6 +435,7 @@ func (s *Store) CreateTask(task protocol.Task) error {
 	}
 	now := s.now()
 	sh.m[task.ID] = &TaskRecord{Task: task, State: protocol.StateReceived, Created: now, Updated: now}
+	sh.counts[protocol.StateReceived]++
 	sh.mu.Unlock()
 	s.indexTask(task.EndpointID, task.ID)
 	return nil
@@ -414,6 +484,7 @@ func (s *Store) CreateTasks(tasks []protocol.Task) error {
 				continue
 			}
 			sh.m[t.ID] = &TaskRecord{Task: t, State: protocol.StateReceived, Created: now, Updated: now}
+			sh.counts[protocol.StateReceived]++
 			created[i] = true
 		}
 		sh.mu.Unlock()
@@ -540,6 +611,8 @@ func (s *Store) transitionLocked(sh *taskShard, id protocol.UUID, state protocol
 	if !legalNext[rec.State][state] {
 		return fmt.Errorf("%w: %s -> %s (task %s)", ErrIllegalTransition, rec.State, state, id)
 	}
+	sh.counts[rec.State]--
+	sh.counts[state]++
 	rec.State = state
 	rec.Updated = s.now()
 	if state.Terminal() {
@@ -629,14 +702,20 @@ func (s *Store) ListTasksByEndpoint(ep protocol.UUID) []protocol.UUID {
 	return append([]protocol.UUID(nil), ids...)
 }
 
-// CountTasksByState tallies tasks per state.
+// CountTasksByState tallies tasks per state from the shards' incremental
+// counters — fixed cost regardless of table size, so drain loops and
+// dashboards can poll it without scanning (a 5ms poll over a large table
+// used to dominate whole benchmark runs and starve the submit path of the
+// shard locks).
 func (s *Store) CountTasksByState() map[protocol.TaskState]int {
 	out := make(map[protocol.TaskState]int)
 	for si := range s.tasks {
 		sh := &s.tasks[si]
 		sh.mu.RLock()
-		for _, rec := range sh.m {
-			out[rec.State]++
+		for st, n := range sh.counts {
+			if n != 0 {
+				out[st] += n
+			}
 		}
 		sh.mu.RUnlock()
 	}
@@ -673,6 +752,7 @@ func (s *Store) PurgeTasksBefore(cutoff time.Time) int {
 		for id, rec := range sh.m {
 			if rec.State.Terminal() && !rec.Completed.IsZero() && rec.Completed.Before(cutoff) {
 				delete(sh.m, id)
+				sh.counts[rec.State]--
 				purged++
 				s.unindexTask(rec.Task.EndpointID, id)
 			}
@@ -701,8 +781,9 @@ func (s *Store) unindexTask(ep, id protocol.UUID) {
 type snapshot struct {
 	Functions   []FunctionRecord    `json:"functions"`
 	Endpoints   []EndpointRecord    `json:"endpoints"`
-	Tasks       []TaskRecord        `json:"tasks"`
-	Idempotency []IdempotencyRecord `json:"idempotency,omitempty"`
+	Tasks         []TaskRecord         `json:"tasks"`
+	Idempotency   []IdempotencyRecord  `json:"idempotency,omitempty"`
+	RoutingGroups []RoutingGroupRecord `json:"routing_groups,omitempty"`
 }
 
 // Snapshot serializes the store to JSON. Each table (and task shard) is
@@ -734,6 +815,11 @@ func (s *Store) Snapshot() ([]byte, error) {
 		snap.Idempotency = append(snap.Idempotency, *rec)
 	}
 	s.idem.mu.RUnlock()
+	s.groups.mu.RLock()
+	for _, rec := range s.groups.m {
+		snap.RoutingGroups = append(snap.RoutingGroups, *rec)
+	}
+	s.groups.mu.RUnlock()
 	return json.Marshal(snap)
 }
 
@@ -811,6 +897,7 @@ func (s *Store) Restore(data []byte) error {
 		sh := &s.tasks[si]
 		sh.mu.Lock()
 		sh.m = make(map[protocol.UUID]*TaskRecord)
+		sh.counts = make(map[protocol.TaskState]int)
 		sh.mu.Unlock()
 	}
 	for si := range s.byEp {
@@ -824,6 +911,7 @@ func (s *Store) Restore(data []byte) error {
 		sh := s.taskShard(t.Task.ID)
 		sh.mu.Lock()
 		sh.m[t.Task.ID] = &t
+		sh.counts[t.State]++
 		sh.mu.Unlock()
 		s.indexTask(t.Task.EndpointID, t.Task.ID)
 	}
@@ -834,5 +922,12 @@ func (s *Store) Restore(data []byte) error {
 		s.idem.m[idemKey(rec.Owner, rec.Key)] = &rec
 	}
 	s.idem.mu.Unlock()
+	s.groups.mu.Lock()
+	s.groups.m = make(map[protocol.UUID]*RoutingGroupRecord, len(snap.RoutingGroups))
+	for i := range snap.RoutingGroups {
+		rec := snap.RoutingGroups[i]
+		s.groups.m[rec.ID] = &rec
+	}
+	s.groups.mu.Unlock()
 	return nil
 }

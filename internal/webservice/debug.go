@@ -120,6 +120,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := s.svc.Overload.WriteText(w, "gc"); err != nil {
 		return
 	}
+	// Placement series (gc_route_picks_total, gc_route_reroutes_total,
+	// gc_route_pick_staleness_seconds) share the bare gc prefix.
+	if err := s.svc.Routing.WriteText(w, "gc"); err != nil {
+		return
+	}
 	if s.svc.cfg.Broker != nil {
 		_ = s.svc.cfg.Broker.Metrics.WriteText(w, "gc_broker")
 	}

@@ -44,6 +44,10 @@ func ServeHTTP(svc *Service, addr, brokerAddr, objectsAddr string) (*Server, err
 	mux.HandleFunc("GET /v2/endpoints", s.auth(s.handleSearchEndpoints))
 	mux.HandleFunc("GET /v2/endpoints/{id}", s.auth(s.handleGetEndpoint))
 	mux.HandleFunc("POST /v2/endpoints/{id}/heartbeat", s.auth(s.handleHeartbeat))
+	mux.HandleFunc("POST /v2/routing_groups", s.auth(s.handleCreateRoutingGroup))
+	mux.HandleFunc("GET /v2/routing_groups", s.auth(s.handleListRoutingGroups))
+	mux.HandleFunc("GET /v2/routing_groups/{id}", s.auth(s.handleGetRoutingGroup))
+	mux.HandleFunc("PUT /v2/routing_groups/{id}", s.auth(s.handleUpdateRoutingGroup))
 	mux.HandleFunc("POST /v2/submit", s.auth(s.handleSubmit))
 	mux.HandleFunc("GET /v2/tasks/{id}", s.auth(s.handleGetTask))
 	mux.HandleFunc("POST /v2/tasks/batch_status", s.auth(s.handleBatchStatus))
@@ -233,6 +237,58 @@ func (s *Server) handleGetEndpoint(w http.ResponseWriter, r *http.Request, _ aut
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// routingGroupRequest creates or updates a routing group: submissions naming
+// the returned group UUID as their endpoint_id fan out across the members by
+// the placement policy.
+type routingGroupRequest struct {
+	Name    string          `json:"name"`
+	Policy  string          `json:"policy,omitempty"`
+	Members []protocol.UUID `json:"members"`
+}
+
+func (s *Server) handleCreateRoutingGroup(w http.ResponseWriter, r *http.Request, tok auth.Token) {
+	var req routingGroupRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := s.svc.CreateRoutingGroup(tok, req.Name, req.Policy, req.Members)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"routing_group_uuid": id})
+}
+
+func (s *Server) handleListRoutingGroups(w http.ResponseWriter, _ *http.Request, tok auth.Token) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"routing_groups": s.svc.ListRoutingGroups(tok.Identity.Username),
+	})
+}
+
+func (s *Server) handleGetRoutingGroup(w http.ResponseWriter, r *http.Request, _ auth.Token) {
+	rec, err := s.svc.GetRoutingGroup(protocol.UUID(r.PathValue("id")))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleUpdateRoutingGroup(w http.ResponseWriter, r *http.Request, tok auth.Token) {
+	var req routingGroupRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id := protocol.UUID(r.PathValue("id"))
+	if err := s.svc.UpdateRoutingGroup(tok, id, req.Policy, req.Members); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 type heartbeatRequest struct {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"globuscompute/internal/protocol"
+	"globuscompute/internal/statestore"
 )
 
 // Overload protection: the submit front door applies per-tenant admission
@@ -113,12 +114,30 @@ func (s *Service) releaseTerminal(task protocol.Task, created time.Time) {
 // watermark split. An endpoint that has never reported a backlog is never
 // shed on this signal.
 func (s *Service) checkBacklog(target protocol.UUID, interactive bool) error {
+	if s.cfg.BacklogShedThreshold <= 0 {
+		return nil
+	}
+	ep, err := s.cfg.Store.GetEndpoint(target)
+	if err != nil {
+		return nil
+	}
+	return s.checkBacklogRecord(ep, interactive)
+}
+
+// checkBacklogRecord is checkBacklog against an already-fetched record (the
+// routing path holds cached member records). A report older than the
+// staleness horizon (three heartbeat intervals) is treated as unknown, not
+// trusted: a dead endpoint's last backlog must neither shed traffic forever
+// nor, once it drains to zero in its final report, absorb it forever.
+func (s *Service) checkBacklogRecord(ep statestore.EndpointRecord, interactive bool) error {
 	threshold := s.cfg.BacklogShedThreshold
 	if threshold <= 0 {
 		return nil
 	}
-	ep, err := s.cfg.Store.GetEndpoint(target)
-	if err != nil || ep.Load == nil || ep.Load.EgressBacklog == nil {
+	if ep.Load == nil || ep.Load.EgressBacklog == nil {
+		return nil
+	}
+	if age := ep.LoadAge(time.Now()); age < 0 || age >= s.staleAfter() {
 		return nil
 	}
 	limit := threshold
@@ -129,6 +148,7 @@ func (s *Service) checkBacklog(target protocol.UUID, interactive bool) error {
 	if backlog < limit {
 		return nil
 	}
+	target := ep.ID
 	s.Overload.Counter("backlog_shed").Inc()
 	s.Overload.Counter("shed").Inc()
 	s.shedLocal(target)

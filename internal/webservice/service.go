@@ -23,6 +23,7 @@ import (
 	"globuscompute/internal/metrics"
 	"globuscompute/internal/objectstore"
 	"globuscompute/internal/obs"
+	"globuscompute/internal/placement"
 	"globuscompute/internal/protocol"
 	"globuscompute/internal/scheduler"
 	"globuscompute/internal/serialize"
@@ -97,6 +98,25 @@ type Config struct {
 	// endpoint whose heartbeat-reported egress backlog meets the threshold
 	// (interactive submissions tolerate twice it). Zero disables the signal.
 	BacklogShedThreshold int
+	// HeartbeatInterval is the fleet's expected agent heartbeat cadence
+	// (default 1s). It sizes the load-report staleness horizon: placement
+	// and the backlog-shed path treat reports older than three intervals as
+	// unknown rather than trusting a dead endpoint's last words.
+	HeartbeatInterval time.Duration
+	// RoutePolicy is the default placement policy for routing groups and
+	// multi-user warm-candidate selection ("random", "round-robin",
+	// "least-backlog", "p2c"; default "p2c"). Groups may override it per
+	// record.
+	RoutePolicy string
+	// RouteSeed fixes placement randomness (benchmarks and tests; 0 uses a
+	// policy-derived seed).
+	RouteSeed int64
+	// UserEndpointReplicas is how many user endpoints one (identity, config
+	// hash) pair scales out to behind a multi-user endpoint (default 1, the
+	// original single-child behavior). With N > 1 the first N submissions
+	// each spawn a replica and later ones pick among the warm replicas via
+	// the placement policy.
+	UserEndpointReplicas int
 }
 
 // Service is the web service core, independent of its HTTP front end.
@@ -124,6 +144,17 @@ type Service struct {
 	// /metrics/fleet and /debug/fleet endpoints.
 	Fleet *obs.FleetStore
 	SLO   *obs.SLOEngine
+
+	// Routing is the placement registry (route_picks*, route_reroutes,
+	// route_pick_staleness), exported on /metrics under the bare gc prefix
+	// like the overload series.
+	Routing *metrics.Registry
+	// routeMu guards routeGroups, the per-routing-group selector +
+	// candidate-snapshot cache (see routing.go).
+	routeMu     sync.Mutex
+	routeGroups map[protocol.UUID]*groupRoute
+	// mepSel picks among warm user-endpoint replicas behind a MEP.
+	mepSel *placement.Selector
 }
 
 // New builds the service, filling config defaults.
@@ -147,6 +178,12 @@ func New(cfg Config) (*Service, error) {
 	if fleet == nil {
 		fleet = obs.NewFleetStore(obs.FleetConfig{})
 	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.RoutePolicy == "" {
+		cfg.RoutePolicy = string(placement.PolicyP2C)
+	}
 	s := &Service{
 		cfg:             cfg,
 		resultConsumers: make(map[protocol.UUID]*broker.Consumer),
@@ -154,8 +191,14 @@ func New(cfg Config) (*Service, error) {
 		log:             cfg.Log,
 		Metrics:         metrics.NewRegistry(),
 		Overload:        metrics.NewRegistry(),
+		Routing:         metrics.NewRegistry(),
 		Fleet:           fleet,
 		SLO:             obs.NewSLOEngine(fleet, cfg.SLORules),
+		routeGroups:     make(map[protocol.UUID]*groupRoute),
+	}
+	var err error
+	if s.mepSel, err = s.newSelector(cfg.RoutePolicy); err != nil {
+		return nil, err
 	}
 	// Alert counts surface on /metrics alongside the service counters.
 	s.SLO.SetRegistry(s.Metrics)
@@ -168,13 +211,12 @@ func New(cfg Config) (*Service, error) {
 // marks the endpoint cleanly stopped so staleness alerting stands down (a
 // crashed agent never sends one — that silence is what fires the SLO).
 func (s *Service) RecordHeartbeat(id protocol.UUID, online bool, load *statestore.EndpointLoad, snap *metrics.Snapshot) error {
-	if err := s.SetEndpointStatus(id, online); err != nil {
-		return err
+	status := statestore.EndpointOffline
+	if online {
+		status = statestore.EndpointOnline
 	}
-	if load != nil {
-		if err := s.cfg.Store.SetEndpointLoad(id, *load); err != nil {
-			return err
-		}
+	if err := s.cfg.Store.SetEndpointHeartbeat(id, status, load); err != nil {
+		return err
 	}
 	now := time.Now()
 	if snap != nil && snap.Len() > 0 {
@@ -699,6 +741,17 @@ func (s *Service) submitAdmitted(tok auth.Token, reqs []SubmitRequest, opts Subm
 			return nil, 0, fmt.Errorf("task %d: %w", i, err)
 		}
 		ep, err := s.cfg.Store.GetEndpoint(req.EndpointID)
+		// A routing group's UUID stands in for an endpoint: each task of the
+		// batch is placed on a member by the group's policy (so one batch
+		// fans out), with backlog sheds already applied per pick.
+		var routingGroup protocol.UUID
+		rerouted := 0
+		if err != nil {
+			if gep, grr, gerr := s.routePick(req.EndpointID, opts.Interactive); !errors.Is(gerr, statestore.ErrNotFound) {
+				ep, rerouted, err = gep, grr, gerr
+				routingGroup = req.EndpointID
+			}
+		}
 		if err != nil {
 			return nil, 0, fmt.Errorf("task %d: %w", i, err)
 		}
@@ -723,8 +776,12 @@ func (s *Service) submitAdmitted(tok auth.Token, reqs []SubmitRequest, opts Subm
 			target = child
 		}
 		s.observeSubmitAttempt(target, 1)
-		if err := s.checkBacklog(target, opts.Interactive); err != nil {
-			return nil, 0, fmt.Errorf("task %d: %w", i, err)
+		if routingGroup == "" {
+			// Group picks already ran the backlog check (with reroutes)
+			// inside routePick.
+			if err := s.checkBacklog(target, opts.Interactive); err != nil {
+				return nil, 0, fmt.Errorf("task %d: %w", i, err)
+			}
 		}
 
 		task := protocol.Task{
@@ -736,6 +793,8 @@ func (s *Service) submitAdmitted(tok auth.Token, reqs []SubmitRequest, opts Subm
 			Resources:    req.Resources,
 			UserIdentity: tok.Identity.Username,
 			GroupID:      req.GroupID,
+			RoutingGroup: routingGroup,
+			Rerouted:     rerouted,
 			Submitted:    time.Now(),
 		}
 		if len(task.Payload) > s.cfg.InlineThreshold {
@@ -853,7 +912,10 @@ func (s *Service) submitAdmitted(tok auth.Token, reqs []SubmitRequest, opts Subm
 
 // resolveUserEndpoint maps (MEP, identity, config hash) to a user endpoint,
 // creating the child record and issuing a start command on first use —
-// the Fig. 1 flow.
+// the Fig. 1 flow. With UserEndpointReplicas > 1 the pair scales out to N
+// children, and repeat submissions pick among the warm (online) replicas
+// through the placement policy instead of always landing on the first
+// config-hash match.
 func (s *Service) resolveUserEndpoint(tok auth.Token, mep statestore.EndpointRecord, userConfig json.RawMessage) (protocol.UUID, error) {
 	if len(userConfig) == 0 {
 		return "", ErrNeedsUserConfig
@@ -862,14 +924,22 @@ func (s *Service) resolveUserEndpoint(tok auth.Token, mep statestore.EndpointRec
 	if err != nil {
 		return "", err
 	}
-	// Reuse an existing child with the same owner and config hash.
+	replicas := s.cfg.UserEndpointReplicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	// Reuse existing children with the same owner and config hash.
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var matches []statestore.EndpointRecord
 	for _, child := range s.cfg.Store.ListEndpoints(statestore.EndpointFilter{Parent: mep.ID, Owner: tok.Identity.Username}) {
 		if child.Metadata["config_hash"] == hash {
-			s.Metrics.Counter("uep_reused").Inc()
-			return child.ID, nil
+			matches = append(matches, child)
 		}
+	}
+	if len(matches) >= replicas {
+		s.Metrics.Counter("uep_reused").Inc()
+		return s.pickUserEndpoint(matches), nil
 	}
 	childID := protocol.NewUUID()
 	rec := statestore.EndpointRecord{
@@ -907,6 +977,25 @@ func (s *Service) resolveUserEndpoint(tok auth.Token, mep statestore.EndpointRec
 	s.audit(tok.Identity.Username, "start_user_endpoint", childID, nil, "mep="+string(mep.ID)+" hash="+hash)
 	s.Metrics.Counter("uep_spawn_requested").Inc()
 	return childID, nil
+}
+
+// pickUserEndpoint chooses among a user's config-matching children by the
+// placement policy. An offline child is only chosen when no replica is warm
+// (the task then buffers until its agent comes up — the pre-replica
+// behavior).
+func (s *Service) pickUserEndpoint(matches []statestore.EndpointRecord) protocol.UUID {
+	if len(matches) == 1 {
+		return matches[0].ID
+	}
+	cands := make([]placement.Candidate, len(matches))
+	for i, child := range matches {
+		cands[i] = candidateFor(child)
+	}
+	c, err := s.mepSel.Pick(cands, time.Now())
+	if err != nil {
+		return matches[0].ID
+	}
+	return c.ID
 }
 
 // startResultProcessorLocked is startResultProcessor for callers already
