@@ -46,6 +46,19 @@ func (s *Store) PutRoutingGroup(rec RoutingGroupRecord) error {
 		return fmt.Errorf("statestore: routing group %s has no members", rec.ID)
 	}
 	rec.Members = append([]protocol.UUID(nil), rec.Members...)
+	// Resolve Created before journaling so the WAL carries the same record
+	// the table keeps: a replay after crash must not re-stamp the group's
+	// creation time with the replay-time clock.
+	if rec.Created.IsZero() {
+		s.groups.mu.RLock()
+		old, ok := s.groups.m[rec.ID]
+		s.groups.mu.RUnlock()
+		if ok {
+			rec.Created = old.Created
+		} else {
+			rec.Created = s.now()
+		}
+	}
 	done, err := s.logMutation(Mutation{Op: OpPutRoutingGroup, RoutingGroup: &rec})
 	if err != nil {
 		return err
@@ -55,13 +68,6 @@ func (s *Store) PutRoutingGroup(rec RoutingGroupRecord) error {
 	}
 	s.groups.mu.Lock()
 	defer s.groups.mu.Unlock()
-	if rec.Created.IsZero() {
-		if old, ok := s.groups.m[rec.ID]; ok {
-			rec.Created = old.Created
-		} else {
-			rec.Created = s.now()
-		}
-	}
 	s.groups.m[rec.ID] = &rec
 	return nil
 }

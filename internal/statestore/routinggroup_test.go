@@ -119,6 +119,46 @@ func TestRoutingGroupJournalReplay(t *testing.T) {
 	}
 }
 
+// TestRoutingGroupJournalStampsCreated covers the create path (no Created on
+// the incoming record): the journaled mutation must already carry the stamped
+// Created, so a replay at a later clock reproduces the original creation
+// time instead of re-stamping it.
+func TestRoutingGroupJournalStampsCreated(t *testing.T) {
+	s := New()
+	j := &journalRecorder{}
+	s.SetJournal(j)
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	s.SetClock(func() time.Time { return t0 })
+	g := RoutingGroupRecord{
+		ID: protocol.NewUUID(), Name: "fleet", Owner: "alice",
+		Members: []protocol.UUID{protocol.NewUUID()},
+	}
+	if err := s.PutRoutingGroup(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(j.muts) != 1 || j.muts[0].RoutingGroup == nil {
+		t.Fatalf("journaled %+v", j.muts)
+	}
+	if !j.muts[0].RoutingGroup.Created.Equal(t0) {
+		t.Fatalf("journaled Created = %v, want %v (stamped before logging)",
+			j.muts[0].RoutingGroup.Created, t0)
+	}
+	s2 := New()
+	s2.SetClock(func() time.Time { return t0.Add(time.Hour) })
+	for _, m := range j.muts {
+		if err := s2.ApplyMutation(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s2.GetRoutingGroup(g.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Created.Equal(t0) {
+		t.Fatalf("replayed Created = %v, want %v", got.Created, t0)
+	}
+}
+
 func TestSetEndpointLoadStampsLoadAt(t *testing.T) {
 	s := New()
 	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)

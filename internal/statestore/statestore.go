@@ -403,7 +403,12 @@ var legalNext = map[protocol.TaskState]map[protocol.TaskState]bool{
 	},
 	protocol.StateWaiting: {
 		protocol.StateDelivered: true, protocol.StateCancelled: true,
-		protocol.StateFailed: true,
+		// Success/failure may land while the record still reads waiting: the
+		// submitter publishes to the broker and only then acks Delivered, so
+		// a fast agent's result can outrun the ack. The result is
+		// authoritative — rejecting it here would drop it and strand the
+		// task non-terminal forever.
+		protocol.StateFailed: true, protocol.StateSuccess: true,
 	},
 	protocol.StateDelivered: {
 		protocol.StateRunning: true, protocol.StateSuccess: true,

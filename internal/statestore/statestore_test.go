@@ -147,6 +147,32 @@ func TestTaskHappyPath(t *testing.T) {
 	}
 }
 
+// TestResultOutrunsDeliveryAck covers the submit-path race: the submitter
+// publishes to the broker before acking Delivered, so a fast agent's result
+// can arrive while the record still reads waiting. The result must record
+// (waiting -> success is legal), and the late Delivered ack must bounce off
+// the terminal state instead of disturbing it.
+func TestResultOutrunsDeliveryAck(t *testing.T) {
+	s := New()
+	task := newTask(protocol.NewUUID())
+	if err := s.CreateTask(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TransitionTask(task.ID, protocol.StateWaiting); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CompleteTask(protocol.Result{TaskID: task.ID, State: protocol.StateSuccess, Output: []byte("42")}); err != nil {
+		t.Fatalf("result while waiting = %v, want recorded", err)
+	}
+	if err := s.TransitionTask(task.ID, protocol.StateDelivered); !errors.Is(err, ErrIllegalTransition) {
+		t.Fatalf("late delivery ack = %v, want ErrIllegalTransition", err)
+	}
+	rec, _ := s.GetTask(task.ID)
+	if rec.State != protocol.StateSuccess || string(rec.Result) != "42" {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
 func TestTaskIllegalTransitions(t *testing.T) {
 	s := New()
 	task := newTask(protocol.NewUUID())

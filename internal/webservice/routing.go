@@ -55,8 +55,10 @@ type groupRoute struct {
 	policy  string
 	members []protocol.UUID
 
-	// Guarded by Service.routeMu (refreshes are cheap bulk reads; the
-	// selector has its own lock for the pick itself).
+	// Reference swaps are guarded by Service.routeMu; the slice and map
+	// themselves are immutable once published (refreshes build fresh ones),
+	// so routePick may keep reading a snapshot after dropping the lock.
+	// The selector has its own lock for the pick itself.
 	fetched time.Time
 	cands   []placement.Candidate
 	recs    map[protocol.UUID]statestore.EndpointRecord
@@ -205,15 +207,18 @@ func (s *Service) groupRouteFor(id protocol.UUID, now time.Time) (*groupRoute, e
 		s.routeGroups[id] = gr
 	}
 	if now.Sub(gr.fetched) >= s.cacheTTL() || gr.cands == nil {
+		// Build fresh snapshots and swap the references: routePick reads
+		// the previous cands/recs outside routeMu, so the maps and slices
+		// already handed out must never be mutated in place. A fresh map
+		// also drops members deleted from the store since the last refresh.
 		recs := s.cfg.Store.GetEndpoints(gr.members)
-		gr.cands = make([]placement.Candidate, 0, len(recs))
-		if gr.recs == nil {
-			gr.recs = make(map[protocol.UUID]statestore.EndpointRecord, len(recs))
-		}
+		cands := make([]placement.Candidate, 0, len(recs))
+		byID := make(map[protocol.UUID]statestore.EndpointRecord, len(recs))
 		for _, ep := range recs {
-			gr.cands = append(gr.cands, candidateFor(ep))
-			gr.recs[ep.ID] = ep
+			cands = append(cands, candidateFor(ep))
+			byID[ep.ID] = ep
 		}
+		gr.cands, gr.recs = cands, byID
 		gr.fetched = now
 	}
 	return gr, nil

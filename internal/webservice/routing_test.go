@@ -3,6 +3,7 @@ package webservice
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -280,6 +281,32 @@ func TestStaleLoadReportNotTrusted(t *testing.T) {
 	if _, err := f.svc.Submit(f.token, []SubmitRequest{{EndpointID: ep, FunctionID: fn, Payload: []byte("{}")}}); !errors.As(err, &oe) {
 		t.Fatalf("fresh over-threshold backlog returned %v, want OverloadError", err)
 	}
+}
+
+// TestRoutePickConcurrentWithRefresh hammers one group from many goroutines
+// with a cache TTL short enough that picks and snapshot refreshes overlap
+// continuously. Regression for a data race where the refresh mutated the
+// cached record map in place while routePick read it lock-free; run under
+// -race this crashed with a concurrent map read/write.
+func TestRoutePickConcurrentWithRefresh(t *testing.T) {
+	f := newRoutingFixture(t, func(c *Config) { c.HeartbeatInterval = 40 * time.Millisecond })
+	gid, _ := groupOf(t, f, 4, "p2c")
+
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(150 * time.Millisecond)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				if _, _, err := f.svc.routePick(gid, false); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestRoutingGroupSurvivesRestartViaSnapshot(t *testing.T) {

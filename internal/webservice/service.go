@@ -899,7 +899,13 @@ func (s *Service) submitAdmitted(tok auth.Token, reqs []SubmitRequest, opts Subm
 		}
 	}
 	if err := s.cfg.Store.TransitionTasks(ids, protocol.StateDelivered); err != nil {
-		return fail(err)
+		// An illegal transition here means a fast agent's result (or a
+		// cancel) beat this ack and the task already moved past Delivered —
+		// the batch's other tasks were still transitioned. The submit
+		// succeeded; don't fail it retroactively.
+		if !errors.Is(err, statestore.ErrIllegalTransition) {
+			return fail(err)
+		}
 	}
 	for _, sp := range spans {
 		sp.End()
