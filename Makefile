@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos crash overload overload-race obs-smoke route-smoke examples experiments fuzz fuzz-codec clean
+.PHONY: all build vet test race trace-race trace-bench bench bench-smoke bench-compare chaos crash overload overload-race obs-smoke route-smoke scenario scenario-full examples experiments fuzz fuzz-codec clean
 
-all: build vet test trace-race chaos crash overload obs-smoke route-smoke fuzz-codec bench-smoke bench-compare
+all: build vet test trace-race chaos crash overload obs-smoke route-smoke fuzz-codec bench-smoke bench-compare scenario
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,24 @@ bench-smoke:
 # route-p2c p99 improvement below its 2x floor.
 bench-compare:
 	$(GO) run ./cmd/gc-bench -compare BENCH_pr8.json,BENCH_pr9.json
+
+# Scenario harness: builds the real gc-webservice (with -pprof), stands up a
+# 16-endpoint simulated fleet behind a p2c routing group, and drives the
+# built-in steady + burst profiles through the loadgen/sampler/gate pipeline
+# (see docs/SCENARIOS.md). Passes only when every run-validity gate holds,
+# the burst backlog p95 recovers within its window, and burst-peak pprof
+# captures land on disk. Records both summaries in SCENARIO_pr10.json; run
+# outputs (samples.csv, summary.json, *.pb.gz) land under scenario-runs/.
+# Gated on GC_SCENARIO so plain `go test ./...` stays fast.
+scenario:
+	GC_SCENARIO=1 GC_SCENARIO_OUT=$(CURDIR)/SCENARIO_pr10.json \
+		$(GO) test -count=1 -timeout 300s -v -run TestScenarioHarness ./internal/scenario/
+
+# Long-form soak: the multi-minute steady-full + burst-full profiles
+# (repeated bursts, every recovery gated). Not part of `make all`.
+scenario-full:
+	GC_SCENARIO=1 GC_SCENARIO_FULL=1 GC_SCENARIO_OUT=$(CURDIR)/SCENARIO_full.json \
+		$(GO) test -count=1 -timeout 900s -v -run TestScenarioHarness ./internal/scenario/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -44,10 +45,14 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve GET /metrics (agent + engine registries, Prometheus text) on this address")
 		spillAt     = flag.Int("spill-threshold", 64<<10, "result bytes above which outputs spill to the object store as references (0 = always inline)")
 		dedupCache  = flag.Int64("dedup-cache", 64<<20, "bytes of fetched payloads cached for fan-out dedup (0 = no cache)")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -metrics-addr mux (off by default)")
 	)
 	flag.Parse()
 	if *token == "" {
 		log.Fatal("gc-endpoint: -token required")
+	}
+	if *pprofOn && *metricsAddr == "" {
+		log.Fatal("gc-endpoint: -pprof requires -metrics-addr (pprof serves on the metrics mux)")
 	}
 
 	client := sdk.NewClient(*service, *token)
@@ -161,6 +166,16 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			_ = agent.WriteMetrics(w)
 		})
+		if *pprofOn {
+			// Agent-side continuous-profiling hook: the scenario harness (and
+			// ad-hoc `go tool pprof`) capture CPU/heap profiles at burst peak.
+			mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+			mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+			fmt.Printf("  pprof:        http://%s/debug/pprof/\n", *metricsAddr)
+		}
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("gc-endpoint: metrics server: %v", err)

@@ -1,0 +1,92 @@
+// Command gc-loadgen drives a declarative scenario profile against a
+// running gc-webservice: paced multi-tenant submissions with burst windows,
+// a KPI sampler scraping /metrics, /metrics/fleet and /debug/fleet, and
+// pass/fail gates over the recorded series. Each run writes samples.csv +
+// summary.json (plus burst-peak pprof captures when the service runs with
+// -pprof) under -out, and exits non-zero when a gate fails.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/scenario"
+)
+
+func main() {
+	var (
+		service = flag.String("service", "127.0.0.1:8080", "web service address")
+		token   = flag.String("token", "", "bearer token (from gc-webservice output)")
+		target  = flag.String("target", "", "endpoint or routing-group UUID submissions name")
+		profile = flag.String("profile", "steady", "built-in profile name, or @path/to/profile.json")
+		out     = flag.String("out", "scenario-out", "output directory for samples.csv + summary.json")
+		list    = flag.Bool("list", false, "list built-in profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range scenario.BuiltinNames() {
+			p, _ := scenario.Builtin(name)
+			fmt.Printf("%-12s %s\n", name, p.Description)
+		}
+		return
+	}
+	if *token == "" || *target == "" {
+		log.Fatal("gc-loadgen: -token and -target required")
+	}
+
+	var p scenario.Profile
+	if strings.HasPrefix(*profile, "@") {
+		var err error
+		if p, err = scenario.LoadProfile(strings.TrimPrefix(*profile, "@")); err != nil {
+			log.Fatalf("gc-loadgen: %v", err)
+		}
+	} else {
+		var ok bool
+		if p, ok = scenario.Builtin(*profile); !ok {
+			log.Fatalf("gc-loadgen: unknown profile %q (builtins: %s; or @file.json)",
+				*profile, strings.Join(scenario.BuiltinNames(), ", "))
+		}
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	res, err := scenario.Run(ctx, scenario.RunConfig{
+		Service: *service, Token: *token, Target: protocol.UUID(*target),
+		Profile: p, OutDir: *out, Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("gc-loadgen: %v", err)
+	}
+
+	s := res.Summary
+	fmt.Printf("\nprofile %s: %d samples over %.1fs\n", s.Profile, s.Samples, s.DurationSec)
+	fmt.Printf("  tasks: submitted=%d accepted=%d shed=%d errors=%d succeeded=%d failed=%d (completeness %.4f)\n",
+		s.Totals.Submitted, s.Totals.Accepted, s.Totals.Shed, s.Totals.Errors,
+		s.Totals.Succeeded, s.Totals.Failed, s.Completeness)
+	fmt.Printf("  backlog: steady p50/p95 %.0f/%.0f, burst p95 %.0f, max %.0f\n",
+		s.SteadyBacklogP50, s.SteadyBacklogP95, s.BurstBacklogP95, s.BacklogMax)
+	fmt.Printf("  client:  submit p50/p95 %.1f/%.1f ms, rtt p50/p95/p99 %.1f/%.1f/%.1f ms, %.0f tasks/s\n",
+		s.SubmitP50MS, s.SubmitP95MS, s.RTTP50MS, s.RTTP95MS, s.RTTP99MS, s.ThroughputPerSec)
+	for _, g := range s.Gates {
+		mark := "PASS"
+		if !g.Pass {
+			mark = "FAIL"
+		}
+		fmt.Printf("  gate %-20s %s value=%.2f threshold=%.2f %s\n", g.Name, mark, g.Value, g.Threshold, g.Reason)
+	}
+	if len(s.PprofFiles) > 0 {
+		fmt.Printf("  pprof: %s (in %s)\n", strings.Join(s.PprofFiles, ", "), *out)
+	}
+	fmt.Printf("  wrote %s, %s\n", res.SamplesCSV, res.SummaryJSON)
+	if !s.Pass {
+		os.Exit(1)
+	}
+}

@@ -86,7 +86,7 @@ func render(w io.Writer, rep fleetReport, prevRes map[string]int64, since time.D
 	fmt.Fprintf(w, "\n%s  fleet: %d endpoints, %d online\n",
 		rep.Fleet.Time.Format("15:04:05"), rep.Fleet.EndpointsTotal, rep.Fleet.EndpointsOnline)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "ENDPOINT\tSTATE\tWORKERS\tUTIL\tPENDING\tBACKLOG\tROUTED\tRT%\tTASKS/S\tP99\tFAIL%\tALERTS")
+	fmt.Fprintln(tw, "ENDPOINT\tSTATE\tWORKERS\tUTIL\tPENDING\tBACKLOG\tROUTED\tRT%\tTASKS/S\tSVC/S\tP99\tFAIL%\tALERTS")
 	eps := append([]obs.EndpointHealth(nil), rep.Fleet.Endpoints...)
 	sort.Slice(eps, func(i, j int) bool { return eps[i].EndpointID < eps[j].EndpointID })
 	for _, ep := range eps {
@@ -113,14 +113,21 @@ func render(w io.Writer, rep fleetReport, prevRes map[string]int64, since time.D
 			routed = fmt.Sprintf("%d", ep.Routed)
 			share = fmt.Sprintf("%.1f", 100*ep.RoutedShare)
 		}
+		// SVC/S is the server-side service-rate EWMA (smoothed completion
+		// tasks/s from heartbeat deltas) — steadier than the poll-to-poll
+		// TASKS/S rate, and available even between gc-top polls.
+		svcRate := "-"
+		if ep.ServiceRatePerS > 0 {
+			svcRate = fmt.Sprintf("%.1f", ep.ServiceRatePerS)
+		}
 		alerts := strings.Join(byEp[ep.EndpointID], " ")
 		if alerts == "" {
 			alerts = "ok"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%.0f%%\t%d\t%s\t%s\t%s\t%s\t%.3fs\t%.1f\t%s\n",
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%.0f%%\t%d\t%s\t%s\t%s\t%s\t%s\t%.3fs\t%.1f\t%s\n",
 			ep.EndpointID, state, ep.FreeWorkers, ep.TotalWorkers,
 			100*ep.WorkerUtilization, ep.PendingTasks, backlog, routed, share, rate,
-			ep.P99LatencySeconds, 100*ep.FailureRatio, alerts)
+			svcRate, ep.P99LatencySeconds, 100*ep.FailureRatio, alerts)
 	}
 	tw.Flush()
 }

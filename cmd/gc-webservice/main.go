@@ -45,6 +45,7 @@ func main() {
 		backlogShed = flag.Int("backlog-shed", 0, "shed batch submits when an endpoint reports this much egress backlog (0 = off)")
 		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "max wait for in-flight HTTP requests on SIGTERM")
 		spillAt     = flag.Int("spill-threshold", 0, "payload/result bytes above which data spills to the object store as a content-addressed reference (0 = default 64KiB)")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ (token-authenticated; off by default)")
 	)
 	flag.Parse()
 
@@ -124,6 +125,7 @@ func main() {
 		QueueLimit:           *queueLimit,
 		BacklogShedThreshold: *backlogShed,
 		InlineThreshold:      *spillAt,
+		Pprof:                *pprofOn,
 	})
 	if err != nil {
 		log.Fatalf("gc-webservice: %v", err)
@@ -203,6 +205,9 @@ func main() {
 	fmt.Printf("  fleet:        http://%s/debug/fleet?token=%s\n", httpSrv.Addr(), tok.Value)
 	fmt.Printf("  federation:   http://%s/metrics/fleet?token=%s\n", httpSrv.Addr(), tok.Value)
 	fmt.Printf("  logs:         http://%s/debug/logs?token=%s\n", httpSrv.Addr(), tok.Value)
+	if *pprofOn {
+		fmt.Printf("  pprof:        http://%s/debug/pprof/?token=%s\n", httpSrv.Addr(), tok.Value)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

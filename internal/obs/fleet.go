@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -20,6 +21,9 @@ const (
 	DefaultHealthWindow = time.Minute
 	DefaultStaleAfter   = 30 * time.Second
 	DefaultFleetPrefix  = "gc_endpoint"
+	// DefaultServiceRateHalfLife is the EWMA half-life for the per-endpoint
+	// service-rate estimate derived from heartbeat load-report deltas.
+	DefaultServiceRateHalfLife = 10 * time.Second
 )
 
 // FleetConfig bounds and labels a FleetStore.
@@ -38,6 +42,10 @@ type FleetConfig struct {
 	StaleAfter time.Duration
 	// Prefix prefixes federated metric names (default "gc_endpoint").
 	Prefix string
+	// ServiceRateHalfLife is the EWMA half-life for the service-rate
+	// estimate (default DefaultServiceRateHalfLife). Shorter tracks bursts
+	// faster; longer smooths heartbeat jitter.
+	ServiceRateHalfLife time.Duration
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
@@ -58,6 +66,9 @@ func (c FleetConfig) withDefaults() FleetConfig {
 	}
 	if c.Prefix == "" {
 		c.Prefix = DefaultFleetPrefix
+	}
+	if c.ServiceRateHalfLife <= 0 {
+		c.ServiceRateHalfLife = DefaultServiceRateHalfLife
 	}
 	return c
 }
@@ -87,6 +98,14 @@ type endpointState struct {
 	// is expected to be silent, so staleness alerting must not page on it. A
 	// crash never sets it — that is exactly the silence worth alerting on.
 	stopped bool
+	// Service-rate EWMA state, fed by ObserveLoad from heartbeat load
+	// reports: lastPublished/lastLoadAt anchor the next delta, rate is the
+	// smoothed tasks/s estimate (valid once rateKnown).
+	lastPublished int64
+	lastReceived  int64
+	lastLoadAt    time.Time
+	rate          float64
+	rateKnown     bool
 }
 
 func (st *endpointState) push(p Point) {
@@ -195,6 +214,80 @@ func (f *FleetStore) Ingest(id string, delta metrics.Snapshot, now time.Time) bo
 	st.reports++
 	st.push(Point{Time: now, Snap: st.merged(f.cfg.MaxSeries)})
 	return true
+}
+
+// LoadReport is the obs-side view of one heartbeat load report — the subset
+// of statestore.EndpointLoad the fleet store folds into its per-endpoint
+// series. Carried as its own type so obs stays decoupled from the statestore.
+type LoadReport struct {
+	PendingTasks int
+	TotalWorkers int
+	FreeWorkers  int
+	// TasksReceived / ResultsPublished are the agent's cumulative counters;
+	// the store differences them across reports into the service-rate EWMA.
+	TasksReceived    int64
+	ResultsPublished int64
+	// EgressBacklog is nil when the agent does not report the gauge.
+	EgressBacklog *int
+}
+
+// ObserveLoad folds one heartbeat load report into the endpoint's view: the
+// utilization numbers land as service-side gauges (so load-report-only
+// endpoints — sim agents, thin agents with no metrics registry — still show
+// pending/worker columns in Health and federation), and the cumulative
+// received/published counters drive a service-rate EWMA: the smoothed rate at
+// which this endpoint actually completes work. That estimate is the
+// observability groundwork for service-rate-aware placement — it breaks the
+// depth-1 tie between a busy slow member and a busy fast one.
+func (f *FleetStore) ObserveLoad(id string, lr LoadReport, now time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.state(id)
+	if st == nil {
+		return
+	}
+	st.local.Gauge("pending_tasks").Set(int64(lr.PendingTasks))
+	st.local.Gauge("total_workers").Set(int64(lr.TotalWorkers))
+	st.local.Gauge("free_workers").Set(int64(lr.FreeWorkers))
+	if lr.EgressBacklog != nil {
+		st.local.Gauge("egress_backlog").Set(int64(*lr.EgressBacklog))
+	}
+	if !st.lastLoadAt.IsZero() {
+		dt := now.Sub(st.lastLoadAt).Seconds()
+		if dt > 0 {
+			d := lr.ResultsPublished - st.lastPublished
+			if d < 0 {
+				// Agent restart reset the counter; count from zero.
+				d = lr.ResultsPublished
+			}
+			inst := float64(d) / dt
+			// Time-aware EWMA: alpha approaches 1 as the gap between
+			// reports grows past the half-life, so sparse reporters still
+			// converge instead of being stuck on stale history.
+			alpha := 1 - math.Pow(0.5, dt/f.cfg.ServiceRateHalfLife.Seconds())
+			if !st.rateKnown {
+				st.rate = inst
+				st.rateKnown = true
+			} else {
+				st.rate += alpha * (inst - st.rate)
+			}
+		}
+	}
+	st.lastLoadAt = now
+	st.lastPublished = lr.ResultsPublished
+	st.lastReceived = lr.TasksReceived
+}
+
+// ServiceRate returns the endpoint's smoothed completion rate in tasks per
+// second. ok is false until two load reports have been observed.
+func (f *FleetStore) ServiceRate(id string) (float64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, found := f.eps[id]
+	if !found || !st.rateKnown {
+		return 0, false
+	}
+	return st.rate, true
 }
 
 // Local returns the service-side registry for an endpoint, where the web
@@ -368,6 +461,9 @@ type EndpointHealth struct {
 	// fleet — the live view of how a placement policy is spreading load.
 	Routed            int64   `json:"routed,omitempty"`
 	RoutedShare       float64 `json:"routed_share,omitempty"`
+	// ServiceRatePerS is the smoothed completion rate (tasks/s) derived from
+	// heartbeat load-report deltas; zero until two reports have landed.
+	ServiceRatePerS float64 `json:"service_rate_per_s,omitempty"`
 	DeadLettered      int64   `json:"dead_lettered"`
 	Requeued          int64   `json:"requeued"`
 	DeadLetterPerMin  float64 `json:"dead_letter_per_min"`
@@ -396,6 +492,18 @@ func counterAny(s metrics.Snapshot, names ...string) int64 {
 	return total
 }
 
+// gaugeAny returns the first present gauge among names — agent-reported
+// series first, with the service-side "ws_" load-report gauges as fallback
+// for endpoints that report load but no metrics snapshot.
+func gaugeAny(s metrics.Snapshot, names ...string) int64 {
+	for _, n := range names {
+		if v, ok := s.GaugeValue(n); ok {
+			return v
+		}
+	}
+	return 0
+}
+
 // Health assembles the per-endpoint liveness / backlog / utilization /
 // dead-letter view over the configured window.
 func (f *FleetStore) Health(now time.Time) FleetHealth {
@@ -413,18 +521,36 @@ func (f *FleetStore) Health(now time.Time) FleetHealth {
 			eh.Stopped = st.stopped
 		}
 		f.mu.Unlock()
-		eh.PendingTasks = s.Gauges["pending_tasks"]
-		eh.TotalWorkers = s.Gauges["total_workers"]
-		eh.FreeWorkers = s.Gauges["free_workers"]
+		eh.PendingTasks = gaugeAny(s, "pending_tasks", "ws_pending_tasks")
+		eh.TotalWorkers = gaugeAny(s, "total_workers", "ws_total_workers")
+		eh.FreeWorkers = gaugeAny(s, "free_workers", "ws_free_workers")
 		if eh.TotalWorkers > 0 {
 			eh.WorkerUtilization = float64(eh.TotalWorkers-eh.FreeWorkers) / float64(eh.TotalWorkers)
 		}
-		if v, ok := s.GaugeValue("egress_backlog"); ok {
-			b := v
-			eh.EgressBacklog = &b
+		for _, name := range []string{"egress_backlog", "ws_egress_backlog"} {
+			if v, ok := s.GaugeValue(name); ok {
+				b := v
+				eh.EgressBacklog = &b
+				break
+			}
+		}
+		if rate, ok := f.ServiceRate(id); ok {
+			eh.ServiceRatePerS = rate
 		}
 		eh.TasksReceived = s.Counters["tasks_received"]
 		eh.ResultsPublished = s.Counters["results_published"]
+		f.mu.Lock()
+		if st := f.eps[id]; st != nil && !st.lastLoadAt.IsZero() {
+			// Load-report-only endpoints (sim agents, thin agents) have no
+			// metrics snapshot; their heartbeat counters are authoritative.
+			if eh.TasksReceived == 0 {
+				eh.TasksReceived = st.lastReceived
+			}
+			if eh.ResultsPublished == 0 {
+				eh.ResultsPublished = st.lastPublished
+			}
+		}
+		f.mu.Unlock()
 		eh.Routed = s.Counters["ws_routed"]
 		eh.DeadLettered = counterAny(s, "dead_lettered", "engine_deadlettered_tasks")
 		eh.Requeued = counterAny(s, "engine_requeued")
@@ -470,7 +596,11 @@ func escapeLabelValue(v string) string {
 type fedSample struct {
 	labels string
 	value  int64
-	hist   metrics.HistogramStats
+	// float selects fval over value for families whose samples are not
+	// integral (the synthetic service-rate gauge).
+	float bool
+	fval  float64
+	hist  metrics.HistogramStats
 }
 
 type fedFamily struct {
@@ -523,6 +653,9 @@ func (f *FleetStore) WriteFederation(w io.Writer, now time.Time) error {
 		}
 		add(prefix+"up", "gauge", fedSample{labels: labels, value: up})
 		add(prefix+"staleness_seconds", "gauge", fedSample{labels: labels, value: int64(staleSec)})
+		if rate, ok := f.ServiceRate(id); ok {
+			add(prefix+"service_rate_tasks_per_second", "gauge", fedSample{labels: labels, float: true, fval: rate})
+		}
 	}
 
 	names := make([]string, 0, len(fams))
@@ -537,6 +670,12 @@ func (f *FleetStore) WriteFederation(w io.Writer, now time.Time) error {
 		}
 		for _, smp := range fam.samples {
 			if fam.kind != "summary" {
+				if smp.float {
+					if _, err := fmt.Fprintf(w, "%s{%s} %g\n", name, smp.labels, smp.fval); err != nil {
+						return err
+					}
+					continue
+				}
 				if _, err := fmt.Fprintf(w, "%s{%s} %d\n", name, smp.labels, smp.value); err != nil {
 					return err
 				}

@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+)
+
+// Gate reason codes — every failing gate carries one of these as the prefix
+// of its Reason so automation can branch on the failure class without
+// parsing prose.
+const (
+	ReasonTooFewSamples       = "too_few_samples"
+	ReasonCohortIncomplete    = "cohort_incomplete"
+	ReasonNoSteadyBaseline    = "no_steady_baseline"
+	ReasonBacklogNotRecovered = "backlog_not_recovered"
+	ReasonSteadyBacklogHigh   = "steady_backlog_exceeded"
+	ReasonSteadySheds         = "steady_sheds_exceeded"
+)
+
+// GateResult is one evaluated gate. Validity gates (Validity=true) decide
+// whether the run measured anything; KPI gates decide whether the system
+// behaved. Reason is empty on pass and "<code>: detail" on failure.
+type GateResult struct {
+	Name      string  `json:"name"`
+	Validity  bool    `json:"validity"`
+	Pass      bool    `json:"pass"`
+	Reason    string  `json:"reason,omitempty"`
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+}
+
+// Totals is the loadgen's cumulative view of the run, used by the cohort
+// gates: every accepted task must be observed reaching a terminal state.
+type Totals struct {
+	Submitted   int64 `json:"submitted"`
+	Accepted    int64 `json:"accepted"`
+	Shed        int64 `json:"shed"`
+	Errors      int64 `json:"errors"`
+	Succeeded   int64 `json:"succeeded"`
+	Failed      int64 `json:"failed"`
+	Outstanding int64 `json:"outstanding"`
+}
+
+// Completeness is observed-terminal / accepted (1 when nothing was
+// accepted — that case fails the cohort gate separately).
+func (t Totals) Completeness() float64 {
+	if t.Accepted == 0 {
+		return 0
+	}
+	return float64(t.Succeeded+t.Failed) / float64(t.Accepted)
+}
+
+// EvaluateGates runs the profile's validity and KPI gates over the recorded
+// series. valid = all validity gates passed; pass = valid AND all KPI gates
+// passed.
+func EvaluateGates(p Profile, samples []Sample, tot Totals) (gates []GateResult, valid, pass bool) {
+	p = p.normalized()
+	g := p.Gates
+
+	// --- Run-validity gates ---
+
+	r := GateResult{Name: "min_samples", Validity: true,
+		Value: float64(len(samples)), Threshold: float64(g.MinSamples)}
+	r.Pass = len(samples) >= g.MinSamples
+	if !r.Pass {
+		r.Reason = fmt.Sprintf("%s: recorded %d samples, need %d", ReasonTooFewSamples, len(samples), g.MinSamples)
+	}
+	gates = append(gates, r)
+
+	comp := tot.Completeness()
+	r = GateResult{Name: "cohort_complete", Validity: true,
+		Value: comp, Threshold: g.MinCompleteness}
+	switch {
+	case tot.Accepted == 0:
+		r.Reason = fmt.Sprintf("%s: no tasks accepted (submitted %d, shed %d, errors %d)",
+			ReasonCohortIncomplete, tot.Submitted, tot.Shed, tot.Errors)
+	case comp < g.MinCompleteness:
+		r.Reason = fmt.Sprintf("%s: %d of %d accepted tasks reached a terminal state (%.4f < %.4f; %d outstanding)",
+			ReasonCohortIncomplete, tot.Succeeded+tot.Failed, tot.Accepted, comp, g.MinCompleteness, tot.Outstanding)
+	default:
+		r.Pass = true
+	}
+	gates = append(gates, r)
+
+	steady := backlogSeries(samples, PhaseSteady)
+	if p.Burst != nil {
+		r = GateResult{Name: "steady_baseline", Validity: true,
+			Value: float64(len(steady)), Threshold: float64(g.MinSteadySamples)}
+		r.Pass = len(steady) >= g.MinSteadySamples
+		if !r.Pass {
+			r.Reason = fmt.Sprintf("%s: %d pre-burst samples, need %d for a baseline", ReasonNoSteadyBaseline, len(steady), g.MinSteadySamples)
+		}
+		gates = append(gates, r)
+	}
+
+	valid = true
+	for _, gr := range gates {
+		valid = valid && gr.Pass
+	}
+
+	// --- KPI gates ---
+
+	kpiPass := true
+	steadyP95 := percentile(steady, 0.95)
+	if g.MaxSteadyBacklogP95 > 0 {
+		r = GateResult{Name: "steady_backlog_p95", Value: steadyP95, Threshold: g.MaxSteadyBacklogP95}
+		r.Pass = steadyP95 <= g.MaxSteadyBacklogP95
+		if !r.Pass {
+			r.Reason = fmt.Sprintf("%s: steady backlog p95 %.0f > %.0f", ReasonSteadyBacklogHigh, steadyP95, g.MaxSteadyBacklogP95)
+		}
+		kpiPass = kpiPass && r.Pass
+		gates = append(gates, r)
+	}
+	if g.MaxSteadyShedRatio >= 0 {
+		var shed, sub int64
+		for _, s := range samples {
+			if s.Phase == PhaseSteady {
+				shed += s.Window.Shed
+				sub += s.Window.Submitted
+			}
+		}
+		ratio := 0.0
+		if sub > 0 {
+			ratio = float64(shed) / float64(sub)
+		}
+		r = GateResult{Name: "steady_shed_ratio", Value: ratio, Threshold: g.MaxSteadyShedRatio}
+		r.Pass = ratio <= g.MaxSteadyShedRatio
+		if !r.Pass {
+			r.Reason = fmt.Sprintf("%s: shed %d of %d steady-phase submissions (%.4f > %.4f)",
+				ReasonSteadySheds, shed, sub, ratio, g.MaxSteadyShedRatio)
+		}
+		kpiPass = kpiPass && r.Pass
+		gates = append(gates, r)
+	}
+	if p.Burst != nil {
+		r = evalRecovery(p, samples, steadyP95)
+		kpiPass = kpiPass && r.Pass
+		gates = append(gates, r)
+	}
+
+	return gates, valid, valid && kpiPass
+}
+
+// evalRecovery is the headline KPI gate: after the last burst window ends,
+// the trailing backlog p95 (a RecoveryWindow-sample sliding window) must
+// drop to max(RecoveryFactor x steady p95, RecoveryFloor) within
+// RecoverWithin poll intervals.
+func evalRecovery(p Profile, samples []Sample, steadyP95 float64) GateResult {
+	g := p.Gates
+	target := g.RecoveryFactor * steadyP95
+	if target < g.RecoveryFloor {
+		target = g.RecoveryFloor
+	}
+	r := GateResult{Name: "backlog_recovery", Threshold: target}
+
+	burstEnd, _ := p.LastBurstEnd()
+	// Post-burst samples in offset order.
+	var post []float64
+	for _, s := range samples {
+		if time.Duration(s.OffsetSec*float64(time.Second)) >= burstEnd {
+			post = append(post, float64(s.Backlog))
+		}
+	}
+	if len(post) == 0 {
+		r.Reason = fmt.Sprintf("%s: no samples after burst end (+%.1fs)", ReasonBacklogNotRecovered, burstEnd.Seconds())
+		return r
+	}
+	win := g.RecoveryWindow
+	for i := range post {
+		lo := i - win + 1
+		if lo < 0 {
+			continue // window not yet full
+		}
+		p95 := percentile(post[lo:i+1], 0.95)
+		r.Value = p95
+		if p95 <= target {
+			if i < g.RecoverWithin {
+				r.Pass = true
+				return r
+			}
+			r.Reason = fmt.Sprintf("%s: backlog p95 reached %.0f only %d intervals after burst end (limit %d)",
+				ReasonBacklogNotRecovered, p95, i, g.RecoverWithin)
+			return r
+		}
+	}
+	r.Reason = fmt.Sprintf("%s: trailing backlog p95 %.0f never fell to %.0f in %d post-burst samples",
+		ReasonBacklogNotRecovered, r.Value, target, len(post))
+	return r
+}

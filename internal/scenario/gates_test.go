@@ -1,0 +1,284 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// burstProfile is a small fixed burst profile for gate tests: 24s run,
+// 0.5s polls, one 8x burst over [6s, 10s).
+func burstProfile() Profile {
+	p := Profile{
+		Name: "gate-test", DurationSec: 24, PollIntervalSec: 0.5,
+		Tenants: []TenantSpec{{Name: "a", RatePerSec: 100}},
+		Burst:   &BurstSpec{AfterSec: 6, DurationSec: 4, Factor: 8},
+		Gates:   GateSpec{MinSamples: 10},
+	}
+	return p.normalized()
+}
+
+// series synthesizes the backlog time series for a profile at its poll
+// cadence: backlogAt maps an offset to the KPI value.
+func series(p Profile, untilSec float64, backlogAt func(offsetSec float64) int) []Sample {
+	var out []Sample
+	for o := p.PollIntervalSec; o <= untilSec; o += p.PollIntervalSec {
+		off := time.Duration(o * float64(time.Second))
+		out = append(out, Sample{
+			OffsetSec: o, Phase: p.PhaseAt(off), Backlog: backlogAt(o),
+		})
+	}
+	return out
+}
+
+func completeTotals(n int64) Totals {
+	return Totals{Submitted: n, Accepted: n, Succeeded: n}
+}
+
+func findGate(t *testing.T, gates []GateResult, name string) GateResult {
+	t.Helper()
+	for _, g := range gates {
+		if g.Name == name {
+			return g
+		}
+	}
+	t.Fatalf("gate %q missing from %+v", name, gates)
+	return GateResult{}
+}
+
+func TestGateTooFewSamples(t *testing.T) {
+	p := burstProfile()
+	samples := series(p, 2, func(float64) int { return 5 }) // 4 samples << MinSamples
+	gates, valid, pass := EvaluateGates(p, samples, completeTotals(100))
+	if valid || pass {
+		t.Fatalf("run with %d samples must be invalid", len(samples))
+	}
+	g := findGate(t, gates, "min_samples")
+	if g.Pass || !strings.HasPrefix(g.Reason, ReasonTooFewSamples) {
+		t.Fatalf("min_samples gate = %+v", g)
+	}
+}
+
+func TestGateCohortIncomplete(t *testing.T) {
+	p := burstProfile()
+	samples := series(p, 30, func(o float64) int { return 5 })
+
+	// 10 of 100 accepted tasks never reached a terminal state.
+	tot := Totals{Submitted: 100, Accepted: 100, Succeeded: 85, Failed: 5, Outstanding: 10}
+	gates, valid, _ := EvaluateGates(p, samples, tot)
+	g := findGate(t, gates, "cohort_complete")
+	if valid || g.Pass || !strings.HasPrefix(g.Reason, ReasonCohortIncomplete) {
+		t.Fatalf("cohort gate = %+v valid=%v", g, valid)
+	}
+
+	// Nothing accepted at all is also an incomplete cohort, not a pass.
+	gates, valid, _ = EvaluateGates(p, samples, Totals{Submitted: 100, Shed: 100})
+	g = findGate(t, gates, "cohort_complete")
+	if valid || g.Pass || !strings.HasPrefix(g.Reason, ReasonCohortIncomplete) {
+		t.Fatalf("empty-cohort gate = %+v valid=%v", g, valid)
+	}
+}
+
+func TestGateNoSteadyBaseline(t *testing.T) {
+	p := burstProfile()
+	p.Burst.AfterSec = 0.5 // burst starts immediately: no steady samples
+	p.Burst.DurationSec = 4
+	samples := series(p, 30, func(o float64) int { return 50 })
+	gates, valid, _ := EvaluateGates(p, samples, completeTotals(100))
+	g := findGate(t, gates, "steady_baseline")
+	if valid || g.Pass || !strings.HasPrefix(g.Reason, ReasonNoSteadyBaseline) {
+		t.Fatalf("steady_baseline gate = %+v valid=%v", g, valid)
+	}
+}
+
+func TestGateBacklogRecovery(t *testing.T) {
+	p := burstProfile()
+
+	// Recovering series: steady ~10, burst climbs to 800, post-burst decays
+	// back under the floor within ~4s (8 intervals).
+	recovering := func(o float64) int {
+		switch {
+		case o < 6:
+			return 10
+		case o < 10:
+			return 800
+		default:
+			b := 800 - int((o-10)*200)
+			if b < 10 {
+				b = 10
+			}
+			return b
+		}
+	}
+	samples := series(p, 30, recovering)
+	gates, valid, pass := EvaluateGates(p, samples, completeTotals(1000))
+	g := findGate(t, gates, "backlog_recovery")
+	if !valid || !pass || !g.Pass {
+		t.Fatalf("recovering series must pass: gate=%+v valid=%v pass=%v", g, valid, pass)
+	}
+
+	// Non-recovering series: backlog never drains after the burst.
+	stuck := func(o float64) int {
+		if o < 6 {
+			return 10
+		}
+		return 800
+	}
+	samples = series(p, 30, stuck)
+	gates, valid, pass = EvaluateGates(p, samples, completeTotals(1000))
+	g = findGate(t, gates, "backlog_recovery")
+	if !valid {
+		t.Fatal("non-recovering run is still a valid measurement")
+	}
+	if pass || g.Pass || !strings.HasPrefix(g.Reason, ReasonBacklogNotRecovered) {
+		t.Fatalf("stuck series must fail recovery: gate=%+v pass=%v", g, pass)
+	}
+
+	// Too-slow recovery: drains, but only after RecoverWithin intervals.
+	slow := func(o float64) int {
+		switch {
+		case o < 6:
+			return 10
+		case o < 10:
+			return 800
+		case o < 10+float64(p.Gates.RecoverWithin)*p.PollIntervalSec+2:
+			return 800
+		default:
+			return 10
+		}
+	}
+	samples = series(p, 40, slow)
+	gates, _, pass = EvaluateGates(p, samples, completeTotals(1000))
+	g = findGate(t, gates, "backlog_recovery")
+	if pass || g.Pass || !strings.HasPrefix(g.Reason, ReasonBacklogNotRecovered) {
+		t.Fatalf("slow recovery must fail: gate=%+v", g)
+	}
+}
+
+func TestGateSteadyKPIs(t *testing.T) {
+	p := Profile{
+		Name: "steady-test", DurationSec: 10, PollIntervalSec: 0.5,
+		Tenants: []TenantSpec{{Name: "a", RatePerSec: 100}},
+		Gates:   GateSpec{MinSamples: 10, MaxSteadyBacklogP95: 50},
+	}
+	p = p.normalized()
+
+	// Clean steady run passes everything.
+	samples := series(p, 12, func(float64) int { return 20 })
+	_, valid, pass := EvaluateGates(p, samples, completeTotals(500))
+	if !valid || !pass {
+		t.Fatalf("clean steady run must pass (valid=%v pass=%v)", valid, pass)
+	}
+
+	// Backlog above the ceiling fails the p95 gate.
+	samples = series(p, 12, func(float64) int { return 200 })
+	gates, valid, pass := EvaluateGates(p, samples, completeTotals(500))
+	g := findGate(t, gates, "steady_backlog_p95")
+	if !valid || pass || g.Pass || !strings.HasPrefix(g.Reason, ReasonSteadyBacklogHigh) {
+		t.Fatalf("high steady backlog must fail KPI but stay valid: gate=%+v", g)
+	}
+
+	// Steady-phase sheds fail the shed-ratio gate (default tolerance 0).
+	samples = series(p, 12, func(float64) int { return 20 })
+	for i := range samples {
+		samples[i].Window = WindowStats{Submitted: 50, Accepted: 48, Shed: 2}
+	}
+	gates, _, pass = EvaluateGates(p, samples, completeTotals(500))
+	g = findGate(t, gates, "steady_shed_ratio")
+	if pass || g.Pass || !strings.HasPrefix(g.Reason, ReasonSteadySheds) {
+		t.Fatalf("steady sheds must fail: gate=%+v", g)
+	}
+}
+
+// TestSummaryCarriesDistinctReasons checks the contract CI scripts rely
+// on: each failing gate surfaces its distinct reason code in summary.json.
+func TestSummaryCarriesDistinctReasons(t *testing.T) {
+	p := burstProfile()
+	stuck := series(p, 30, func(o float64) int {
+		if o < 6 {
+			return 10
+		}
+		return 800
+	})
+	tot := Totals{Submitted: 100, Accepted: 100, Succeeded: 90, Outstanding: 10}
+	sum := BuildSummary(p, stuck, tot, time.Now().Add(-30*time.Second), time.Now())
+	if sum.Valid || sum.Pass {
+		t.Fatalf("incomplete cohort must invalidate: %+v", sum.FailReasons)
+	}
+	data, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, code := range []string{ReasonCohortIncomplete, ReasonBacklogNotRecovered} {
+		if !strings.Contains(string(data), code) {
+			t.Fatalf("summary.json missing reason %q: %s", code, data)
+		}
+	}
+	if strings.Contains(string(data), ReasonTooFewSamples) {
+		t.Fatalf("summary.json carries an unearned reason: %s", data)
+	}
+
+	// The passing shape: complete cohort, recovering backlog.
+	recovered := series(p, 30, func(o float64) int {
+		switch {
+		case o < 6:
+			return 10
+		case o < 10:
+			return 800
+		default:
+			return 10
+		}
+	})
+	sum = BuildSummary(p, recovered, completeTotals(1000), time.Now().Add(-30*time.Second), time.Now())
+	if !sum.Valid || !sum.Pass || len(sum.FailReasons) != 0 {
+		t.Fatalf("clean run must pass: valid=%v pass=%v reasons=%v", sum.Valid, sum.Pass, sum.FailReasons)
+	}
+}
+
+func TestProfileSchedule(t *testing.T) {
+	p := burstProfile()
+	if got := p.PhaseAt(3 * time.Second); got != PhaseSteady {
+		t.Fatalf("phase(3s) = %q", got)
+	}
+	if got := p.PhaseAt(7 * time.Second); got != PhaseBurst {
+		t.Fatalf("phase(7s) = %q", got)
+	}
+	if got := p.PhaseAt(15 * time.Second); got != PhaseRecovery {
+		t.Fatalf("phase(15s) = %q", got)
+	}
+	if f := p.RateFactor(7 * time.Second); f != 8 {
+		t.Fatalf("rate factor in burst = %g", f)
+	}
+	if f := p.RateFactor(15 * time.Second); f != 1 {
+		t.Fatalf("rate factor after burst = %g", f)
+	}
+	end, ok := p.LastBurstEnd()
+	if !ok || end != 10*time.Second {
+		t.Fatalf("last burst end = %v ok=%v", end, ok)
+	}
+
+	// Repeating cadence: bursts at [6,10), [21,25); phase and end follow.
+	p.Burst.EverySec = 15
+	if got := p.PhaseAt(22 * time.Second); got != PhaseBurst {
+		t.Fatalf("phase(22s) with cadence = %q", got)
+	}
+	if got := p.PhaseAt(12 * time.Second); got != PhaseRecovery {
+		t.Fatalf("phase(12s) between bursts = %q", got)
+	}
+	end, _ = p.LastBurstEnd()
+	if end != 25*time.Second {
+		t.Fatalf("last cadenced burst end = %v", end)
+	}
+
+	// Builtins all validate.
+	for _, name := range BuiltinNames() {
+		bp, ok := Builtin(name)
+		if !ok {
+			t.Fatalf("missing builtin %q", name)
+		}
+		if err := bp.Validate(); err != nil {
+			t.Fatalf("builtin %q invalid: %v", name, err)
+		}
+	}
+}

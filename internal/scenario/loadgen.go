@@ -1,0 +1,325 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/sdk"
+	"globuscompute/internal/webservice"
+)
+
+// maxWinLatSamples bounds per-window latency sample memory; counts beyond
+// the cap still count, only their latency samples are dropped.
+const maxWinLatSamples = 16384
+
+// LoadgenConfig wires a Loadgen against a running service.
+type LoadgenConfig struct {
+	// Service is the REST host:port; Token authenticates every tenant (per
+	// the bootstrap identity — tenant separation here is about traffic
+	// shape, not auth isolation).
+	Service string
+	Token   string
+	// Target receives every submission: a single endpoint ID, a routing
+	// group ID (placement fans out), or a multi-user endpoint ID.
+	Target  protocol.UUID
+	Profile Profile
+	// FnPython/FnShell are pre-registered function IDs for the task-type
+	// mix (FnShell may be empty when ShellFraction is 0).
+	FnPython protocol.UUID
+	FnShell  protocol.UUID
+}
+
+// Loadgen drives the profile's tenants against the service: paced batch
+// submissions with burst windows, a batch_status sweep observing task
+// roundtrips, and windowed client-side stats drained by the sampler.
+type Loadgen struct {
+	cfg   LoadgenConfig
+	start time.Time
+
+	mu      sync.Mutex
+	tot     Totals
+	pending map[protocol.UUID]time.Time
+	win     winAccum
+
+	quit     chan struct{} // closes when the load window ends
+	loadDone sync.WaitGroup
+	pollQuit chan struct{}
+	pollDone chan struct{}
+}
+
+// winAccum collects one sampler window of client-side events.
+type winAccum struct {
+	submitted, accepted, shed, errors int64
+	completed, failed                 int64
+	submitLatMS, rttLatMS             []float64
+}
+
+// NewLoadgen validates the config and builds an idle loadgen.
+func NewLoadgen(cfg LoadgenConfig) (*Loadgen, error) {
+	cfg.Profile = cfg.Profile.normalized()
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("scenario: loadgen needs a target endpoint or routing group")
+	}
+	if cfg.FnPython == "" {
+		return nil, fmt.Errorf("scenario: loadgen needs a registered python function")
+	}
+	if cfg.Profile.ShellFraction > 0 && cfg.FnShell == "" {
+		return nil, fmt.Errorf("scenario: profile %q mixes shell tasks but no shell function is registered", cfg.Profile.Name)
+	}
+	return &Loadgen{
+		cfg:      cfg,
+		pending:  make(map[protocol.UUID]time.Time),
+		quit:     make(chan struct{}),
+		pollQuit: make(chan struct{}),
+		pollDone: make(chan struct{}),
+	}, nil
+}
+
+// newClient builds a per-goroutine SDK client with retries disabled: the
+// harness measures sheds and transport errors instead of papering over
+// them.
+func (l *Loadgen) newClient() *sdk.Client {
+	c := sdk.NewClient(l.cfg.Service, l.cfg.Token)
+	c.MaxRetries = -1
+	return c
+}
+
+// Start launches one pacing goroutine per tenant plus the roundtrip
+// sweeper. Offsets (burst windows, phases) are measured from start.
+func (l *Loadgen) Start(start time.Time) {
+	l.start = start
+	for i, t := range l.cfg.Profile.Tenants {
+		l.loadDone.Add(1)
+		go l.tenant(t, rand.New(rand.NewSource(l.cfg.Profile.Seed+int64(i)*7919)))
+	}
+	go l.sweep()
+}
+
+// StopLoad ends the load window: tenants finish their in-flight batch and
+// exit. The roundtrip sweeper keeps running for Drain.
+func (l *Loadgen) StopLoad() {
+	select {
+	case <-l.quit:
+	default:
+		close(l.quit)
+	}
+	l.loadDone.Wait()
+}
+
+// Drain waits for every accepted task to reach a terminal state, up to
+// timeout, then stops the sweeper. Returns true when the cohort fully
+// drained.
+func (l *Loadgen) Drain(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		l.mu.Lock()
+		n := len(l.pending)
+		l.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	close(l.pollQuit)
+	<-l.pollDone
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending) == 0
+}
+
+// Totals snapshots the cumulative counters.
+func (l *Loadgen) Totals() Totals {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t := l.tot
+	t.Outstanding = int64(len(l.pending))
+	return t
+}
+
+// TakeWindow drains the stats accumulated since the previous call
+// (implements WindowSource for the sampler).
+func (l *Loadgen) TakeWindow() WindowStats {
+	l.mu.Lock()
+	w := l.win
+	l.win = winAccum{}
+	l.mu.Unlock()
+	return WindowStats{
+		Submitted: w.submitted, Accepted: w.accepted, Shed: w.shed, Errors: w.errors,
+		Completed: w.completed, Failed: w.failed,
+		SubmitP50MS: percentile(w.submitLatMS, 0.50),
+		SubmitP95MS: percentile(w.submitLatMS, 0.95),
+		SubmitP99MS: percentile(w.submitLatMS, 0.99),
+		RTTP50MS:    percentile(w.rttLatMS, 0.50),
+		RTTP95MS:    percentile(w.rttLatMS, 0.95),
+		RTTP99MS:    percentile(w.rttLatMS, 0.99),
+	}
+}
+
+// payloadFor draws a task payload: python identity calls carry a filler
+// argument sized from the payload mix; shell tasks are a constant rendered
+// ShellSpec (the size mix exercises the python data path).
+func (l *Loadgen) payloadFor(rng *rand.Rand) (protocol.UUID, []byte) {
+	if l.cfg.Profile.ShellFraction > 0 && rng.Float64() < l.cfg.Profile.ShellFraction {
+		return l.cfg.FnShell, []byte(`{"command":"echo scenario"}`)
+	}
+	mix := l.cfg.Profile.PayloadMix
+	total := 0.0
+	for _, b := range mix {
+		total += b.Weight
+	}
+	size := mix[0].Bytes
+	if total > 0 {
+		pick := rng.Float64() * total
+		for _, b := range mix {
+			if pick -= b.Weight; pick <= 0 {
+				size = b.Bytes
+				break
+			}
+		}
+	}
+	filler := make([]byte, size)
+	for i := range filler {
+		filler[i] = 'x'
+	}
+	payload, _ := json.Marshal(map[string]any{"entrypoint": "identity", "args": []any{string(filler)}})
+	return l.cfg.FnPython, payload
+}
+
+// tenant paces one tenant's submissions: batches of SubmitBatch tasks at
+// rate_per_sec x the profile's burst factor, measured against absolute due
+// times so pacing error does not accumulate. A tenant that falls more than
+// a second behind (slow harness host) skips ahead instead of compressing
+// the deficit into a phantom burst.
+func (l *Loadgen) tenant(spec TenantSpec, rng *rand.Rand) {
+	defer l.loadDone.Done()
+	client := l.newClient()
+	dur := time.Duration(l.cfg.Profile.DurationSec * float64(time.Second))
+	b := l.cfg.Profile.SubmitBatch
+	next := l.start
+	for {
+		select {
+		case <-l.quit:
+			return
+		default:
+		}
+		now := time.Now()
+		offset := now.Sub(l.start)
+		if offset >= dur {
+			return
+		}
+		rate := spec.RatePerSec * l.cfg.Profile.RateFactor(offset)
+
+		reqs := make([]webservice.SubmitRequest, b)
+		for i := range reqs {
+			fn, payload := l.payloadFor(rng)
+			reqs[i] = webservice.SubmitRequest{EndpointID: l.cfg.Target, FunctionID: fn, Payload: payload}
+		}
+		t0 := time.Now()
+		ids, err := client.SubmitBatchOpts(reqs, webservice.SubmitOptions{Interactive: spec.Interactive})
+		latMS := float64(time.Since(t0)) / float64(time.Millisecond)
+		l.recordSubmit(ids, err, b, latMS, t0)
+
+		next = next.Add(time.Duration(float64(b) / rate * float64(time.Second)))
+		if now = time.Now(); next.Before(now.Add(-time.Second)) {
+			next = now
+		}
+		if wait := time.Until(next); wait > 0 {
+			select {
+			case <-l.quit:
+				return
+			case <-time.After(wait):
+			}
+		}
+	}
+}
+
+func (l *Loadgen) recordSubmit(ids []protocol.UUID, err error, batch int, latMS float64, at time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := int64(batch)
+	l.tot.Submitted += n
+	l.win.submitted += n
+	if len(l.win.submitLatMS) < maxWinLatSamples {
+		l.win.submitLatMS = append(l.win.submitLatMS, latMS)
+	}
+	switch {
+	case err == nil:
+		l.tot.Accepted += n
+		l.win.accepted += n
+		for _, id := range ids {
+			l.pending[id] = at
+		}
+	case errors.Is(err, sdk.ErrOverloaded):
+		l.tot.Shed += n
+		l.win.shed += n
+	default:
+		l.tot.Errors += n
+		l.win.errors += n
+	}
+}
+
+// batchStatusLimit matches the service's batch_status request cap.
+const batchStatusLimit = 1024
+
+// sweep polls batch_status over the outstanding cohort, recording
+// client-observed roundtrips as tasks reach terminal states. It runs from
+// Start until Drain ends it.
+func (l *Loadgen) sweep() {
+	defer close(l.pollDone)
+	client := l.newClient()
+	interval := time.Duration(l.cfg.Profile.StatusPollIntervalSec * float64(time.Second))
+	for {
+		select {
+		case <-l.pollQuit:
+			return
+		case <-time.After(interval):
+		}
+		l.mu.Lock()
+		ids := make([]protocol.UUID, 0, len(l.pending))
+		for id := range l.pending {
+			ids = append(ids, id)
+		}
+		l.mu.Unlock()
+		for lo := 0; lo < len(ids); lo += batchStatusLimit {
+			hi := lo + batchStatusLimit
+			if hi > len(ids) {
+				hi = len(ids)
+			}
+			sts, err := client.TaskStatuses(ids[lo:hi])
+			if err != nil {
+				break // transient; retry next sweep
+			}
+			now := time.Now()
+			l.mu.Lock()
+			for _, st := range sts {
+				if !st.State.Terminal() {
+					continue
+				}
+				submitted, ok := l.pending[st.TaskID]
+				if !ok {
+					continue
+				}
+				delete(l.pending, st.TaskID)
+				if st.State == protocol.StateSuccess {
+					l.tot.Succeeded++
+					l.win.completed++
+				} else {
+					l.tot.Failed++
+					l.win.failed++
+				}
+				if len(l.win.rttLatMS) < maxWinLatSamples {
+					l.win.rttLatMS = append(l.win.rttLatMS, float64(now.Sub(submitted))/float64(time.Millisecond))
+				}
+			}
+			l.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// CapturePprof pulls a CPU profile (cpuSeconds long) and a heap snapshot
+// from a /debug/pprof-serving process into dir, named <prefix>.cpu.pb.gz
+// and <prefix>.heap.pb.gz. The service must run with -pprof; token rides
+// the query string for the webservice's debug auth (agents serve pprof
+// unauthenticated on their metrics mux and ignore it).
+func CapturePprof(dir, prefix, baseURL, token string, cpuSeconds int) ([]string, error) {
+	if cpuSeconds <= 0 {
+		cpuSeconds = 2
+	}
+	client := &http.Client{Timeout: time.Duration(cpuSeconds+30) * time.Second}
+	tok := ""
+	if token != "" {
+		tok = "&token=" + url.QueryEscape(token)
+	}
+	var files []string
+	fetch := func(path, out string) error {
+		resp, err := client.Get(baseURL + path + tok)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %d", path, resp.StatusCode)
+		}
+		f, err := os.Create(filepath.Join(dir, out))
+		if err != nil {
+			return err
+		}
+		if _, err := io.Copy(f, resp.Body); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		files = append(files, out)
+		return nil
+	}
+	// CPU first — it blocks for cpuSeconds, landing the heap snapshot right
+	// at the end of the capture window.
+	if err := fetch(fmt.Sprintf("/debug/pprof/profile?seconds=%d", cpuSeconds), prefix+".cpu.pb.gz"); err != nil {
+		return files, err
+	}
+	if err := fetch("/debug/pprof/heap?gc=0", prefix+".heap.pb.gz"); err != nil {
+		return files, err
+	}
+	return files, nil
+}

@@ -1,0 +1,164 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"globuscompute/internal/protocol"
+	"globuscompute/internal/sdk"
+)
+
+// RunConfig parameterizes one scenario run.
+type RunConfig struct {
+	// Service/Token reach the web service's REST API; Target is the
+	// endpoint or routing-group UUID every submission names.
+	Service string
+	Token   string
+	Target  protocol.UUID
+	Profile Profile
+	// OutDir receives samples.csv, summary.json, and any pprof captures
+	// (created if missing).
+	OutDir string
+	// Logf, when set, receives progress lines (testing.T.Logf, log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// RunResult is a completed run: the verdict, the raw series, and where
+// they were written.
+type RunResult struct {
+	Summary     Summary
+	Samples     []Sample
+	SamplesCSV  string
+	SummaryJSON string
+}
+
+// Run executes one profile end to end: register the task-mix functions,
+// start the sampler and the loadgen, capture burst-peak pprof when asked,
+// drain, evaluate gates, and write samples.csv + summary.json under
+// OutDir. The error return is for harness failures (bad profile, cannot
+// reach the service, cannot write output); a measured-but-failing run
+// returns nil error with Summary.Pass == false.
+func Run(ctx context.Context, cfg RunConfig) (*RunResult, error) {
+	cfg.Profile = cfg.Profile.normalized()
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	// The task-type mix: a python identity function and a no-op shell
+	// command, registered fresh so the run is self-contained.
+	client := sdk.NewClient(cfg.Service, cfg.Token)
+	fnPy, err := client.RegisterFunction(protocol.KindPython, []byte(`{"entrypoint":"identity"}`))
+	if err != nil {
+		return nil, fmt.Errorf("scenario: register python function: %w", err)
+	}
+	var fnSh protocol.UUID
+	if cfg.Profile.ShellFraction > 0 {
+		fnSh, err = client.RegisterFunction(protocol.KindShell, []byte(`{"command":"echo scenario"}`))
+		if err != nil {
+			return nil, fmt.Errorf("scenario: register shell function: %w", err)
+		}
+	}
+
+	lg, err := NewLoadgen(LoadgenConfig{
+		Service: cfg.Service, Token: cfg.Token, Target: cfg.Target,
+		Profile: cfg.Profile, FnPython: fnPy, FnShell: fnSh,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sampler := NewSampler(SamplerConfig{
+		Targets:  Targets{BaseURL: "http://" + cfg.Service, Token: cfg.Token},
+		Interval: time.Duration(cfg.Profile.PollIntervalSec * float64(time.Second)),
+		Phase:    cfg.Profile.PhaseAt,
+		Window:   lg,
+	})
+
+	started := time.Now()
+	logf("scenario %s: %s tenants=%d rate=%.0f/s duration=%.0fs",
+		cfg.Profile.Name, cfg.Profile.Description, len(cfg.Profile.Tenants),
+		cfg.Profile.TotalRatePerSec(), cfg.Profile.DurationSec)
+	sampler.Start(started)
+	lg.Start(started)
+
+	// Continuous-profiling hook: capture CPU + heap from the webservice at
+	// the peak of the first burst window. Failures are recorded in the
+	// summary, not fatal — a service without -pprof still measures.
+	var pprofFiles []string
+	var pprofErr error
+	pprofDone := make(chan struct{})
+	if cfg.Profile.PprofSeconds > 0 && cfg.Profile.Burst != nil {
+		b := cfg.Profile.Burst
+		delay := time.Duration((b.AfterSec + b.DurationSec/4) * float64(time.Second))
+		secs := cfg.Profile.PprofSeconds
+		if max := int(b.DurationSec / 2); secs > max && max >= 1 {
+			secs = max
+		}
+		go func() {
+			defer close(pprofDone)
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(delay):
+			}
+			logf("scenario %s: capturing burst-peak pprof (%ds CPU + heap)", cfg.Profile.Name, secs)
+			pprofFiles, pprofErr = CapturePprof(cfg.OutDir, cfg.Profile.Name,
+				"http://"+cfg.Service, cfg.Token, secs)
+		}()
+	} else {
+		close(pprofDone)
+	}
+
+	// Load window.
+	loadDur := time.Duration(cfg.Profile.DurationSec * float64(time.Second))
+	select {
+	case <-ctx.Done():
+	case <-time.After(loadDur):
+	}
+	lg.StopLoad()
+
+	// Drain: the sampler keeps polling so the recovery tail is recorded.
+	drained := lg.Drain(time.Duration(cfg.Profile.DrainTimeoutSec * float64(time.Second)))
+	if !drained {
+		logf("scenario %s: drain timeout with %d tasks outstanding", cfg.Profile.Name, lg.Totals().Outstanding)
+	}
+	<-pprofDone
+	samples := sampler.Stop()
+	finished := time.Now()
+
+	tot := lg.Totals()
+	summary := BuildSummary(cfg.Profile, samples, tot, started, finished)
+	summary.PprofFiles = pprofFiles
+	if pprofErr != nil {
+		summary.PprofError = pprofErr.Error()
+	}
+
+	res := &RunResult{
+		Summary:     summary,
+		Samples:     samples,
+		SamplesCSV:  filepath.Join(cfg.OutDir, "samples.csv"),
+		SummaryJSON: filepath.Join(cfg.OutDir, "summary.json"),
+	}
+	if err := SaveSamplesCSV(res.SamplesCSV, samples); err != nil {
+		return nil, err
+	}
+	if err := SaveSummaryJSON(res.SummaryJSON, summary); err != nil {
+		return nil, err
+	}
+	logf("scenario %s: %d samples, accepted=%d shed=%d completeness=%.4f steadyP95=%.0f burstP95=%.0f valid=%v pass=%v",
+		cfg.Profile.Name, summary.Samples, tot.Accepted, tot.Shed, summary.Completeness,
+		summary.SteadyBacklogP95, summary.BurstBacklogP95, summary.Valid, summary.Pass)
+	for _, r := range summary.FailReasons {
+		logf("scenario %s: FAIL %s", cfg.Profile.Name, r)
+	}
+	return res, nil
+}

@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"globuscompute/internal/protocol"
+)
+
+// WindowStats is what the client side observed between two consecutive
+// samples: submission/outcome counts and latency percentiles over the
+// window. Percentiles are milliseconds; zero when the window saw no events.
+type WindowStats struct {
+	Submitted int64 `json:"submitted"`
+	Accepted  int64 `json:"accepted"`
+	Shed      int64 `json:"shed"`
+	Errors    int64 `json:"errors"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+
+	SubmitP50MS float64 `json:"submit_p50_ms"`
+	SubmitP95MS float64 `json:"submit_p95_ms"`
+	SubmitP99MS float64 `json:"submit_p99_ms"`
+	RTTP50MS    float64 `json:"rtt_p50_ms"`
+	RTTP95MS    float64 `json:"rtt_p95_ms"`
+	RTTP99MS    float64 `json:"rtt_p99_ms"`
+}
+
+// WindowSource hands the sampler the client-side stats accumulated since
+// the previous call (the loadgen implements it; tests fake it).
+type WindowSource interface {
+	TakeWindow() WindowStats
+}
+
+// Sample is one poll of the observability surface plus the client window
+// that ended at it. Backlog is the primary KPI: tasks admitted but not yet
+// resulted, summed across where they can hide — endpoint task queues
+// (fleet pending), agent egress buffers, and broker task queues.
+type Sample struct {
+	Time      time.Time `json:"time"`
+	OffsetSec float64   `json:"offset_sec"`
+	Phase     string    `json:"phase"`
+
+	FleetPending    int `json:"fleet_pending"`
+	FleetEgress     int `json:"fleet_egress"`
+	BrokerDepth     int `json:"broker_depth"`
+	Backlog         int `json:"backlog"`
+	EndpointsOnline int `json:"endpoints_online"`
+	EndpointsTotal  int `json:"endpoints_total"`
+	AlertsFiring    int `json:"alerts_firing"`
+	// ServiceRateSum is the fleet-wide sum of the per-endpoint service-rate
+	// EWMA gauges from the federation scrape (tasks/s of drain capacity).
+	ServiceRateSum float64 `json:"service_rate_sum"`
+
+	// Cumulative counters from /metrics (not deltas; plot or diff offline).
+	ShedsTotal      float64 `json:"sheds_total"`
+	AdmittedTotal   float64 `json:"admitted_total"`
+	RoutePicksTotal float64 `json:"route_picks_total"`
+
+	// Server-side task-state census from /v2/usage.
+	TasksByState map[protocol.TaskState]int `json:"tasks_by_state,omitempty"`
+
+	Window WindowStats `json:"window"`
+	// ScrapeErrs counts sources that failed this poll (0 = clean sample).
+	ScrapeErrs int `json:"scrape_errs"`
+}
+
+// csvHeader must stay in sync with row(); the column set is the stable
+// interface consumed by plotting/diffing tools.
+var csvHeader = []string{
+	"offset_sec", "phase",
+	"backlog", "fleet_pending", "fleet_egress", "broker_depth",
+	"endpoints_online", "endpoints_total", "alerts_firing", "service_rate_sum",
+	"sheds_total", "admitted_total", "route_picks_total",
+	"tasks_received", "tasks_waiting", "tasks_delivered", "tasks_running",
+	"tasks_success", "tasks_failed", "tasks_cancelled",
+	"win_submitted", "win_accepted", "win_shed", "win_errors",
+	"win_completed", "win_failed",
+	"win_submit_p50_ms", "win_submit_p95_ms", "win_submit_p99_ms",
+	"win_rtt_p50_ms", "win_rtt_p95_ms", "win_rtt_p99_ms",
+	"scrape_errs",
+}
+
+func (s Sample) row() []string {
+	st := func(k protocol.TaskState) string { return fmt.Sprintf("%d", s.TasksByState[k]) }
+	f := func(v float64) string { return fmt.Sprintf("%.3f", v) }
+	return []string{
+		fmt.Sprintf("%.3f", s.OffsetSec), s.Phase,
+		fmt.Sprintf("%d", s.Backlog), fmt.Sprintf("%d", s.FleetPending),
+		fmt.Sprintf("%d", s.FleetEgress), fmt.Sprintf("%d", s.BrokerDepth),
+		fmt.Sprintf("%d", s.EndpointsOnline), fmt.Sprintf("%d", s.EndpointsTotal),
+		fmt.Sprintf("%d", s.AlertsFiring), f(s.ServiceRateSum),
+		f(s.ShedsTotal), f(s.AdmittedTotal), f(s.RoutePicksTotal),
+		st(protocol.StateReceived), st(protocol.StateWaiting), st(protocol.StateDelivered),
+		st(protocol.StateRunning), st(protocol.StateSuccess), st(protocol.StateFailed),
+		st(protocol.StateCancelled),
+		fmt.Sprintf("%d", s.Window.Submitted), fmt.Sprintf("%d", s.Window.Accepted),
+		fmt.Sprintf("%d", s.Window.Shed), fmt.Sprintf("%d", s.Window.Errors),
+		fmt.Sprintf("%d", s.Window.Completed), fmt.Sprintf("%d", s.Window.Failed),
+		f(s.Window.SubmitP50MS), f(s.Window.SubmitP95MS), f(s.Window.SubmitP99MS),
+		f(s.Window.RTTP50MS), f(s.Window.RTTP95MS), f(s.Window.RTTP99MS),
+		fmt.Sprintf("%d", s.ScrapeErrs),
+	}
+}
+
+// WriteSamplesCSV writes the full time series in the stable column order.
+func WriteSamplesCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if err := cw.Write(s.row()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveSamplesCSV writes samples.csv at path.
+func SaveSamplesCSV(path string, samples []Sample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSamplesCSV(f, samples); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// percentile is nearest-rank over a copy (p in [0,1]); 0 for empty input.
+func percentile(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// backlogSeries extracts the KPI series for samples matching a phase
+// ("" = all samples).
+func backlogSeries(samples []Sample, phase string) []float64 {
+	var out []float64
+	for _, s := range samples {
+		if phase == "" || s.Phase == phase {
+			out = append(out, float64(s.Backlog))
+		}
+	}
+	return out
+}

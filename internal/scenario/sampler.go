@@ -1,0 +1,258 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"globuscompute/internal/obs"
+	"globuscompute/internal/protocol"
+)
+
+// Targets locates a running web service for the sampler and pprof capture:
+// the REST base URL and the bearer/debug token (the same token works for
+// both — REST sends it as a Bearer header, debug endpoints as ?token=).
+type Targets struct {
+	BaseURL string
+	Token   string
+}
+
+// SamplerConfig wires a Sampler.
+type SamplerConfig struct {
+	Targets  Targets
+	Interval time.Duration
+	// Phase labels each sample from its offset (Profile.PhaseAt).
+	Phase func(offset time.Duration) string
+	// Window, when non-nil, is drained once per sample for the
+	// client-observed columns.
+	Window WindowSource
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// Sampler polls /metrics, /metrics/fleet, /debug/fleet, and /v2/usage at a
+// fixed interval, appending one Sample per tick. It keeps sampling through
+// the drain after load stops — that tail is where recovery gates look.
+type Sampler struct {
+	cfg   SamplerConfig
+	start time.Time
+
+	mu      sync.Mutex
+	samples []Sample
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSampler builds a sampler; call Start then Stop.
+func NewSampler(cfg SamplerConfig) *Sampler {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.Phase == nil {
+		cfg.Phase = func(time.Duration) string { return PhaseSteady }
+	}
+	return &Sampler{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// Start begins polling; offsets are measured from start.
+func (s *Sampler) Start(start time.Time) {
+	s.start = start
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(s.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case now := <-tick.C:
+				sm := s.sampleAt(now)
+				s.mu.Lock()
+				s.samples = append(s.samples, sm)
+				s.mu.Unlock()
+			}
+		}
+	}()
+}
+
+// Stop halts polling and returns the recorded series.
+func (s *Sampler) Stop() []Sample {
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Sample(nil), s.samples...)
+}
+
+// sampleAt performs one poll of every source. Failed sources leave their
+// fields zero and bump ScrapeErrs — a sample is still recorded so the time
+// base stays regular.
+func (s *Sampler) sampleAt(now time.Time) Sample {
+	offset := now.Sub(s.start)
+	sm := Sample{
+		Time:      now,
+		OffsetSec: offset.Seconds(),
+		Phase:     s.cfg.Phase(offset),
+	}
+	if err := s.scrapeMetrics(&sm); err != nil {
+		sm.ScrapeErrs++
+	}
+	if err := s.scrapeFederation(&sm); err != nil {
+		sm.ScrapeErrs++
+	}
+	if err := s.scrapeFleet(&sm); err != nil {
+		sm.ScrapeErrs++
+	}
+	if err := s.scrapeUsage(&sm); err != nil {
+		sm.ScrapeErrs++
+	}
+	if s.cfg.Window != nil {
+		sm.Window = s.cfg.Window.TakeWindow()
+	}
+	sm.Backlog = sm.FleetPending + sm.FleetEgress + sm.BrokerDepth
+	return sm
+}
+
+func (s *Sampler) get(path string) (io.ReadCloser, error) {
+	u := s.cfg.Targets.BaseURL + path
+	if strings.Contains(path, "?") {
+		u += "&token=" + url.QueryEscape(s.cfg.Targets.Token)
+	} else {
+		u += "?token=" + url.QueryEscape(s.cfg.Targets.Token)
+	}
+	req, err := http.NewRequest("GET", u, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Debug endpoints check ?token=, REST endpoints the Bearer header; send
+	// both so one helper serves every source.
+	req.Header.Set("Authorization", "Bearer "+s.cfg.Targets.Token)
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: %d", path, resp.StatusCode)
+	}
+	return resp.Body, nil
+}
+
+// scrapeMetrics reads the service-side counters and broker queue depths
+// from /metrics (Prometheus text).
+func (s *Sampler) scrapeMetrics(sm *Sample) error {
+	body, err := s.get("/metrics")
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	exp, err := obs.ParseExposition(body)
+	if err != nil {
+		return err
+	}
+	first := func(name string) float64 {
+		if f := exp.Family(name); f != nil && len(f.Samples) > 0 {
+			return f.Samples[0].Value
+		}
+		return 0
+	}
+	sm.ShedsTotal = first("gc_shed_total")
+	sm.AdmittedTotal = first("gc_admission_admitted_total")
+	sm.RoutePicksTotal = first("gc_route_picks_total")
+	// Broker task-queue depth gauges are one family per queue
+	// (gc_broker_depth_tasks_<id>); result/command queues are excluded —
+	// tasks parked there are already counted by the endpoint's own view.
+	depth := 0.0
+	for name, f := range exp.Families {
+		if strings.HasPrefix(name, "gc_broker_depth_tasks_") && len(f.Samples) > 0 {
+			depth += f.Samples[0].Value
+		}
+	}
+	sm.BrokerDepth = int(depth)
+	return nil
+}
+
+// scrapeFederation reads /metrics/fleet and sums the per-endpoint
+// service-rate EWMA gauges (the fleet's smoothed drain capacity).
+func (s *Sampler) scrapeFederation(sm *Sample) error {
+	body, err := s.get("/metrics/fleet")
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	exp, err := obs.ParseExposition(body)
+	if err != nil {
+		return err
+	}
+	if f := exp.Family("gc_endpoint_service_rate_tasks_per_second"); f != nil {
+		for _, sp := range f.Samples {
+			sm.ServiceRateSum += sp.Value
+		}
+	}
+	return nil
+}
+
+// fleetReport mirrors the GET /debug/fleet response body.
+type fleetReport struct {
+	Fleet  obs.FleetHealth `json:"fleet"`
+	Alerts []obs.Alert     `json:"alerts"`
+}
+
+// scrapeFleet reads the structured fleet health: per-endpoint pending and
+// egress backlogs, liveness, and firing alerts.
+func (s *Sampler) scrapeFleet(sm *Sample) error {
+	body, err := s.get("/debug/fleet")
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	var rep fleetReport
+	if err := json.NewDecoder(body).Decode(&rep); err != nil {
+		return err
+	}
+	sm.EndpointsTotal = rep.Fleet.EndpointsTotal
+	sm.EndpointsOnline = rep.Fleet.EndpointsOnline
+	for _, ep := range rep.Fleet.Endpoints {
+		sm.FleetPending += int(ep.PendingTasks)
+		if ep.EgressBacklog != nil {
+			sm.FleetEgress += int(*ep.EgressBacklog)
+		}
+	}
+	for _, a := range rep.Alerts {
+		if a.State == obs.StateFiring {
+			sm.AlertsFiring++
+		}
+	}
+	return nil
+}
+
+// usageStats mirrors the GET /v2/usage response body (kept local so the
+// sampler depends only on the wire shape, like an external client would).
+type usageStats struct {
+	Tasks        int                        `json:"tasks"`
+	TasksByState map[protocol.TaskState]int `json:"tasks_by_state"`
+}
+
+// scrapeUsage reads the server-side task-state census.
+func (s *Sampler) scrapeUsage(sm *Sample) error {
+	body, err := s.get("/v2/usage")
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	var u usageStats
+	if err := json.NewDecoder(body).Decode(&u); err != nil {
+		return err
+	}
+	sm.TasksByState = u.TasksByState
+	return nil
+}

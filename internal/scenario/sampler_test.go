@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"globuscompute/internal/obs"
+)
+
+// fakeWindow hands the sampler a canned client window.
+type fakeWindow struct{ w WindowStats }
+
+func (f *fakeWindow) TakeWindow() WindowStats { return f.w }
+
+// syntheticService serves canned bodies for all four sampler sources,
+// checking that the debug token rides every request.
+func syntheticService(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	requireToken := func(r *http.Request) bool {
+		return r.URL.Query().Get("token") == "tok" || r.Header.Get("Authorization") == "Bearer tok"
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !requireToken(r) {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+		w.Write([]byte(`# TYPE gc_shed_total counter
+gc_shed_total 12
+# TYPE gc_admission_admitted_total counter
+gc_admission_admitted_total 400
+# TYPE gc_route_picks_total counter
+gc_route_picks_total 380
+# TYPE gc_broker_depth_tasks_aaa gauge
+gc_broker_depth_tasks_aaa 7
+# TYPE gc_broker_depth_tasks_bbb gauge
+gc_broker_depth_tasks_bbb 5
+# TYPE gc_broker_depth_results_aaa gauge
+gc_broker_depth_results_aaa 99
+`))
+	})
+	mux.HandleFunc("/metrics/fleet", func(w http.ResponseWriter, r *http.Request) {
+		if !requireToken(r) {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+		w.Write([]byte(`# TYPE gc_endpoint_service_rate_tasks_per_second gauge
+gc_endpoint_service_rate_tasks_per_second{endpoint="ep-1"} 42.5
+gc_endpoint_service_rate_tasks_per_second{endpoint="ep-2"} 7.5
+`))
+	})
+	mux.HandleFunc("/debug/fleet", func(w http.ResponseWriter, r *http.Request) {
+		if !requireToken(r) {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+		egress := int64(4)
+		rep := fleetReport{
+			Fleet: obs.FleetHealth{
+				EndpointsTotal: 2, EndpointsOnline: 2,
+				Endpoints: []obs.EndpointHealth{
+					{EndpointID: "ep-1", Online: true, PendingTasks: 30, EgressBacklog: &egress},
+					{EndpointID: "ep-2", Online: true, PendingTasks: 10},
+				},
+			},
+			Alerts: []obs.Alert{
+				{Rule: "backlog", EndpointID: "ep-1", State: obs.StateFiring},
+				{Rule: "latency", EndpointID: "ep-2", State: obs.StatePending},
+			},
+		}
+		json.NewEncoder(w).Encode(rep)
+	})
+	mux.HandleFunc("/v2/usage", func(w http.ResponseWriter, r *http.Request) {
+		if !requireToken(r) {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+		w.Write([]byte(`{"tasks":100,"tasks_by_state":{"success":90,"received":4,"delivered":6}}`))
+	})
+	return httptest.NewServer(mux)
+}
+
+func TestSamplerScrapesAllSources(t *testing.T) {
+	srv := syntheticService(t)
+	defer srv.Close()
+
+	p, ok := Builtin("burst")
+	if !ok {
+		t.Fatal("missing builtin burst profile")
+	}
+	win := &fakeWindow{w: WindowStats{Submitted: 80, Accepted: 78, Shed: 2, Completed: 70, RTTP95MS: 33}}
+	s := NewSampler(SamplerConfig{
+		Targets: Targets{BaseURL: srv.URL, Token: "tok"},
+		Phase:   p.PhaseAt,
+		Window:  win,
+	})
+	s.start = time.Now()
+	sm := s.sampleAt(s.start.Add(7 * time.Second)) // mid-burst offset
+
+	if sm.ScrapeErrs != 0 {
+		t.Fatalf("scrape errors: %+v", sm)
+	}
+	if sm.Phase != PhaseBurst {
+		t.Fatalf("phase at +7s = %q, want burst", sm.Phase)
+	}
+	// Broker depth sums task queues only — not the results queue gauge.
+	if sm.BrokerDepth != 12 {
+		t.Fatalf("broker depth = %d, want 12", sm.BrokerDepth)
+	}
+	if sm.FleetPending != 40 || sm.FleetEgress != 4 {
+		t.Fatalf("fleet pending/egress = %d/%d, want 40/4", sm.FleetPending, sm.FleetEgress)
+	}
+	if want := 40 + 4 + 12; sm.Backlog != want {
+		t.Fatalf("backlog KPI = %d, want %d", sm.Backlog, want)
+	}
+	if sm.ServiceRateSum != 50 {
+		t.Fatalf("service rate sum = %g, want 50", sm.ServiceRateSum)
+	}
+	if sm.ShedsTotal != 12 || sm.AdmittedTotal != 400 || sm.RoutePicksTotal != 380 {
+		t.Fatalf("counters = %g/%g/%g", sm.ShedsTotal, sm.AdmittedTotal, sm.RoutePicksTotal)
+	}
+	if sm.EndpointsOnline != 2 || sm.AlertsFiring != 1 {
+		t.Fatalf("online=%d firing=%d, want 2/1 (pending alerts must not count)", sm.EndpointsOnline, sm.AlertsFiring)
+	}
+	if sm.TasksByState["success"] != 90 || sm.TasksByState["delivered"] != 6 {
+		t.Fatalf("task states = %v", sm.TasksByState)
+	}
+	if sm.Window.Submitted != 80 || sm.Window.RTTP95MS != 33 {
+		t.Fatalf("window not drained from source: %+v", sm.Window)
+	}
+}
+
+func TestSamplerRecordsScrapeFailures(t *testing.T) {
+	// A server that answers nothing keeps the time base intact: the sample
+	// is recorded with zero fields and all four sources counted as errors.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	s := NewSampler(SamplerConfig{Targets: Targets{BaseURL: srv.URL, Token: "tok"}})
+	s.start = time.Now()
+	sm := s.sampleAt(s.start.Add(time.Second))
+	if sm.ScrapeErrs != 4 {
+		t.Fatalf("scrape errs = %d, want 4", sm.ScrapeErrs)
+	}
+	if sm.Backlog != 0 || sm.Phase != PhaseSteady {
+		t.Fatalf("failed sample not zero-valued: %+v", sm)
+	}
+}
+
+func TestSamplerCollectsSeries(t *testing.T) {
+	srv := syntheticService(t)
+	defer srv.Close()
+	s := NewSampler(SamplerConfig{
+		Targets:  Targets{BaseURL: srv.URL, Token: "tok"},
+		Interval: 20 * time.Millisecond,
+	})
+	s.Start(time.Now())
+	time.Sleep(150 * time.Millisecond)
+	samples := s.Stop()
+	if len(samples) < 3 {
+		t.Fatalf("collected %d samples, want >= 3", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].OffsetSec <= samples[i-1].OffsetSec {
+			t.Fatalf("offsets not monotonic: %g then %g", samples[i-1].OffsetSec, samples[i].OffsetSec)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// Summary is the per-run verdict written as summary.json: identification,
+// cohort accounting, the KPI digests, and every evaluated gate. Pass is the
+// single bit CI consumes; FailReasons carries the distinct reason codes of
+// the gates that failed.
+type Summary struct {
+	Profile     string    `json:"profile"`
+	Description string    `json:"description,omitempty"`
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+	DurationSec float64   `json:"duration_sec"`
+	Samples     int       `json:"samples"`
+
+	Totals       Totals  `json:"totals"`
+	Completeness float64 `json:"completeness"`
+
+	// Backlog KPI digests (tasks) split by phase.
+	SteadyBacklogP50 float64 `json:"steady_backlog_p50"`
+	SteadyBacklogP95 float64 `json:"steady_backlog_p95"`
+	BurstBacklogP95  float64 `json:"burst_backlog_p95,omitempty"`
+	BacklogMax       float64 `json:"backlog_max"`
+
+	// Client-observed latency digests over the whole run (milliseconds).
+	SubmitP50MS float64 `json:"submit_p50_ms"`
+	SubmitP95MS float64 `json:"submit_p95_ms"`
+	RTTP50MS    float64 `json:"rtt_p50_ms"`
+	RTTP95MS    float64 `json:"rtt_p95_ms"`
+	RTTP99MS    float64 `json:"rtt_p99_ms"`
+
+	// ThroughputPerSec is observed task completions / load duration.
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+
+	Gates       []GateResult `json:"gates"`
+	Valid       bool         `json:"valid"`
+	Pass        bool         `json:"pass"`
+	FailReasons []string     `json:"fail_reasons,omitempty"`
+
+	// PprofFiles lists profiles captured during the run (burst-peak CPU +
+	// heap), relative to the output directory.
+	PprofFiles []string `json:"pprof_files,omitempty"`
+	PprofError string   `json:"pprof_error,omitempty"`
+}
+
+// latencyDigest merges the per-window percentile columns into run-level
+// digests, weighting each window's percentile by its event count. An exact
+// run-level percentile would need the raw samples; windows keep memory
+// bounded and this weighted merge is stable enough for gating trends.
+func latencyDigest(samples []Sample, pick func(WindowStats) (float64, int64)) float64 {
+	var weighted float64
+	var n int64
+	for _, s := range samples {
+		v, c := pick(s.Window)
+		if c > 0 && v > 0 {
+			weighted += v * float64(c)
+			n += c
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return weighted / float64(n)
+}
+
+// BuildSummary evaluates gates and assembles the run summary.
+func BuildSummary(p Profile, samples []Sample, tot Totals, started, finished time.Time) Summary {
+	p = p.normalized()
+	gates, valid, pass := EvaluateGates(p, samples, tot)
+	s := Summary{
+		Profile:     p.Name,
+		Description: p.Description,
+		StartedAt:   started,
+		FinishedAt:  finished,
+		DurationSec: finished.Sub(started).Seconds(),
+		Samples:     len(samples),
+		Totals:      tot,
+		Gates:       gates,
+		Valid:       valid,
+		Pass:        pass,
+	}
+	s.Completeness = tot.Completeness()
+	steady := backlogSeries(samples, PhaseSteady)
+	s.SteadyBacklogP50 = percentile(steady, 0.50)
+	s.SteadyBacklogP95 = percentile(steady, 0.95)
+	s.BurstBacklogP95 = percentile(backlogSeries(samples, PhaseBurst), 0.95)
+	for _, v := range backlogSeries(samples, "") {
+		if v > s.BacklogMax {
+			s.BacklogMax = v
+		}
+	}
+	s.SubmitP50MS = latencyDigest(samples, func(w WindowStats) (float64, int64) { return w.SubmitP50MS, w.Submitted })
+	s.SubmitP95MS = latencyDigest(samples, func(w WindowStats) (float64, int64) { return w.SubmitP95MS, w.Submitted })
+	s.RTTP50MS = latencyDigest(samples, func(w WindowStats) (float64, int64) { return w.RTTP50MS, w.Completed })
+	s.RTTP95MS = latencyDigest(samples, func(w WindowStats) (float64, int64) { return w.RTTP95MS, w.Completed })
+	s.RTTP99MS = latencyDigest(samples, func(w WindowStats) (float64, int64) { return w.RTTP99MS, w.Completed })
+	if d := s.DurationSec; d > 0 {
+		s.ThroughputPerSec = float64(tot.Succeeded+tot.Failed) / d
+	}
+	for _, g := range gates {
+		if !g.Pass {
+			s.FailReasons = append(s.FailReasons, g.Reason)
+		}
+	}
+	return s
+}
+
+// SaveSummaryJSON writes summary.json at path.
+func SaveSummaryJSON(path string, s Summary) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -63,6 +64,25 @@ func ServeHTTP(svc *Service, addr, brokerAddr, objectsAddr string) (*Server, err
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	if svc.cfg.Pprof {
+		// Continuous-profiling hooks (scenario harness, ad-hoc `go tool
+		// pprof`): the stdlib pprof handlers behind the debug ?token= auth.
+		// pprof.Index routes the named profiles (heap, goroutine, block, ...)
+		// under the prefix itself.
+		pprofWrap := func(h http.HandlerFunc) http.HandlerFunc {
+			return func(w http.ResponseWriter, r *http.Request) {
+				if !s.debugAuth(w, r) {
+					return
+				}
+				h(w, r)
+			}
+		}
+		mux.HandleFunc("GET /debug/pprof/", pprofWrap(pprof.Index))
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprofWrap(pprof.Cmdline))
+		mux.HandleFunc("GET /debug/pprof/profile", pprofWrap(pprof.Profile))
+		mux.HandleFunc("GET /debug/pprof/symbol", pprofWrap(pprof.Symbol))
+		mux.HandleFunc("GET /debug/pprof/trace", pprofWrap(pprof.Trace))
+	}
 	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go s.http.Serve(ln)
 	return s, nil

@@ -117,6 +117,11 @@ type Config struct {
 	// each spawn a replica and later ones pick among the warm replicas via
 	// the placement policy.
 	UserEndpointReplicas int
+	// Pprof registers net/http/pprof handlers under /debug/pprof/ on the
+	// REST mux, behind the same ?token= authentication as the other debug
+	// endpoints. Off by default: profiling exposes process internals and
+	// costs CPU while sampling — opt in per process (gc-webservice -pprof).
+	Pprof bool
 }
 
 // Service is the web service core, independent of its HTTP front end.
@@ -219,6 +224,16 @@ func (s *Service) RecordHeartbeat(id protocol.UUID, online bool, load *statestor
 		return err
 	}
 	now := time.Now()
+	if load != nil {
+		// Fold the load report into the fleet store before sampling the ring:
+		// utilization gauges for endpoints with no metrics registry, and the
+		// received/published deltas that drive the service-rate EWMA.
+		s.Fleet.ObserveLoad(string(id), obs.LoadReport{
+			PendingTasks: load.PendingTasks, TotalWorkers: load.TotalWorkers,
+			FreeWorkers: load.FreeWorkers, TasksReceived: load.TasksReceived,
+			ResultsPublished: load.ResultsPublished, EgressBacklog: load.EgressBacklog,
+		}, now)
+	}
 	if snap != nil && snap.Len() > 0 {
 		s.Fleet.Ingest(string(id), *snap, now)
 	} else {

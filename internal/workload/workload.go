@@ -252,6 +252,83 @@ func GenerateDeployment(seed int64) Deployment {
 	return Deployment{SingleUser: single, UEPsPerMEP: ueps}
 }
 
+// --- production-scale projections ---
+
+// ScaleToPeak rescales a day series so its raw peak hits targetPeak tasks/day
+// — the projection knob that grows the paper's 100k-clipped trace toward the
+// millions-per-day regime the scenario harness loads against. Display values
+// are the raw values (no truncation: the point of scaling up is to see the
+// peak), and Truncated marks days that exceeded the paper's original display
+// cap so the provenance stays visible.
+func ScaleToPeak(trace []DayCount, targetPeak int) []DayCount {
+	if len(trace) == 0 || targetPeak <= 0 {
+		return nil
+	}
+	peak := 0
+	for _, d := range trace {
+		if d.RawTasks > peak {
+			peak = d.RawTasks
+		}
+	}
+	if peak == 0 {
+		return nil
+	}
+	scale := float64(targetPeak) / float64(peak)
+	out := make([]DayCount, len(trace))
+	for i, d := range trace {
+		raw := int(float64(d.RawTasks) * scale)
+		out[i] = DayCount{
+			Date: d.Date, Tasks: raw, RawTasks: raw,
+			Truncated: raw > Fig2Truncation,
+		}
+	}
+	return out
+}
+
+// TenantRate is one tenant's share of an offered load: a stable name and a
+// per-second submit rate. The scenario harness (gc-loadgen) uses a slice of
+// these as its tenant mix.
+type TenantRate struct {
+	Name       string  `json:"name"`
+	RatePerSec float64 `json:"rate_per_sec"`
+}
+
+// TenantRates splits totalPerSec across n tenants with a Zipf-like
+// heavy-tailed skew (exponent s, typical 1.0–1.2): a few gateway tenants
+// carry most of the traffic and a long tail submits occasionally — the shape
+// the paper's §VI usage statistics (and the MEP spawn distribution) show.
+// Rates are deterministic given the seed and always sum to totalPerSec.
+func TenantRates(seed int64, n int, totalPerSec, s float64) []TenantRate {
+	if n <= 0 || totalPerSec <= 0 {
+		return nil
+	}
+	if s <= 0 {
+		s = 1.1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	weights := make([]float64, n)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s) * (0.75 + 0.5*rng.Float64())
+		wsum += weights[i]
+	}
+	out := make([]TenantRate, n)
+	for i, w := range weights {
+		out[i] = TenantRate{
+			Name:       fmt.Sprintf("tenant-%02d", i),
+			RatePerSec: totalPerSec * w / wsum,
+		}
+	}
+	return out
+}
+
+// DayRatePerSec converts a tasks-per-day count into the steady per-second
+// submit rate that would produce it — how a scaled trace day maps onto a
+// loadgen profile's base RPS.
+func DayRatePerSec(tasksPerDay int) float64 {
+	return float64(tasksPerDay) / (24 * 60 * 60)
+}
+
 // --- benchmark workload generators ---
 
 // Arrival is one task arrival offset from the workload start.

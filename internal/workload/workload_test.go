@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"math"
+	"sort"
 	"testing"
 	"time"
 )
@@ -203,5 +205,68 @@ func TestFormatDay(t *testing.T) {
 	d.Tasks = Fig2Truncation
 	if got := FormatDay(d); got != "2023-05-01,100000,truncated" {
 		t.Errorf("got %q", got)
+	}
+}
+
+func TestScaleToPeakMillionsPerDay(t *testing.T) {
+	trace := Fig2Trace(Fig2Config{Seed: 7})
+	const target = 3_000_000
+	scaled := ScaleToPeak(trace, target)
+	if len(scaled) != len(trace) {
+		t.Fatalf("scaled %d days, want %d", len(scaled), len(trace))
+	}
+	peak := 0
+	for _, d := range scaled {
+		if d.Tasks != d.RawTasks {
+			t.Fatalf("scaled traces must not truncate: %+v", d)
+		}
+		if d.Tasks > peak {
+			peak = d.Tasks
+		}
+		if d.RawTasks > Fig2Truncation && !d.Truncated {
+			t.Fatalf("day over the paper's display cap not marked: %+v", d)
+		}
+	}
+	// Integer rounding can shave a task or two off the exact target.
+	if peak < target-len(scaled) || peak > target {
+		t.Fatalf("peak = %d, want ~%d", peak, target)
+	}
+	// A 3M-task day is ~35 submits/s sustained.
+	if rps := DayRatePerSec(peak); rps < 34 || rps > 35 {
+		t.Fatalf("DayRatePerSec(peak) = %v, want ~34.7", rps)
+	}
+	if ScaleToPeak(nil, target) != nil || ScaleToPeak(trace, 0) != nil {
+		t.Fatal("degenerate inputs must return nil")
+	}
+}
+
+func TestTenantRatesHeavyTailedAndCalibrated(t *testing.T) {
+	const total = 500.0
+	rates := TenantRates(42, 16, total, 1.1)
+	if len(rates) != 16 {
+		t.Fatalf("tenants = %d, want 16", len(rates))
+	}
+	var sum float64
+	for _, r := range rates {
+		if r.RatePerSec <= 0 {
+			t.Fatalf("tenant %s has non-positive rate %v", r.Name, r.RatePerSec)
+		}
+		sum += r.RatePerSec
+	}
+	if math.Abs(sum-total) > 1e-6 {
+		t.Fatalf("rates sum to %v, want %v", sum, total)
+	}
+	// Heavy tail: the top tenant must dominate the median one.
+	sorted := append([]TenantRate(nil), rates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].RatePerSec > sorted[j].RatePerSec })
+	if sorted[0].RatePerSec < 3*sorted[8].RatePerSec {
+		t.Fatalf("mix not heavy-tailed: top %v vs median %v", sorted[0].RatePerSec, sorted[8].RatePerSec)
+	}
+	// Deterministic per seed.
+	again := TenantRates(42, 16, total, 1.1)
+	for i := range rates {
+		if rates[i] != again[i] {
+			t.Fatalf("TenantRates not deterministic at %d: %+v vs %+v", i, rates[i], again[i])
+		}
 	}
 }
